@@ -1,0 +1,76 @@
+// Reproduces Appendix B: the nearest-word substitution index over the
+// w2v-based phrase embeddings. Measures the fraction of predicate lookups
+// answered without the full k-d tree similarity search and the resulting
+// speedup (paper: 54.5% avoided, 19.8% faster).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "datagen/domain_spec.h"
+#include "embedding/substitution_index.h"
+
+int main() {
+  using namespace opinedb;
+  auto artifacts = eval::BuildArtifacts(datagen::HotelDomain(),
+                                        bench::HotelBuildOptions());
+  const auto& db = *artifacts.db;
+
+  // Index the union of all linguistic domains (the phrases the w2v
+  // interpretation method searches).
+  std::vector<std::string> phrases;
+  for (const auto& attribute : db.schema().attributes) {
+    for (const auto& phrase : attribute.linguistic_domain) {
+      phrases.push_back(phrase);
+    }
+    for (const auto& marker : attribute.summary_type.markers) {
+      phrases.push_back(marker);
+    }
+  }
+  embedding::SubstitutionIndex index(phrases, &db.phrase_embedder());
+  printf("Appendix B: substitution index over %zu domain phrases.\n\n",
+         index.num_phrases());
+
+  // Query workload: the predicate pool.
+  size_t fast = 0;
+  const int kRounds = 30;  // Amortize timer resolution.
+  Timer with_index;
+  for (int round = 0; round < kRounds; ++round) {
+    for (const auto& predicate : artifacts.pool) {
+      auto match = index.Lookup(predicate.text);
+      if (round == 0 && match.fast_path) ++fast;
+    }
+  }
+  const double indexed_time = with_index.ElapsedSeconds();
+
+  // Baseline: always run the k-d tree similarity search (simulated by an
+  // index over the same phrases whose dictionary never hits: we query
+  // pre-embedded representations directly against the tree).
+  embedding::KdTree tree;
+  {
+    std::vector<embedding::Vec> reps;
+    for (const auto& phrase : phrases) {
+      reps.push_back(db.phrase_embedder().Represent(phrase));
+    }
+    tree = embedding::KdTree::Build(std::move(reps));
+  }
+  Timer without_index;
+  for (int round = 0; round < kRounds; ++round) {
+    for (const auto& predicate : artifacts.pool) {
+      tree.Nearest(db.phrase_embedder().Represent(predicate.text));
+    }
+  }
+  const double full_time = without_index.ElapsedSeconds();
+
+  printf("Lookups answered by the fast path: %.1f%% (paper: 54.5%%)\n",
+         100.0 * static_cast<double>(fast) /
+             static_cast<double>(artifacts.pool.size()));
+  printf("Time with index:    %.4f s (%d rounds over %zu predicates)\n",
+         indexed_time, kRounds, artifacts.pool.size());
+  printf("Time without index: %.4f s\n", full_time);
+  printf("Speedup: %.1f%% (paper: 19.8%%)\n",
+         100.0 * (full_time - indexed_time) / full_time);
+  printf("\nExpected shape: a majority of lookups avoid the similarity "
+         "search and total\nlookup time drops by a double-digit "
+         "percentage.\n");
+  return 0;
+}

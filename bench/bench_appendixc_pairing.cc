@@ -1,0 +1,151 @@
+// Reproduces Appendix C: the two pairing models of the opinion extractor.
+// The rule-based method links each opinion span to the nearest aspect
+// span; the supervised method classifies candidate (aspect, opinion)
+// links. The paper reports 83.87% accuracy for the supervised classifier
+// on 1000 held-out sentence-phrase pairs; the rule-based method performs
+// comparably, which is why OpineDB ships it by default.
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <optional>
+
+#include "common/rng.h"
+#include "datagen/domain_spec.h"
+#include "datagen/generator.h"
+#include "extract/pairing.h"
+
+namespace opinedb {
+namespace {
+
+/// Builds gold pairing data from two-clause sentences: realize
+/// "the <a1> was <o1> and the <a2> was <o2>", whose gold links are
+/// (a1, o1) and (a2, o2).
+struct PairingDataset {
+  std::vector<extract::PairingClassifier::Example> link_examples;
+  /// Per sentence: spans + gold pairs (for end-to-end pairing accuracy).
+  std::vector<std::pair<std::vector<extract::Span>,
+                        std::vector<extract::OpinionPair>>> sentences;
+};
+
+PairingDataset BuildDataset(const datagen::DomainSpec& spec, size_t n,
+                            uint64_t seed) {
+  Rng rng(seed);
+  PairingDataset dataset;
+  for (size_t i = 0; i < n; ++i) {
+    // Two clauses with known span structure.
+    std::vector<extract::Span> spans;
+    std::vector<extract::OpinionPair> gold;
+    int cursor = 0;
+    const int clauses = 2;
+    for (int c = 0; c < clauses; ++c) {
+      const auto& attribute =
+          spec.attributes[rng.Below(spec.attributes.size())];
+      const int aspect_len = 1;
+      const auto& opinion = datagen::SampleOpinion(attribute, rng.Uniform(),
+                                                   0.4, &rng);
+      const int opinion_len =
+          1 + static_cast<int>(std::count(opinion.text.begin(),
+                                          opinion.text.end(), ' '));
+      // Layout: the <asp> [near the <distractor>] was <op> (and ...)
+      // Distractor aspects between the gold aspect and its opinion are
+      // the hard cases ("the room near the bar was clean"): proximity
+      // alone links the opinion to the wrong aspect.
+      extract::Span aspect{cursor + 1, cursor + 1 + aspect_len,
+                           extract::kAS};
+      int op_begin = cursor + 2 + aspect_len;
+      std::optional<extract::Span> distractor;
+      if (rng.Bernoulli(0.15)) {
+        distractor = extract::Span{op_begin + 1, op_begin + 2, extract::kAS};
+        op_begin += 3;  // "near the <distractor>"
+      }
+      extract::Span op{op_begin, op_begin + opinion_len, extract::kOP};
+      spans.push_back(aspect);
+      if (distractor.has_value()) spans.push_back(*distractor);
+      spans.push_back(op);
+      extract::OpinionPair pair;
+      pair.aspect = aspect;
+      pair.opinion = op;
+      gold.push_back(pair);
+      cursor = op.end + 1;  // "and"
+    }
+    // Candidate links: every aspect x opinion combination.
+    for (const auto& span : spans) {
+      if (span.tag != extract::kOP) continue;
+      for (const auto& aspect : spans) {
+        if (aspect.tag != extract::kAS) continue;
+        extract::PairingClassifier::Example example;
+        example.spans = spans;
+        example.aspect = aspect;
+        example.opinion = span;
+        example.correct = false;
+        for (const auto& pair : gold) {
+          if (pair.aspect == aspect && pair.opinion == span) {
+            example.correct = true;
+          }
+        }
+        dataset.link_examples.push_back(std::move(example));
+      }
+    }
+    dataset.sentences.emplace_back(std::move(spans), std::move(gold));
+  }
+  return dataset;
+}
+
+double EndToEndPairAccuracy(
+    const PairingDataset& dataset,
+    const std::function<std::vector<extract::OpinionPair>(
+        const std::vector<extract::Span>&)>& pair_fn) {
+  int correct = 0;
+  int total = 0;
+  for (const auto& [spans, gold] : dataset.sentences) {
+    auto predicted = pair_fn(spans);
+    for (const auto& g : gold) {
+      ++total;
+      for (const auto& p : predicted) {
+        if (p == g) {
+          ++correct;
+          break;
+        }
+      }
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct) /
+                          static_cast<double>(total);
+}
+
+}  // namespace
+}  // namespace opinedb
+
+int main() {
+  using namespace opinedb;
+  auto spec = datagen::HotelDomain();
+  // Paper: 1000 training pairs from the 912 hotel sentences, 1000 test.
+  auto train = BuildDataset(spec, 250, 11);   // ~1000 candidate links.
+  auto test = BuildDataset(spec, 250, 12);
+
+  auto classifier = extract::PairingClassifier::Train(train.link_examples);
+
+  printf("Appendix C: pairing models of the opinion extractor.\n\n");
+  printf("Training candidate links: %zu, test links: %zu\n",
+         train.link_examples.size(), test.link_examples.size());
+  printf("Supervised link-classification accuracy: %.2f%% (paper: "
+         "83.87%%)\n",
+         100.0 * classifier.Accuracy(test.link_examples));
+
+  const double rule_accuracy = EndToEndPairAccuracy(
+      test, [](const std::vector<extract::Span>& spans) {
+        return extract::RuleBasedPairing(spans);
+      });
+  const double model_accuracy = EndToEndPairAccuracy(
+      test, [&](const std::vector<extract::Span>& spans) {
+        return classifier.Pair(spans);
+      });
+  printf("End-to-end pairing accuracy: rule-based %.2f%%, supervised "
+         "%.2f%%\n",
+         100.0 * rule_accuracy, 100.0 * model_accuracy);
+  printf("\nExpected shape: the rule-based method is comparable to the "
+         "supervised one\n(the paper keeps the rule-based pairer for this "
+         "reason).\n");
+  return 0;
+}

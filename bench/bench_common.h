@@ -1,0 +1,65 @@
+#ifndef OPINEDB_BENCH_BENCH_COMMON_H_
+#define OPINEDB_BENCH_BENCH_COMMON_H_
+
+// Shared configuration for the experiment-reproduction benches so every
+// table/figure runs against the same pair of synthetic domains.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "datagen/domain_spec.h"
+#include "eval/experiment.h"
+
+namespace opinedb::bench {
+
+/// Standard hotel-domain build (the Booking.com stand-in): more reviews
+/// per entity than the restaurant domain, mirroring the paper's datasets
+/// (booking.com averages ~345 reviews/hotel vs yelp's ~205/restaurant,
+/// scaled down to laptop size).
+inline eval::BuildOptions HotelBuildOptions() {
+  eval::BuildOptions options;
+  options.generator.num_entities = 120;
+  options.generator.min_reviews_per_entity = 25;
+  options.generator.max_reviews_per_entity = 60;
+  options.generator.seed = 42;
+  options.predicate_pool_size = 190;  // Paper: 190 hotel predicates.
+  options.seed = 42;
+  return options;
+}
+
+/// Standard restaurant-domain build (the Yelp stand-in): fewer reviews
+/// per entity, longer bodies are approximated by the same generator.
+inline eval::BuildOptions RestaurantBuildOptions() {
+  eval::BuildOptions options;
+  options.generator.num_entities = 100;
+  options.generator.min_reviews_per_entity = 12;
+  options.generator.max_reviews_per_entity = 30;
+  // Yelp reviews are long and skew positive (Table 4: 104-126 words,
+  // polarity ~0.7 vs booking.com's 34-37 words, ~0.2).
+  options.generator.min_sentences_per_review = 6;
+  options.generator.max_sentences_per_review = 11;
+  options.generator.quality_skew = 1.7;
+  options.generator.seed = 43;
+  options.predicate_pool_size = 185;  // Paper: 185 restaurant predicates.
+  options.seed = 43;
+  return options;
+}
+
+/// Number of repeated runs (paper: 10); override with OPINEDB_REPEATS.
+inline int Repeats(int fallback = 3) {
+  const char* env = std::getenv("OPINEDB_REPEATS");
+  if (env != nullptr) return std::atoi(env);
+  return fallback;
+}
+
+/// Queries per workload cell (paper: 100); override with
+/// OPINEDB_QUERIES.
+inline int QueriesPerCell(int fallback = 60) {
+  const char* env = std::getenv("OPINEDB_QUERIES");
+  if (env != nullptr) return std::atoi(env);
+  return fallback;
+}
+
+}  // namespace opinedb::bench
+
+#endif  // OPINEDB_BENCH_BENCH_COMMON_H_

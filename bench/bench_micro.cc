@@ -1,0 +1,152 @@
+// Micro-benchmarks (google-benchmark) for the core kernels: BM25 top-k,
+// fuzzy evaluation (both t-norm variants — the DESIGN.md ablation),
+// Fagin's TA vs full scan, k-d tree search, logistic-regression
+// inference, tokenization and marker-summary aggregation.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/marker_summary.h"
+#include "embedding/kdtree.h"
+#include "fuzzy/logic.h"
+#include "fuzzy/threshold_algorithm.h"
+#include "index/inverted_index.h"
+#include "ml/logistic_regression.h"
+#include "text/tokenizer.h"
+
+namespace opinedb {
+namespace {
+
+index::InvertedIndex BuildIndex(size_t docs, size_t words_per_doc) {
+  Rng rng(1);
+  index::InvertedIndex idx;
+  const char* vocab[] = {"clean",  "dirty", "room",   "staff", "friendly",
+                         "noisy",  "quiet", "bed",    "soft",  "lumpy",
+                         "modern", "old",   "lovely", "cheap", "pricey"};
+  for (size_t d = 0; d < docs; ++d) {
+    std::vector<std::string> tokens;
+    for (size_t w = 0; w < words_per_doc; ++w) {
+      tokens.push_back(vocab[rng.Below(std::size(vocab))]);
+    }
+    idx.AddDocument(tokens);
+  }
+  return idx;
+}
+
+void BM_Bm25TopK(benchmark::State& state) {
+  auto idx = BuildIndex(static_cast<size_t>(state.range(0)), 40);
+  std::vector<std::string> query = {"clean", "quiet", "friendly"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.TopK(query, 10));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Bm25TopK)->Arg(1000)->Arg(10000);
+
+void BM_FuzzyEvaluate(benchmark::State& state) {
+  const auto variant = static_cast<fuzzy::Variant>(state.range(0));
+  // (p0 AND (p1 OR p2) AND NOT p3)
+  auto expr = fuzzy::Expr::MakeAnd(
+      {fuzzy::Expr::Leaf(0),
+       fuzzy::Expr::MakeOr({fuzzy::Expr::Leaf(1), fuzzy::Expr::Leaf(2)}),
+       fuzzy::Expr::MakeNot(fuzzy::Expr::Leaf(3))});
+  Rng rng(2);
+  std::vector<double> truths = {rng.Uniform(), rng.Uniform(), rng.Uniform(),
+                                rng.Uniform()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expr->Evaluate(
+        variant, [&](size_t i) { return truths[i]; }));
+  }
+}
+BENCHMARK(BM_FuzzyEvaluate)
+    ->Arg(static_cast<int>(fuzzy::Variant::kGodel))
+    ->Arg(static_cast<int>(fuzzy::Variant::kProduct));
+
+std::vector<std::vector<double>> RandomLists(size_t lists, size_t entities) {
+  Rng rng(3);
+  std::vector<std::vector<double>> out(lists,
+                                       std::vector<double>(entities));
+  for (auto& list : out) {
+    for (auto& v : list) v = rng.Uniform();
+  }
+  return out;
+}
+
+void BM_ThresholdAlgorithm(benchmark::State& state) {
+  auto lists = RandomLists(3, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fuzzy::ThresholdAlgorithmTopK(
+        lists, 10, fuzzy::Variant::kProduct));
+  }
+}
+BENCHMARK(BM_ThresholdAlgorithm)->Arg(1000)->Arg(10000);
+
+void BM_FullScanTopK(benchmark::State& state) {
+  auto lists = RandomLists(3, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fuzzy::FullScanTopK(lists, 10, fuzzy::Variant::kProduct));
+  }
+}
+BENCHMARK(BM_FullScanTopK)->Arg(1000)->Arg(10000);
+
+void BM_KdTreeNearest(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<embedding::Vec> points;
+  for (int i = 0; i < state.range(0); ++i) {
+    embedding::Vec p(16);
+    for (auto& x : p) x = static_cast<float>(rng.Uniform());
+    points.push_back(std::move(p));
+  }
+  auto tree = embedding::KdTree::Build(std::move(points));
+  embedding::Vec query(16, 0.5f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Nearest(query));
+  }
+}
+BENCHMARK(BM_KdTreeNearest)->Arg(1000)->Arg(10000);
+
+void BM_LogisticPredict(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<ml::Example> train;
+  for (int i = 0; i < 200; ++i) {
+    ml::Example ex;
+    for (int j = 0; j < 10; ++j) ex.features.push_back(rng.Uniform());
+    ex.label = ex.features[0] > 0.5 ? 1 : 0;
+    train.push_back(std::move(ex));
+  }
+  auto model = ml::LogisticRegression::Train(train, ml::LogRegOptions());
+  std::vector<double> features(10, 0.4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Predict(features));
+  }
+}
+BENCHMARK(BM_LogisticPredict);
+
+void BM_Tokenize(benchmark::State& state) {
+  text::Tokenizer tokenizer;
+  const std::string body =
+      "The room was very clean, well-decorated and the staff was "
+      "incredibly friendly. Breakfast could've been fresher though!";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tokenizer.Tokenize(body));
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_MarkerSummaryAddPhrase(benchmark::State& state) {
+  core::MarkerSummaryType type;
+  type.name = "cleanliness";
+  type.markers = {"very clean", "average", "dirty", "filthy"};
+  core::MarkerSummary summary(&type, 48);
+  embedding::Vec vec(48, 0.1f);
+  std::vector<double> weights = {1.0, 0.0, 0.0, 0.0};
+  for (auto _ : state) {
+    summary.AddPhrase(weights, 0.5, vec, 7);
+  }
+}
+BENCHMARK(BM_MarkerSummaryAddPhrase);
+
+}  // namespace
+}  // namespace opinedb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,224 @@
+// Reproduces Table 5: top-10 result quality (sat / sat-max, the paper's
+// NDCG@10-style metric) of the IR baseline (GZ12), the attribute-based
+// baselines (ByPrice, ByRating, best 1-/2-attribute) and OpineDB on
+// easy/medium/hard conjunctive workloads under each objective condition,
+// for both domains. Ground truth comes from the generator's latent
+// per-attribute qualities.
+#include <cstdio>
+#include <functional>
+
+#include "bench_common.h"
+#include "datagen/domain_spec.h"
+#include "eval/metrics.h"
+
+namespace opinedb {
+namespace {
+
+constexpr size_t kTopK = 10;
+
+struct Condition {
+  const char* name;
+  std::function<bool(const datagen::SyntheticEntity&)> filter;
+  /// SQL prefix for OpineDB's objective predicates.
+  std::string sql_prefix;
+};
+
+struct CellScores {
+  std::vector<double> gz12, by_price, by_rating, one_attr, two_attr, opine;
+};
+
+/// Runs one workload (a set of conjunctive queries) for one condition and
+/// accumulates normalized sat scores per method.
+void RunWorkload(const eval::DomainArtifacts& artifacts,
+                 const Condition& condition,
+                 const std::vector<datagen::WorkloadQuery>& workload,
+                 CellScores* scores) {
+  const auto& domain = artifacts.domain;
+  const auto eligible = eval::EligibleEntities(domain, condition.filter);
+  if (eligible.empty()) return;
+
+  for (const auto& query : workload) {
+    std::vector<datagen::QueryPredicate> predicates;
+    std::vector<std::string> texts;
+    for (size_t idx : query.predicate_indices) {
+      predicates.push_back(artifacts.pool[idx]);
+      texts.push_back(artifacts.pool[idx].text);
+    }
+    // Ground truth restricted to eligible entities: build a filtered view
+    // by evaluating rankings that already respect the condition.
+    auto quality = [&](const std::vector<int32_t>& ranking) {
+      // Quality is computed against the whole domain's sat-max restricted
+      // to eligible entities.
+      std::vector<std::vector<bool>> satisfied;
+      for (size_t j = 0; j < ranking.size() && j < kTopK; ++j) {
+        std::vector<bool> row;
+        for (const auto& p : predicates) {
+          row.push_back(datagen::SatisfiesGroundTruth(
+              domain.entities[ranking[j]], p));
+        }
+        satisfied.push_back(std::move(row));
+      }
+      std::vector<int> counts;
+      for (int32_t e : eligible) {
+        int count = 0;
+        for (const auto& p : predicates) {
+          if (datagen::SatisfiesGroundTruth(domain.entities[e], p)) ++count;
+        }
+        counts.push_back(count);
+      }
+      const double best = eval::SatMax(counts, kTopK, predicates.size());
+      if (best <= 0.0) return 1.0;
+      return eval::SatScore(satisfied) / best;
+    };
+
+    // --- GZ12 (IR-based): rank eligible entities by combined BM25.
+    {
+      auto ranked_all = artifacts.gz12->Rank(
+          texts, artifacts.domain.entities.size());
+      std::vector<int32_t> ranking;
+      for (const auto& scored : ranked_all) {
+        if (condition.filter(domain.entities[scored.doc])) {
+          ranking.push_back(scored.doc);
+          if (ranking.size() == kTopK) break;
+        }
+      }
+      scores->gz12.push_back(quality(ranking));
+    }
+    // --- Attribute-based baselines.
+    scores->by_price.push_back(
+        quality(artifacts.attribute_baseline->ByPrice(eligible, kTopK)));
+    scores->by_rating.push_back(
+        quality(artifacts.attribute_baseline->ByRating(eligible, kTopK)));
+    scores->one_attr.push_back(quality(
+        artifacts.attribute_baseline->BestOneAttribute(eligible, kTopK,
+                                                       quality)));
+    scores->two_attr.push_back(quality(
+        artifacts.attribute_baseline->BestTwoAttributes(eligible, kTopK,
+                                                        quality)));
+    // --- OpineDB.
+    {
+      std::string sql = "select * from " +
+                        artifacts.domain.schema.objective_table + " where " +
+                        condition.sql_prefix;
+      for (const auto& text : texts) {
+        sql += " and \"" + text + "\"";
+      }
+      sql += " limit " + std::to_string(kTopK);
+      auto result = artifacts.db->Execute(sql);
+      std::vector<int32_t> ranking;
+      if (result.ok()) {
+        for (const auto& r : result->results) {
+          ranking.push_back(r.entity);
+        }
+      }
+      scores->opine.push_back(quality(ranking));
+    }
+  }
+}
+
+void RunDomain(const char* title, const datagen::DomainSpec& spec,
+               const eval::BuildOptions& base_options,
+               const std::vector<Condition>& conditions) {
+  const int repeats = bench::Repeats(3);
+  const int queries = bench::QueriesPerCell(60);
+  const size_t hardness[] = {2, 4, 7};
+  const char* hardness_names[] = {"easy", "medium", "hard"};
+
+  printf("\n=== %s ===\n", title);
+  printf("%-12s", "Method");
+  for (const auto& condition : conditions) {
+    for (const char* h : hardness_names) {
+      printf(" %s/%-6s", condition.name, h);
+    }
+  }
+  printf("\n");
+
+  // scores[condition][hardness]
+  std::vector<std::vector<CellScores>> cells(
+      conditions.size(), std::vector<CellScores>(3));
+  for (int r = 0; r < repeats; ++r) {
+    auto options = base_options;
+    options.generator.seed += static_cast<uint64_t>(r) * 977;
+    options.seed += static_cast<uint64_t>(r) * 977;
+    auto artifacts = eval::BuildArtifacts(spec, options);
+    for (size_t c = 0; c < conditions.size(); ++c) {
+      for (size_t h = 0; h < 3; ++h) {
+        auto workload = datagen::SampleWorkload(
+            artifacts.pool.size(), hardness[h],
+            static_cast<size_t>(queries),
+            base_options.seed + 31 * r + 7 * h + c);
+        RunWorkload(artifacts, conditions[c], workload, &cells[c][h]);
+      }
+    }
+  }
+
+  auto print_row = [&](const char* name,
+                       const std::function<const std::vector<double>&(
+                           const CellScores&)>& pick) {
+    printf("%-12s", name);
+    double max_ci = 0.0;
+    for (size_t c = 0; c < conditions.size(); ++c) {
+      for (size_t h = 0; h < 3; ++h) {
+        const auto& values = pick(cells[c][h]);
+        printf(" %7.2f  ", eval::Mean(values));
+        max_ci = std::max(max_ci, eval::ConfidenceInterval95(values));
+      }
+    }
+    printf("  (max CI +/-%.3f)\n", max_ci);
+  };
+  print_row("GZ12 (IR)", [](const CellScores& s) -> const std::vector<
+                              double>& { return s.gz12; });
+  print_row("ByPrice", [](const CellScores& s) -> const std::vector<
+                            double>& { return s.by_price; });
+  print_row("ByRating", [](const CellScores& s) -> const std::vector<
+                             double>& { return s.by_rating; });
+  print_row("1-Attribute", [](const CellScores& s) -> const std::vector<
+                                double>& { return s.one_attr; });
+  print_row("2-Attribute", [](const CellScores& s) -> const std::vector<
+                                double>& { return s.two_attr; });
+  print_row("OpineDB", [](const CellScores& s) -> const std::vector<
+                            double>& { return s.opine; });
+}
+
+}  // namespace
+}  // namespace opinedb
+
+int main() {
+  using namespace opinedb;
+  printf("Table 5: top-10 result quality (sat / sat-max).\n");
+
+  std::vector<Condition> hotel_conditions = {
+      {"Lon<300",
+       [](const datagen::SyntheticEntity& e) {
+         return e.city == "london" && e.price < 300;
+       },
+       "city = 'london' and price_pn < 300"},
+      {"Amst",
+       [](const datagen::SyntheticEntity& e) {
+         return e.city == "amsterdam";
+       },
+       "city = 'amsterdam'"},
+  };
+  RunDomain("Hotels (booking.com stand-in)", datagen::HotelDomain(),
+            bench::HotelBuildOptions(), hotel_conditions);
+
+  std::vector<Condition> restaurant_conditions = {
+      {"LowPr",
+       [](const datagen::SyntheticEntity& e) { return e.price_range == 1; },
+       "price_range = 1"},
+      {"JPCui",
+       [](const datagen::SyntheticEntity& e) {
+         return e.cuisine == "japanese";
+       },
+       "cuisine = 'japanese'"},
+  };
+  RunDomain("Restaurants (yelp stand-in)", datagen::RestaurantDomain(),
+            bench::RestaurantBuildOptions(), restaurant_conditions);
+
+  printf("\nPaper reference (hotels, London/easy..hard): GZ12 0.75-0.76, "
+         "ByPrice 0.65-0.68,\n  ByRating 0.62-0.65, 1-Attr 0.71-0.72, "
+         "2-Attr 0.76-0.78, OpineDB 0.80-0.84.\n"
+         "Expected shape: OpineDB >= all baselines; AB improves with more "
+         "attributes;\n  OpineDB's margin grows with query hardness.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Reproduces Table 6: extractor quality (exact-span F1) of our model
+// (averaged perceptron + Viterbi — the BERT+BiLSTM+CRF stand-in) versus
+// the prior-art baseline (lexicon/rule tagger — the CMLA/RNCRF stand-in)
+// on four datasets sized like the paper's: SemEval-14 Restaurant (3841),
+// SemEval-14 Laptop (3845), SemEval-15 Restaurant (2000) and the
+// Booking.com Hotel set (912). Scores are averaged over repeated training
+// runs with a 95% confidence interval, as in the paper.
+#include <cstdio>
+#include <unordered_set>
+
+#include "bench_common.h"
+#include "datagen/domain_spec.h"
+#include "datagen/generator.h"
+#include "eval/metrics.h"
+#include "extract/opinion_tagger.h"
+
+namespace opinedb {
+namespace {
+
+struct Dataset {
+  const char* name;
+  datagen::DomainSpec spec;
+  size_t train;
+  size_t test;
+};
+
+double EvaluateTagger(
+    const std::function<std::vector<int>(
+        const std::vector<std::string>&)>& tag,
+    const std::vector<extract::LabeledSentence>& test) {
+  std::vector<std::vector<extract::Span>> gold;
+  std::vector<std::vector<extract::Span>> predicted;
+  for (const auto& sentence : test) {
+    gold.push_back(extract::SpansFromTags(sentence.tags));
+    predicted.push_back(extract::SpansFromTags(tag(sentence.tokens)));
+  }
+  // Combined F1: average of the aspect-term and opinion-term F1 scores,
+  // as in the paper's Table 6.
+  const auto aspect = eval::SpanF1ForTag(gold, predicted, extract::kAS);
+  const auto opinion = eval::SpanF1ForTag(gold, predicted, extract::kOP);
+  return 100.0 * (aspect.f1 + opinion.f1) / 2.0;
+}
+
+std::unordered_set<std::string> AspectGazetteer(
+    const datagen::DomainSpec& spec) {
+  // The baseline gets a partial gazetteer (half of the aspect nouns):
+  // prior-art systems knew common aspects but generalized poorly.
+  std::unordered_set<std::string> nouns;
+  for (const auto& attribute : spec.attributes) {
+    for (size_t i = 0; i < attribute.aspect_nouns.size(); i += 2) {
+      nouns.insert(attribute.aspect_nouns[i]);
+    }
+  }
+  return nouns;
+}
+
+}  // namespace
+}  // namespace opinedb
+
+int main() {
+  using namespace opinedb;
+  const int repeats = bench::Repeats(5);
+  std::vector<Dataset> datasets = {
+      {"SemEval-14 Restaurant", datagen::RestaurantDomain(), 3041, 800},
+      {"SemEval-14 Laptop", datagen::LaptopDomain(), 3045, 800},
+      {"SemEval-15 Restaurant", datagen::RestaurantDomain(), 1315, 685},
+      {"Booking.com Hotel", datagen::HotelDomain(), 800, 112},
+  };
+
+  printf("Table 6: extractor combined F1 (aspect/opinion average).\n");
+  printf("%-22s %6s %6s %10s %16s\n", "Dataset", "Train", "Test",
+         "Baseline", "Our Model (CI)");
+  printf("----------------------------------------------------------------"
+         "\n");
+  for (auto& dataset : datasets) {
+    // Distinct seeds per dataset keep SemEval-14R and SemEval-15R from
+    // being identical samples.
+    const uint64_t base_seed =
+        1000 + static_cast<uint64_t>(&dataset - datasets.data());
+    datagen::LabeledSentenceOptions test_options;
+    // Gold-label noise models inter-annotator disagreement (exact-span
+    // agreement on SemEval-style data is far from perfect); without it
+    // the synthetic grammar is fully learnable and every model saturates.
+    test_options.label_noise = 0.05;
+    auto test = datagen::GenerateLabeledSentences(dataset.spec, dataset.test,
+                                                  base_seed + 500,
+                                                  test_options);
+    extract::RuleBasedTagger baseline(AspectGazetteer(dataset.spec));
+    const double baseline_f1 = EvaluateTagger(
+        [&](const std::vector<std::string>& tokens) {
+          return baseline.Tag(tokens);
+        },
+        test);
+
+    std::vector<double> model_scores;
+    for (int run = 0; run < repeats; ++run) {
+      datagen::LabeledSentenceOptions train_options;
+      train_options.label_noise = 0.08;  // Annotation noise.
+      train_options.exclude_holdout_vocabulary = true;
+      auto train = datagen::GenerateLabeledSentences(
+          dataset.spec, dataset.train, base_seed + run, train_options);
+      auto tagger =
+          extract::OpinionTagger::Train(train, /*epochs=*/8,
+                                        /*seed=*/base_seed + 100 + run);
+      model_scores.push_back(EvaluateTagger(
+          [&](const std::vector<std::string>& tokens) {
+            return tagger.Tag(tokens);
+          },
+          test));
+    }
+    printf("%-22s %6zu %6zu %10.2f %10.2f +/- %.2f\n", dataset.name,
+           dataset.train, dataset.test, baseline_f1,
+           eval::Mean(model_scores),
+           eval::ConfidenceInterval95(model_scores));
+  }
+  printf("\nPaper reference (SOTA -> BERT model): 85.52->85.53, "
+         "78.99->79.82, 72.21->75.40, 68.04->74.71\n"
+         "Expected shape: our model beats the baseline on every dataset.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "baselines/attribute_baseline.h"
+
+#include <algorithm>
+
+namespace opinedb::baselines {
+
+AttributeBaseline::AttributeBaseline(
+    std::vector<std::vector<double>> site_scores, std::vector<double> price,
+    std::vector<double> rating)
+    : site_scores_(std::move(site_scores)),
+      price_(std::move(price)),
+      rating_(std::move(rating)) {}
+
+Ranking AttributeBaseline::RankByKey(
+    const std::vector<int32_t>& eligible, size_t k,
+    const std::function<double(int32_t)>& key, bool descending) const {
+  Ranking ranked = eligible;
+  std::sort(ranked.begin(), ranked.end(), [&](int32_t a, int32_t b) {
+    const double ka = key(a);
+    const double kb = key(b);
+    if (ka != kb) return descending ? ka > kb : ka < kb;
+    return a < b;
+  });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+Ranking AttributeBaseline::ByPrice(const std::vector<int32_t>& eligible,
+                                   size_t k) const {
+  return RankByKey(eligible, k,
+                   [this](int32_t e) { return price_[e]; }, false);
+}
+
+Ranking AttributeBaseline::ByRating(const std::vector<int32_t>& eligible,
+                                    size_t k) const {
+  return RankByKey(eligible, k,
+                   [this](int32_t e) { return rating_[e]; }, true);
+}
+
+Ranking AttributeBaseline::BestOneAttribute(
+    const std::vector<int32_t>& eligible, size_t k,
+    const std::function<double(const Ranking&)>& evaluate) const {
+  Ranking best;
+  double best_score = -1.0;
+  for (size_t a = 0; a < num_attributes(); ++a) {
+    Ranking candidate = RankByKey(
+        eligible, k, [this, a](int32_t e) { return site_scores_[e][a]; },
+        true);
+    const double score = evaluate(candidate);
+    if (score > best_score) {
+      best_score = score;
+      best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+Ranking AttributeBaseline::BestTwoAttributes(
+    const std::vector<int32_t>& eligible, size_t k,
+    const std::function<double(const Ranking&)>& evaluate) const {
+  Ranking best;
+  double best_score = -1.0;
+  for (size_t a = 0; a < num_attributes(); ++a) {
+    for (size_t b = a + 1; b < num_attributes(); ++b) {
+      Ranking candidate = RankByKey(
+          eligible, k,
+          [this, a, b](int32_t e) {
+            return site_scores_[e][a] + site_scores_[e][b];
+          },
+          true);
+      const double score = evaluate(candidate);
+      if (score > best_score) {
+        best_score = score;
+        best = std::move(candidate);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace opinedb::baselines

@@ -1,0 +1,59 @@
+#ifndef OPINEDB_BASELINES_ATTRIBUTE_BASELINE_H_
+#define OPINEDB_BASELINES_ATTRIBUTE_BASELINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace opinedb::baselines {
+
+/// A ranking of entity ids, best first.
+using Ranking = std::vector<int32_t>;
+
+/// The attribute-based (AB) baselines of Section 5.3: what a user gets
+/// from a booking/review site by ranking on the queryable fields.
+///
+/// `site_scores[e][a]` are the site's per-category scores (e.g. the 8
+/// booking.com category ratings); `price[e]` and `rating[e]` are the
+/// sort keys of the simplest variants. Candidate filtering (e.g. "in
+/// London") is applied by passing the eligible entity ids.
+class AttributeBaseline {
+ public:
+  AttributeBaseline(std::vector<std::vector<double>> site_scores,
+                    std::vector<double> price, std::vector<double> rating);
+
+  /// Rank eligible entities by ascending price.
+  Ranking ByPrice(const std::vector<int32_t>& eligible, size_t k) const;
+
+  /// Rank eligible entities by descending aggregate rating.
+  Ranking ByRating(const std::vector<int32_t>& eligible, size_t k) const;
+
+  /// Best single site attribute: tries each attribute as the sort key and
+  /// returns the ranking maximizing `evaluate` — the paper's oracle user
+  /// who "freely tries combinations ... and picks the best".
+  Ranking BestOneAttribute(
+      const std::vector<int32_t>& eligible, size_t k,
+      const std::function<double(const Ranking&)>& evaluate) const;
+
+  /// Best pair of site attributes ranked by their sum.
+  Ranking BestTwoAttributes(
+      const std::vector<int32_t>& eligible, size_t k,
+      const std::function<double(const Ranking&)>& evaluate) const;
+
+  size_t num_attributes() const {
+    return site_scores_.empty() ? 0 : site_scores_[0].size();
+  }
+
+ private:
+  Ranking RankByKey(const std::vector<int32_t>& eligible, size_t k,
+                    const std::function<double(int32_t)>& key,
+                    bool descending) const;
+
+  std::vector<std::vector<double>> site_scores_;
+  std::vector<double> price_;
+  std::vector<double> rating_;
+};
+
+}  // namespace opinedb::baselines
+
+#endif  // OPINEDB_BASELINES_ATTRIBUTE_BASELINE_H_

@@ -1,0 +1,68 @@
+#include "baselines/gz12.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace opinedb::baselines {
+
+Gz12Ranker::Gz12Ranker(const index::InvertedIndex* entity_index,
+                       const embedding::WordEmbeddings* embeddings,
+                       Gz12Options options)
+    : entity_index_(entity_index),
+      embeddings_(embeddings),
+      options_(options) {}
+
+std::vector<std::pair<std::string, double>> Gz12Ranker::ExpandQuery(
+    const std::string& predicate) const {
+  std::vector<std::pair<std::string, double>> terms;
+  for (const auto& token : tokenizer_.Tokenize(predicate)) {
+    if (text::IsStopword(token)) continue;
+    terms.emplace_back(token, 1.0);
+    if (embeddings_ != nullptr && options_.expansion_terms > 0) {
+      for (const auto& [neighbour, similarity] :
+           embeddings_->MostSimilar(token, options_.expansion_terms)) {
+        if (similarity > 0.5) {
+          terms.emplace_back(neighbour, options_.expansion_weight);
+        }
+      }
+    }
+  }
+  return terms;
+}
+
+std::vector<index::ScoredDoc> Gz12Ranker::Rank(
+    const std::vector<std::string>& predicates, size_t k) const {
+  const size_t n = entity_index_->num_documents();
+  std::vector<double> combined(
+      n, options_.combine == Gz12Options::Combine::kSum ? 0.0 : 0.0);
+  for (const auto& predicate : predicates) {
+    const auto terms = ExpandQuery(predicate);
+    // Score every entity for this predicate.
+    for (size_t e = 0; e < n; ++e) {
+      double score = 0.0;
+      for (const auto& [term, weight] : terms) {
+        score += weight * entity_index_->Score(static_cast<int32_t>(e),
+                                               {term});
+      }
+      if (options_.combine == Gz12Options::Combine::kSum) {
+        combined[e] += score;
+      } else {
+        combined[e] = std::max(combined[e], score);
+      }
+    }
+  }
+  std::vector<index::ScoredDoc> ranked;
+  ranked.reserve(n);
+  for (size_t e = 0; e < n; ++e) {
+    ranked.push_back({static_cast<int32_t>(e), combined[e]});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const index::ScoredDoc& a, const index::ScoredDoc& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc < b.doc;
+            });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+}  // namespace opinedb::baselines

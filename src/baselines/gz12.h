@@ -1,0 +1,54 @@
+#ifndef OPINEDB_BASELINES_GZ12_H_
+#define OPINEDB_BASELINES_GZ12_H_
+
+#include <string>
+#include <vector>
+
+#include "embedding/word2vec.h"
+#include "index/inverted_index.h"
+#include "text/corpus.h"
+#include "text/tokenizer.h"
+
+namespace opinedb::baselines {
+
+/// Options for the IR baseline.
+struct Gz12Options {
+  /// Expansion terms added per query token (word2vec neighbours), as in
+  /// the strengthened baseline of Section 5.3.
+  size_t expansion_terms = 2;
+  double expansion_weight = 0.5;
+  /// How per-predicate scores combine: sum or max.
+  enum class Combine { kSum, kMax } combine = Combine::kSum;
+};
+
+/// The opinion-based entity ranking baseline (Ganesan & Zhai 2012): each
+/// entity is one document (all its reviews concatenated); entities are
+/// ranked by combined BM25 of the query predicates over that document,
+/// with word2vec query expansion.
+class Gz12Ranker {
+ public:
+  /// `entity_index` must contain one document per entity (DocId ==
+  /// EntityId). `embeddings` may be null to disable expansion.
+  Gz12Ranker(const index::InvertedIndex* entity_index,
+             const embedding::WordEmbeddings* embeddings,
+             Gz12Options options = Gz12Options());
+
+  /// Ranks all entities for a conjunction of NL predicates; returns the
+  /// top-k (score-descending).
+  std::vector<index::ScoredDoc> Rank(
+      const std::vector<std::string>& predicates, size_t k) const;
+
+ private:
+  /// Expands one predicate into weighted query terms.
+  std::vector<std::pair<std::string, double>> ExpandQuery(
+      const std::string& predicate) const;
+
+  const index::InvertedIndex* entity_index_;
+  const embedding::WordEmbeddings* embeddings_;
+  Gz12Options options_;
+  text::Tokenizer tokenizer_;
+};
+
+}  // namespace opinedb::baselines
+
+#endif  // OPINEDB_BASELINES_GZ12_H_

@@ -1,0 +1,37 @@
+#ifndef OPINEDB_COMMON_STRING_UTIL_H_
+#define OPINEDB_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace opinedb {
+
+/// Lower-cases ASCII characters; leaves other bytes untouched.
+std::string ToLower(std::string_view s);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Splits on a single character; empty pieces are kept.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on runs of ASCII whitespace; empty pieces are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins pieces with a separator.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// True if `needle` occurs in `haystack` (case-sensitive).
+bool Contains(std::string_view haystack, std::string_view needle);
+
+}  // namespace opinedb
+
+#endif  // OPINEDB_COMMON_STRING_UTIL_H_

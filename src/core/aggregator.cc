@@ -1,0 +1,188 @@
+#include "core/aggregator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace opinedb::core {
+
+Aggregator::Aggregator(const SubjectiveSchema* schema,
+                       const AttributeClassifier* classifier,
+                       const embedding::PhraseEmbedder* embedder,
+                       const sentiment::Analyzer* analyzer)
+    : schema_(schema),
+      classifier_(classifier),
+      embedder_(embedder),
+      analyzer_(analyzer) {
+  marker_vecs_.resize(schema_->num_attributes());
+  marker_senti_.resize(schema_->num_attributes());
+  for (size_t a = 0; a < schema_->num_attributes(); ++a) {
+    const auto& markers = schema_->attributes[a].summary_type.markers;
+    for (const auto& marker : markers) {
+      marker_vecs_[a].push_back(embedder_->Represent(marker));
+      marker_senti_[a].push_back(analyzer_->ScorePhrase(marker));
+    }
+  }
+}
+
+std::vector<double> Aggregator::MarkerWeights(
+    size_t attribute, const std::string& phrase,
+    const AggregationOptions& options) const {
+  const auto& vecs = marker_vecs_[attribute];
+  std::vector<double> weights(vecs.size(), 0.0);
+  if (vecs.empty()) return weights;
+  const embedding::Vec rep = embedder_->Represent(phrase);
+  const double phrase_senti = analyzer_->ScorePhrase(phrase);
+  const bool linear = schema_->attributes[attribute].summary_type.kind ==
+                      SummaryKind::kLinearlyOrdered;
+
+  std::vector<double> sims(vecs.size(), 0.0);
+  for (size_t m = 0; m < vecs.size(); ++m) {
+    double s = embedding::Cosine(rep, vecs[m]);
+    if (linear) {
+      // On a linear scale, sentiment agreement disambiguates markers that
+      // are lexically close ("clean" vs "very clean" vs "dirty").
+      const double senti_gap =
+          std::abs(phrase_senti - marker_senti_[attribute][m]);
+      s = 0.5 * s + 0.5 * (1.0 - senti_gap / 2.0);
+    }
+    sims[m] = s;
+  }
+  size_t best = 0;
+  for (size_t m = 1; m < sims.size(); ++m) {
+    if (sims[m] > sims[best]) best = m;
+  }
+  if (sims[best] < options.match_threshold) return weights;  // Unmatched.
+
+  if (options.fractional && linear && sims.size() >= 2) {
+    // Split mass between the best and runner-up markers proportionally.
+    size_t second = best == 0 ? 1 : 0;
+    for (size_t m = 0; m < sims.size(); ++m) {
+      if (m != best && sims[m] > sims[second]) second = m;
+    }
+    const double s1 = std::max(0.0, sims[best]);
+    const double s2 = std::max(0.0, sims[second]);
+    const double total = s1 + s2;
+    if (total > 0.0) {
+      weights[best] = s1 / total;
+      weights[second] = s2 / total;
+      return weights;
+    }
+  }
+  weights[best] = 1.0;
+  return weights;
+}
+
+namespace {
+
+bool PassesFilter(const text::Review& review,
+                  const text::ReviewCorpus& corpus,
+                  const AggregationOptions& options) {
+  if (options.min_date.has_value() && review.date < *options.min_date) {
+    return false;
+  }
+  if (options.min_reviewer_reviews.has_value() &&
+      corpus.reviewer_review_count(review.reviewer) <
+          *options.min_reviewer_reviews) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SubjectiveTables Aggregator::Build(
+    const text::ReviewCorpus& corpus,
+    std::vector<extract::ExtractedOpinion> extractions,
+    const AggregationOptions& options) const {
+  SubjectiveTables tables;
+  const size_t num_attrs = schema_->num_attributes();
+  const size_t num_entities = corpus.num_entities();
+  tables.summaries.resize(num_attrs);
+  for (size_t a = 0; a < num_attrs; ++a) {
+    tables.summaries[a].reserve(num_entities);
+    for (size_t e = 0; e < num_entities; ++e) {
+      tables.summaries[a].emplace_back(
+          &schema_->attributes[a].summary_type, embedder_->dim());
+    }
+  }
+  tables.extractions = std::move(extractions);
+  tables.extraction_attribute.assign(tables.extractions.size(), -1);
+  tables.extraction_marker.assign(tables.extractions.size(), -1);
+  tables.extraction_margin.assign(tables.extractions.size(), 0.0);
+  for (size_t i = 0; i < tables.extractions.size(); ++i) {
+    const auto& opinion = tables.extractions[i];
+    const auto& review = corpus.review(opinion.review);
+    if (!PassesFilter(review, corpus, options)) continue;
+    const auto [a, margin] =
+        classifier_->ClassifyWithMargin(opinion.aspect, opinion.opinion);
+    tables.extraction_attribute[i] = a;
+    tables.extraction_margin[i] = margin;
+    if (a < 0 || static_cast<size_t>(a) >= num_attrs) continue;
+    const auto weights = MarkerWeights(a, opinion.phrase, options);
+    MarkerSummary& summary = tables.summaries[a][opinion.entity];
+    int best_marker = -1;
+    double best_weight = 0.0;
+    for (size_t m = 0; m < weights.size(); ++m) {
+      if (weights[m] > best_weight) {
+        best_weight = weights[m];
+        best_marker = static_cast<int>(m);
+      }
+    }
+    if (best_marker < 0) {
+      summary.AddUnmatched();
+      continue;
+    }
+    tables.extraction_marker[i] = best_marker;
+    summary.AddPhrase(weights, opinion.sentiment,
+                      embedder_->Represent(opinion.phrase), opinion.review);
+  }
+  return tables;
+}
+
+void Aggregator::AddOpinion(const extract::ExtractedOpinion& opinion,
+                            const text::ReviewCorpus& corpus,
+                            const AggregationOptions& options,
+                            SubjectiveTables* tables) const {
+  const auto& review = corpus.review(opinion.review);
+  tables->extractions.push_back(opinion);
+  if (!PassesFilter(review, corpus, options)) {
+    tables->extraction_attribute.push_back(-1);
+    tables->extraction_marker.push_back(-1);
+    tables->extraction_margin.push_back(0.0);
+    return;
+  }
+  const auto [a, margin] =
+      classifier_->ClassifyWithMargin(opinion.aspect, opinion.opinion);
+  tables->extraction_attribute.push_back(a);
+  tables->extraction_margin.push_back(margin);
+  if (a < 0 || static_cast<size_t>(a) >= schema_->num_attributes()) {
+    tables->extraction_marker.push_back(-1);
+    return;
+  }
+  // Entities appended to the corpus after Build() get summaries lazily.
+  auto& per_entity = tables->summaries[a];
+  while (per_entity.size() < corpus.num_entities()) {
+    per_entity.emplace_back(&schema_->attributes[a].summary_type,
+                            embedder_->dim());
+  }
+  const auto weights = MarkerWeights(a, opinion.phrase, options);
+  MarkerSummary& summary = per_entity[opinion.entity];
+  int best_marker = -1;
+  double best_weight = 0.0;
+  for (size_t m = 0; m < weights.size(); ++m) {
+    if (weights[m] > best_weight) {
+      best_weight = weights[m];
+      best_marker = static_cast<int>(m);
+    }
+  }
+  if (best_marker < 0) {
+    summary.AddUnmatched();
+    tables->extraction_marker.push_back(-1);
+    return;
+  }
+  tables->extraction_marker.push_back(best_marker);
+  summary.AddPhrase(weights, opinion.sentiment,
+                    embedder_->Represent(opinion.phrase), opinion.review);
+}
+
+}  // namespace opinedb::core

@@ -1,0 +1,117 @@
+#include "core/attribute_classifier.h"
+
+#include <set>
+#include <tuple>
+
+#include "text/tokenizer.h"
+
+namespace opinedb::core {
+
+std::vector<std::string> ExpandSeeds(
+    const std::vector<std::string>& seeds,
+    const embedding::WordEmbeddings& embeddings, size_t expansions_per_seed,
+    double min_similarity) {
+  std::set<std::string> expanded(seeds.begin(), seeds.end());
+  if (expansions_per_seed > 0) {
+    text::Tokenizer tokenizer;
+    for (const auto& seed : seeds) {
+      // Multi-word seeds are expanded word-by-word on their head word
+      // (the last token, e.g. "stained carpet" -> "carpet").
+      auto tokens = tokenizer.Tokenize(seed);
+      if (tokens.empty()) continue;
+      for (const auto& [neighbour, similarity] :
+           embeddings.MostSimilar(tokens.back(), expansions_per_seed)) {
+        if (similarity >= min_similarity) expanded.insert(neighbour);
+      }
+    }
+  }
+  return std::vector<std::string>(expanded.begin(), expanded.end());
+}
+
+std::vector<std::string> AttributeClassifier::PairTokens(
+    const std::string& aspect, const std::string& opinion) {
+  text::Tokenizer tokenizer;
+  std::vector<std::string> tokens = tokenizer.Tokenize(aspect);
+  // Aspect tokens are marked so "room" as aspect and "room" inside an
+  // opinion phrase are distinct evidence.
+  for (auto& token : tokens) token = "a:" + token;
+  for (auto& token : tokenizer.Tokenize(opinion)) {
+    tokens.push_back("o:" + token);
+  }
+  return tokens;
+}
+
+AttributeClassifier AttributeClassifier::Train(
+    const SubjectiveSchema& schema,
+    const embedding::WordEmbeddings& embeddings,
+    size_t expansions_per_seed) {
+  AttributeClassifier classifier;
+  std::vector<ml::TextExample> training;
+  for (size_t a = 0; a < schema.attributes.size(); ++a) {
+    const auto& seeds = schema.attributes[a].seeds;
+    const auto aspects =
+        ExpandSeeds(seeds.aspect_terms, embeddings, expansions_per_seed);
+    const auto opinions =
+        ExpandSeeds(seeds.opinion_terms, embeddings, expansions_per_seed);
+    // Cross product (E x P) -> labeled tuples, as in Section 4.2. The
+    // designer's original seeds are repeated so that noisy expansions
+    // cannot outvote them.
+    auto is_original = [](const std::vector<std::string>& originals,
+                          const std::string& term) {
+      for (const auto& o : originals) {
+        if (o == term) return true;
+      }
+      return false;
+    };
+    for (const auto& aspect : aspects) {
+      const int aspect_weight =
+          is_original(seeds.aspect_terms, aspect) ? 2 : 1;
+      for (const auto& opinion : opinions) {
+        const int weight =
+            aspect_weight +
+            (is_original(seeds.opinion_terms, opinion) ? 1 : 0);
+        for (int w = 0; w < weight; ++w) {
+          ml::TextExample ex;
+          ex.tokens = PairTokens(aspect, opinion);
+          ex.label = static_cast<int>(a);
+          training.push_back(std::move(ex));
+        }
+      }
+      // Aspect-only examples keep classification working for stand-alone
+      // aspect mentions.
+      for (int w = 0; w < aspect_weight; ++w) {
+        ml::TextExample aspect_only;
+        aspect_only.tokens = PairTokens(aspect, "");
+        aspect_only.label = static_cast<int>(a);
+        training.push_back(std::move(aspect_only));
+      }
+    }
+  }
+  classifier.training_set_size_ = training.size();
+  classifier.model_ = ml::NaiveBayesClassifier::Train(
+      training, static_cast<int>(schema.attributes.size()));
+  return classifier;
+}
+
+int AttributeClassifier::Classify(const std::string& aspect,
+                                  const std::string& opinion) const {
+  return model_.Classify(PairTokens(aspect, opinion));
+}
+
+std::pair<int, double> AttributeClassifier::ClassifyWithMargin(
+    const std::string& aspect, const std::string& opinion) const {
+  return model_.ClassifyWithMargin(PairTokens(aspect, opinion));
+}
+
+double AttributeClassifier::Accuracy(
+    const std::vector<std::tuple<std::string, std::string, int>>& labeled)
+    const {
+  if (labeled.empty()) return 0.0;
+  int correct = 0;
+  for (const auto& [aspect, opinion, label] : labeled) {
+    if (Classify(aspect, opinion) == label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labeled.size());
+}
+
+}  // namespace opinedb::core

@@ -1,0 +1,76 @@
+#include "core/degree_cache.h"
+
+namespace opinedb::core {
+
+const std::vector<double>& DegreeCache::Degrees(
+    const std::string& predicate) {
+  auto it = cache_.find(predicate);
+  if (it != cache_.end()) return it->second;
+  const size_t n = db_->corpus().num_entities();
+  std::vector<double> degrees(n);
+  // One interpretation for the predicate, shared across entities (the
+  // same work ExecuteQuery does per query, amortized here forever).
+  const auto interpretation = db_->interpreter().Interpret(predicate);
+  const embedding::Vec rep = db_->phrase_embedder().Represent(predicate);
+  const double senti = db_->analyzer().ScorePhrase(predicate);
+  for (size_t e = 0; e < n; ++e) {
+    const auto entity = static_cast<text::EntityId>(e);
+    if (interpretation.method == InterpretMethod::kTextFallback ||
+        interpretation.atoms.empty()) {
+      degrees[e] = db_->TextFallbackDegree(predicate, entity);
+      continue;
+    }
+    double acc = 0.0;
+    bool first = true;
+    for (const auto& atom : interpretation.atoms) {
+      const double d = db_->AtomDegreeOfTruth(atom, entity, rep, senti);
+      if (first) {
+        acc = d;
+        first = false;
+      } else if (interpretation.conjunctive) {
+        acc = fuzzy::And(db_->options().variant, acc, d);
+      } else {
+        acc = fuzzy::Or(db_->options().variant, acc, d);
+      }
+    }
+    degrees[e] = acc;
+  }
+  return cache_.emplace(predicate, std::move(degrees)).first->second;
+}
+
+size_t DegreeCache::PrecomputeMarkers() {
+  size_t materialized = 0;
+  for (const auto& attribute : db_->schema().attributes) {
+    for (const auto& marker : attribute.summary_type.markers) {
+      if (!Contains(marker)) {
+        Degrees(marker);
+        ++materialized;
+      }
+    }
+  }
+  return materialized;
+}
+
+std::vector<fuzzy::RankedEntity> DegreeCache::TopKConjunction(
+    const std::vector<std::string>& predicates, size_t k,
+    fuzzy::TaStats* stats) {
+  std::vector<std::vector<double>> lists;
+  lists.reserve(predicates.size());
+  for (const auto& predicate : predicates) {
+    lists.push_back(Degrees(predicate));
+  }
+  return fuzzy::ThresholdAlgorithmTopK(lists, k, db_->options().variant,
+                                       stats);
+}
+
+std::vector<fuzzy::RankedEntity> DegreeCache::TopKConjunctionFullScan(
+    const std::vector<std::string>& predicates, size_t k) {
+  std::vector<std::vector<double>> lists;
+  lists.reserve(predicates.size());
+  for (const auto& predicate : predicates) {
+    lists.push_back(Degrees(predicate));
+  }
+  return fuzzy::FullScanTopK(lists, k, db_->options().variant);
+}
+
+}  // namespace opinedb::core

@@ -1,0 +1,58 @@
+#ifndef OPINEDB_CORE_DEGREE_CACHE_H_
+#define OPINEDB_CORE_DEGREE_CACHE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine.h"
+#include "fuzzy/threshold_algorithm.h"
+
+namespace opinedb::core {
+
+/// Degree-of-truth cache (Section 3.3): "the degrees of truth for
+/// variations in the linguistic domain of each subjective attribute can
+/// be pre-computed so that they can simply be looked up at query time.
+/// [Degrees for other phrases], once computed, can also be indexed."
+///
+/// A DegreeCache materializes, per predicate, the dense list of degrees
+/// of truth over all entities. Cached lists also unlock Fagin's
+/// Threshold Algorithm for conjunctive top-k without scoring every
+/// entity.
+class DegreeCache {
+ public:
+  explicit DegreeCache(const OpineDb* db) : db_(db) {}
+
+  /// Per-entity degrees for `predicate`; computed once, then served from
+  /// the cache.
+  const std::vector<double>& Degrees(const std::string& predicate);
+
+  /// Pre-computes the degrees for every marker phrase of every
+  /// subjective attribute (the "variations in the linguistic domain"
+  /// precomputation); returns the number of lists materialized.
+  size_t PrecomputeMarkers();
+
+  /// Conjunctive fuzzy top-k over cached degree lists using the
+  /// Threshold Algorithm. `stats` (optional) receives access counts.
+  std::vector<fuzzy::RankedEntity> TopKConjunction(
+      const std::vector<std::string>& predicates, size_t k,
+      fuzzy::TaStats* stats = nullptr);
+
+  /// Same query answered by a full scan, for verification/ablation.
+  std::vector<fuzzy::RankedEntity> TopKConjunctionFullScan(
+      const std::vector<std::string>& predicates, size_t k);
+
+  bool Contains(const std::string& predicate) const {
+    return cache_.count(predicate) > 0;
+  }
+  size_t size() const { return cache_.size(); }
+  void Clear() { cache_.clear(); }
+
+ private:
+  const OpineDb* db_;
+  std::unordered_map<std::string, std::vector<double>> cache_;
+};
+
+}  // namespace opinedb::core
+
+#endif  // OPINEDB_CORE_DEGREE_CACHE_H_

@@ -1,0 +1,303 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/marker_induction.h"
+#include "text/tokenizer.h"
+
+namespace opinedb::core {
+
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+std::unique_ptr<OpineDb> OpineDb::Build(
+    text::ReviewCorpus corpus, SubjectiveSchema schema,
+    const extract::ExtractionPipeline& pipeline, EngineOptions options) {
+  std::unique_ptr<OpineDb> owned(new OpineDb());
+  OpineDb& db = *owned;
+  db.corpus_ = std::move(corpus);
+  db.schema_ = std::move(schema);
+  db.options_ = options;
+
+  // 1. Tokenize reviews; build the review index (one document per
+  //    review), the entity index (all reviews of an entity concatenated,
+  //    as in the GZ12 text-retrieval method) and the sentiment scores.
+  text::Tokenizer tokenizer;
+  std::vector<std::vector<std::string>> sentences;
+  std::vector<std::vector<std::string>> entity_docs(
+      db.corpus_.num_entities());
+  db.review_sentiment_.reserve(db.corpus_.num_reviews());
+  for (const auto& review : db.corpus_.reviews()) {
+    for (const auto& sentence :
+         text::Tokenizer::SplitSentences(review.body)) {
+      sentences.push_back(tokenizer.Tokenize(sentence));
+    }
+    auto tokens = tokenizer.Tokenize(review.body);
+    auto& doc = entity_docs[review.entity];
+    doc.insert(doc.end(), tokens.begin(), tokens.end());
+    db.review_index_.AddDocument(tokens);
+    // Shift sentiment into (0, 1]-ish so BM25*senti keeps mild negatives
+    // ranked below mild positives without zeroing everything.
+    db.review_sentiment_.push_back(
+        std::max(0.0, db.analyzer_.ScoreDocument(review.body)) + 0.05);
+  }
+  for (auto& doc : entity_docs) {
+    db.entity_index_.AddDocument(doc);
+  }
+
+  // 2. Train corpus embeddings and the phrase embedder.
+  db.embeddings_ = embedding::WordEmbeddings::TrainSgns(sentences,
+                                                        options.w2v);
+  const index::InvertedIndex* review_index = &db.review_index_;
+  db.embedder_ = std::make_unique<embedding::PhraseEmbedder>(
+      &db.embeddings_,
+      [review_index](std::string_view token) {
+        return review_index->Idf(token) + 0.1;
+      });
+
+  // 3. Attribute classifier from schema seeds (with w2v expansion).
+  db.classifier_ = AttributeClassifier::Train(db.schema_, db.embeddings_,
+                                              options.seed_expansions);
+
+  // 4. Extraction.
+  auto extractions = pipeline.ExtractFromCorpus(db.corpus_);
+
+  // 5. Populate linguistic domains and induce markers where the designer
+  //    left them unspecified.
+  {
+    std::vector<std::vector<std::string>> domains(
+        db.schema_.num_attributes());
+    for (const auto& opinion : extractions) {
+      const int a = db.classifier_.Classify(opinion.aspect, opinion.opinion);
+      if (a >= 0 && static_cast<size_t>(a) < domains.size()) {
+        domains[a].push_back(opinion.phrase);
+      }
+    }
+    for (size_t a = 0; a < db.schema_.num_attributes(); ++a) {
+      auto& attribute = db.schema_.attributes[a];
+      // Deduplicate the linguistic domain.
+      std::sort(domains[a].begin(), domains[a].end());
+      domains[a].erase(std::unique(domains[a].begin(), domains[a].end()),
+                       domains[a].end());
+      attribute.linguistic_domain = domains[a];
+      if (attribute.summary_type.markers.empty()) {
+        if (attribute.summary_type.kind == SummaryKind::kLinearlyOrdered) {
+          attribute.summary_type = InduceLinearMarkers(
+              attribute.name, attribute.linguistic_domain,
+              options.induced_markers, db.analyzer_);
+        } else {
+          attribute.summary_type = InduceCategoricalMarkers(
+              attribute.name, attribute.linguistic_domain,
+              options.induced_markers, *db.embedder_);
+        }
+      }
+    }
+  }
+
+  // 6. Aggregate extractions onto marker summaries.
+  db.aggregator_ = std::make_unique<Aggregator>(
+      &db.schema_, &db.classifier_, db.embedder_.get(), &db.analyzer_);
+  db.tables_ = db.aggregator_->Build(db.corpus_, std::move(extractions),
+                                     options.aggregation);
+
+  db.RebuildDerivedState();
+  return owned;
+}
+
+void OpineDb::RebuildDerivedState() {
+  // Per-(attribute, entity) extraction lists (the no-marker scan path).
+  extraction_lists_.assign(
+      schema_.num_attributes(),
+      std::vector<std::vector<const extract::ExtractedOpinion*>>(
+          corpus_.num_entities()));
+  for (size_t i = 0; i < tables_.extractions.size(); ++i) {
+    const int a = tables_.extraction_attribute[i];
+    if (a < 0) continue;
+    const auto& opinion = tables_.extractions[i];
+    extraction_lists_[a][opinion.entity].push_back(&opinion);
+  }
+  interpreter_ = std::make_unique<Interpreter>(
+      &schema_, &tables_, embedder_.get(), &review_index_,
+      &review_sentiment_, options_.interpreter);
+}
+
+Status OpineDb::SetObjectiveTable(storage::Table table) {
+  if (table.num_rows() != corpus_.num_entities()) {
+    return Status::InvalidArgument(
+        "objective table must have one row per entity (" +
+        std::to_string(corpus_.num_entities()) + " expected, got " +
+        std::to_string(table.num_rows()) + ")");
+  }
+  objective_table_ = table.name();
+  return catalog_.AddTable(std::move(table));
+}
+
+void OpineDb::TrainMembership(
+    const std::vector<MembershipModel::LabeledTuple>& tuples,
+    uint64_t seed) {
+  membership_ = MembershipModel::Train(tuples, seed);
+}
+
+void OpineDb::Reaggregate(const AggregationOptions& aggregation) {
+  options_.aggregation = aggregation;
+  auto extractions = std::move(tables_.extractions);
+  tables_ = aggregator_->Build(corpus_, std::move(extractions), aggregation);
+  RebuildDerivedState();
+}
+
+double OpineDb::HeuristicDegree(const std::vector<double>& features) const {
+  // Closed-form fallback when no membership model has been trained:
+  // similarity-weighted mass plus sentiment agreement, squashed, and
+  // discounted by the amount of supporting evidence (one phrase on the
+  // right marker is weaker evidence than ten).
+  const double total = std::expm1(features[0]);
+  // Mass at or above the interpreted marker: on a linear scale, rooms
+  // "better than asked" satisfy the predicate too.
+  const double mass = std::max(features[1], features[2]);
+  const double similarity = features[6];
+  const double agreement = features[8];
+  const double base =
+      Sigmoid(4.0 * (0.6 * mass + 0.3 * similarity + 0.5 * agreement -
+                     0.45));
+  const double support = -std::expm1(-0.7 * total * mass);
+  return base * support;
+}
+
+double OpineDb::AtomDegreeOfTruth(const AtomInterpretation& atom,
+                                  text::EntityId entity,
+                                  const embedding::Vec& query_rep,
+                                  double query_sentiment) const {
+  std::vector<double> features;
+  if (options_.use_markers) {
+    features = MembershipFeatures(
+        tables_.summaries[atom.attribute][entity], atom.marker, query_rep,
+        query_sentiment);
+  } else {
+    features = MembershipFeaturesNoMarkers(
+        extraction_lists_[atom.attribute][entity], *embedder_, query_rep,
+        query_sentiment);
+  }
+  if (membership_.has_value()) return membership_->DegreeOfTruth(features);
+  return HeuristicDegree(features);
+}
+
+double OpineDb::TextFallbackDegree(const std::string& predicate,
+                                   text::EntityId entity) const {
+  text::Tokenizer tokenizer;
+  const double bm25 =
+      entity_index_.Score(entity, tokenizer.Tokenize(predicate));
+  return Sigmoid(bm25 - options_.text_fallback_c);
+}
+
+double OpineDb::PredicateDegreeOfTruth(const std::string& predicate,
+                                       text::EntityId entity) const {
+  const auto interpretation = interpreter_->Interpret(predicate);
+  if (interpretation.method == InterpretMethod::kTextFallback ||
+      interpretation.atoms.empty()) {
+    return TextFallbackDegree(predicate, entity);
+  }
+  const embedding::Vec rep = embedder_->Represent(predicate);
+  const double senti = analyzer_.ScorePhrase(predicate);
+  double acc = 0.0;
+  bool first = true;
+  for (const auto& atom : interpretation.atoms) {
+    const double d = AtomDegreeOfTruth(atom, entity, rep, senti);
+    if (first) {
+      acc = d;
+      first = false;
+    } else if (interpretation.conjunctive) {
+      acc = fuzzy::And(options_.variant, acc, d);
+    } else {
+      acc = fuzzy::Or(options_.variant, acc, d);
+    }
+  }
+  return acc;
+}
+
+Result<QueryResult> OpineDb::Execute(const std::string& sql) const {
+  auto query = ParseSubjectiveSql(sql);
+  if (!query.ok()) return query.status();
+  return ExecuteQuery(*query);
+}
+
+Result<QueryResult> OpineDb::ExecuteQuery(const SubjectiveQuery& query) const {
+  QueryResult output;
+  auto table_result = catalog_.GetTable(query.table);
+  if (!table_result.ok()) return table_result.status();
+  const storage::Table* table = *table_result;
+
+  // Interpret every subjective condition once, up front.
+  output.interpretations.resize(query.conditions.size());
+  std::vector<embedding::Vec> reps(query.conditions.size());
+  std::vector<double> sentis(query.conditions.size(), 0.0);
+  for (size_t c = 0; c < query.conditions.size(); ++c) {
+    const Condition& condition = query.conditions[c];
+    if (condition.kind != Condition::Kind::kSubjective) continue;
+    output.interpretations[c] = interpreter_->Interpret(condition.subjective);
+    reps[c] = embedder_->Represent(condition.subjective);
+    sentis[c] = analyzer_.ScorePhrase(condition.subjective);
+  }
+
+  const size_t num_entities = corpus_.num_entities();
+  std::vector<RankedResult> ranked;
+  ranked.reserve(num_entities);
+  Status eval_error;
+  for (size_t e = 0; e < num_entities; ++e) {
+    const auto entity = static_cast<text::EntityId>(e);
+    auto leaf = [&](size_t c) -> double {
+      const Condition& condition = query.conditions[c];
+      if (condition.kind == Condition::Kind::kObjective) {
+        auto pass = condition.objective.Evaluate(*table, e);
+        if (!pass.ok()) {
+          eval_error = pass.status();
+          return 0.0;
+        }
+        return *pass ? 1.0 : 0.0;
+      }
+      const auto& interpretation = output.interpretations[c];
+      if (interpretation.method == InterpretMethod::kTextFallback ||
+          interpretation.atoms.empty()) {
+        return TextFallbackDegree(condition.subjective, entity);
+      }
+      double acc = 0.0;
+      bool first = true;
+      for (const auto& atom : interpretation.atoms) {
+        const double d = AtomDegreeOfTruth(atom, entity, reps[c], sentis[c]);
+        if (first) {
+          acc = d;
+          first = false;
+        } else if (interpretation.conjunctive) {
+          acc = fuzzy::And(options_.variant, acc, d);
+        } else {
+          acc = fuzzy::Or(options_.variant, acc, d);
+        }
+      }
+      return acc;
+    };
+    double score = 1.0;
+    if (query.where != nullptr) {
+      score = query.where->Evaluate(options_.variant, leaf);
+      if (!eval_error.ok()) return eval_error;
+    }
+    if (score <= 0.0) continue;  // Failed hard objective predicates.
+    RankedResult result;
+    result.entity = entity;
+    result.entity_name = corpus_.entity_name(entity);
+    result.score = score;
+    ranked.push_back(std::move(result));
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedResult& a, const RankedResult& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.entity < b.entity;
+            });
+  if (ranked.size() > query.limit) ranked.resize(query.limit);
+  output.results = std::move(ranked);
+  return output;
+}
+
+}  // namespace opinedb::core

@@ -1,0 +1,189 @@
+#ifndef OPINEDB_CORE_ENGINE_H_
+#define OPINEDB_CORE_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/aggregator.h"
+#include "core/attribute_classifier.h"
+#include "core/interpreter.h"
+#include "core/membership.h"
+#include "core/query.h"
+#include "core/schema.h"
+#include "embedding/phrase_rep.h"
+#include "embedding/word2vec.h"
+#include "extract/pipeline.h"
+#include "fuzzy/logic.h"
+#include "index/inverted_index.h"
+#include "sentiment/analyzer.h"
+#include "storage/table.h"
+#include "text/corpus.h"
+
+namespace opinedb::core {
+
+/// Engine-wide options.
+struct EngineOptions {
+  /// Fuzzy-logic variant for combining degrees of truth.
+  fuzzy::Variant variant = fuzzy::Variant::kProduct;
+  /// When false, membership functions use the no-marker feature path
+  /// (scanning the extraction table) — the Table 7 ablation.
+  bool use_markers = true;
+  /// Constant c of the text-retrieval fallback: degree of truth =
+  /// sigmoid(BM25(D, q) - c).
+  double text_fallback_c = 4.0;
+  /// word2vec training options for the corpus embeddings.
+  embedding::Word2VecOptions w2v;
+  /// Interpreter thresholds.
+  InterpreterOptions interpreter;
+  /// Aggregation behaviour.
+  AggregationOptions aggregation;
+  /// Markers per attribute when markers must be induced automatically.
+  size_t induced_markers = 4;
+  /// Seed-expansion width for the attribute classifier.
+  size_t seed_expansions = 3;
+};
+
+/// One ranked answer.
+struct RankedResult {
+  text::EntityId entity = 0;
+  std::string entity_name;
+  /// Final degree of truth of the whole WHERE clause.
+  double score = 0.0;
+};
+
+/// Execution output: the ranking plus per-predicate interpretations (for
+/// explanation / provenance).
+struct QueryResult {
+  std::vector<RankedResult> results;
+  /// For each condition index, the interpretation used (objective
+  /// conditions get a default-constructed entry).
+  std::vector<PredicateInterpretation> interpretations;
+};
+
+/// OpineDB: the subjective database engine (Fig. 4).
+///
+/// Owns the corpus, the extraction results, the derived marker summaries
+/// and all models; executes subjective SQL end to end:
+///
+///   OpineDb db = OpineDb::Build(corpus, schema, pipeline, options);
+///   db.SetObjectiveTable(hotels);   // rows in entity-id order
+///   auto result = db.Execute("select * from Hotels where ...");
+class OpineDb {
+ public:
+  /// Builds the full subjective database: trains embeddings on the
+  /// corpus, trains the attribute classifier from the schema seeds, runs
+  /// the extraction pipeline, induces markers where the schema leaves
+  /// them empty, and aggregates marker summaries.
+  static std::unique_ptr<OpineDb> Build(
+      text::ReviewCorpus corpus, SubjectiveSchema schema,
+      const extract::ExtractionPipeline& pipeline,
+      EngineOptions options = EngineOptions());
+
+  /// Registers the objective table. Row i must describe entity i.
+  Status SetObjectiveTable(storage::Table table);
+
+  /// Trains the membership model from labeled (features, y) tuples.
+  void TrainMembership(
+      const std::vector<MembershipModel::LabeledTuple>& tuples,
+      uint64_t seed = 42);
+
+  /// Parses and executes a subjective SQL string.
+  Result<QueryResult> Execute(const std::string& sql) const;
+
+  /// Executes a parsed query.
+  Result<QueryResult> ExecuteQuery(const SubjectiveQuery& query) const;
+
+  /// Degree of truth of one interpreted atom for one entity.
+  double AtomDegreeOfTruth(const AtomInterpretation& atom,
+                           text::EntityId entity,
+                           const embedding::Vec& query_rep,
+                           double query_sentiment) const;
+
+  /// Degree of truth of a subjective predicate for one entity (runs the
+  /// interpreter; used by experiments that bypass SQL).
+  double PredicateDegreeOfTruth(const std::string& predicate,
+                                text::EntityId entity) const;
+
+  /// Text-retrieval degree of truth: sigmoid(BM25(D_entity, q) - c).
+  double TextFallbackDegree(const std::string& predicate,
+                            text::EntityId entity) const;
+
+  /// Re-aggregates marker summaries under different review filters (e.g.
+  /// "only reviewers with >= 10 reviews"); replaces the current tables.
+  void Reaggregate(const AggregationOptions& aggregation);
+
+  // ----------------------------------------------------------- access.
+  const text::ReviewCorpus& corpus() const { return corpus_; }
+  const SubjectiveSchema& schema() const { return schema_; }
+  const SubjectiveTables& tables() const { return tables_; }
+  const embedding::WordEmbeddings& embeddings() const { return embeddings_; }
+  const embedding::PhraseEmbedder& phrase_embedder() const {
+    return *embedder_;
+  }
+  const index::InvertedIndex& review_index() const { return review_index_; }
+  const index::InvertedIndex& entity_index() const { return entity_index_; }
+  const std::vector<double>& review_sentiment() const {
+    return review_sentiment_;
+  }
+  const Interpreter& interpreter() const { return *interpreter_; }
+  const AttributeClassifier& attribute_classifier() const {
+    return classifier_;
+  }
+  const sentiment::Analyzer& analyzer() const { return analyzer_; }
+  const EngineOptions& options() const { return options_; }
+  const MarkerSummary& summary(size_t attribute,
+                               text::EntityId entity) const {
+    return tables_.summaries[attribute][entity];
+  }
+  bool has_membership_model() const { return membership_.has_value(); }
+  /// The trained membership model (requires has_membership_model()).
+  const MembershipModel& membership_model() const { return *membership_; }
+
+  /// Extracted phrases of (attribute, entity) — the no-marker scan path.
+  const std::vector<const extract::ExtractedOpinion*>& PhrasesOf(
+      size_t attribute, text::EntityId entity) const {
+    return extraction_lists_[attribute][entity];
+  }
+
+  /// Mutable options (for ablations like toggling use_markers).
+  EngineOptions* mutable_options() { return &options_; }
+
+  // OpineDb holds internal cross-references (the aggregator, interpreter
+  // and phrase embedder point at sibling members), so it is pinned in
+  // memory: neither copyable nor movable. Build() returns a unique_ptr.
+  OpineDb(const OpineDb&) = delete;
+  OpineDb& operator=(const OpineDb&) = delete;
+
+ private:
+  OpineDb() = default;
+
+  void RebuildDerivedState();
+  double HeuristicDegree(const std::vector<double>& features) const;
+
+  text::ReviewCorpus corpus_;
+  SubjectiveSchema schema_;
+  EngineOptions options_;
+  sentiment::Analyzer analyzer_;
+  embedding::WordEmbeddings embeddings_;
+  std::unique_ptr<embedding::PhraseEmbedder> embedder_;
+  index::InvertedIndex review_index_;
+  index::InvertedIndex entity_index_;
+  std::vector<double> review_sentiment_;
+  AttributeClassifier classifier_;
+  std::unique_ptr<Aggregator> aggregator_;
+  SubjectiveTables tables_;
+  std::unique_ptr<Interpreter> interpreter_;
+  std::optional<MembershipModel> membership_;
+  storage::Catalog catalog_;
+  std::string objective_table_;
+  /// extraction_lists_[a][e]: pointers into tables_.extractions.
+  std::vector<std::vector<std::vector<const extract::ExtractedOpinion*>>>
+      extraction_lists_;
+};
+
+}  // namespace opinedb::core
+
+#endif  // OPINEDB_CORE_ENGINE_H_

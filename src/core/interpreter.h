@@ -1,0 +1,120 @@
+#ifndef OPINEDB_CORE_INTERPRETER_H_
+#define OPINEDB_CORE_INTERPRETER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/aggregator.h"
+#include "core/schema.h"
+#include "embedding/phrase_rep.h"
+#include "index/inverted_index.h"
+#include "text/corpus.h"
+#include "text/tokenizer.h"
+
+namespace opinedb::core {
+
+/// One A.m expression: an interpreted (attribute, marker) pair.
+struct AtomInterpretation {
+  int attribute = -1;
+  int marker = -1;
+  /// The interpreter's similarity/correlation score for this atom.
+  double score = 0.0;
+};
+
+/// Which stage of the Fig. 5 cascade produced the interpretation.
+enum class InterpretMethod {
+  kWord2Vec,
+  kCooccurrence,
+  kTextFallback,
+};
+
+/// The interpreter's output for one query predicate: either a (dis/con)-
+/// junction of A.m atoms, or a directive to fall back to text retrieval.
+struct PredicateInterpretation {
+  InterpretMethod method = InterpretMethod::kTextFallback;
+  std::vector<AtomInterpretation> atoms;
+  /// True when the atoms combine with AND instead of OR (the
+  /// co-occurrence method emits a conjunction when the correlated
+  /// attributes are typically mentioned together).
+  bool conjunctive = false;
+  double confidence = 0.0;
+};
+
+/// Thresholds of the three-stage cascade (Fig. 5).
+struct InterpreterOptions {
+  /// θ1: minimum w2v similarity for a direct interpretation.
+  double w2v_threshold = 0.5;
+  /// Above this w2v confidence the direct interpretation is trusted
+  /// outright; between w2v_threshold and this bound, a strongly-supported
+  /// co-occurrence interpretation may override it.
+  double w2v_high_confidence = 0.8;
+  /// θ2: minimum per-review support (matched extractions among the top-k
+  /// reviews) for a co-occurrence interpretation.
+  double cooccur_threshold = 3.0;
+  /// k: number of top reviews mined by the co-occurrence method.
+  size_t cooccur_top_k = 50;
+  /// n: maximum number of attributes in a co-occurrence interpretation.
+  size_t cooccur_top_n = 2;
+  /// Fraction of supporting reviews that must mention both top attributes
+  /// for the interpretation to become a conjunction.
+  double conjunction_fraction = 0.6;
+  /// Minimum attribute-classification margin for an extracted phrase to
+  /// join the linguistic-variation table; filters unclassifiable phrases
+  /// whose attribute assignment is essentially the prior.
+  double variation_margin = 1.0;
+};
+
+/// The subjective query interpreter (Section 3.2): word2vec matching
+/// against the linguistic domains, then co-occurrence mining over the
+/// review corpus, then text-retrieval fallback.
+class Interpreter {
+ public:
+  /// `review_index` indexes individual reviews (DocId == ReviewId) and
+  /// `review_sentiment` holds senti(d) per review. `tables` supplies the
+  /// linguistic variations and per-review extractions.
+  Interpreter(const SubjectiveSchema* schema, const SubjectiveTables* tables,
+              const embedding::PhraseEmbedder* embedder,
+              const index::InvertedIndex* review_index,
+              const std::vector<double>* review_sentiment,
+              InterpreterOptions options = InterpreterOptions());
+
+  /// Interprets one NL query predicate.
+  PredicateInterpretation Interpret(const std::string& predicate) const;
+
+  /// Stage 1 only (for the Table 8 ablation).
+  PredicateInterpretation InterpretWord2VecOnly(
+      const std::string& predicate) const;
+
+  /// Stage 2 only (for the Table 8 ablation).
+  PredicateInterpretation InterpretCooccurrenceOnly(
+      const std::string& predicate) const;
+
+  const InterpreterOptions& options() const { return options_; }
+
+ private:
+  struct Variation {
+    int attribute;
+    int marker;
+    embedding::Vec rep;
+  };
+
+  void BuildVariationTable();
+
+  const SubjectiveSchema* schema_;
+  const SubjectiveTables* tables_;
+  const embedding::PhraseEmbedder* embedder_;
+  const index::InvertedIndex* review_index_;
+  const std::vector<double>* review_sentiment_;
+  InterpreterOptions options_;
+  text::Tokenizer tokenizer_;
+
+  std::vector<Variation> variations_;
+  /// Per-review extraction indices (into tables_->extractions).
+  std::vector<std::vector<size_t>> review_extractions_;
+  /// idf(A): log(N / (1 + #reviews with an extraction of attribute A)).
+  std::vector<double> attribute_idf_;
+};
+
+}  // namespace opinedb::core
+
+#endif  // OPINEDB_CORE_INTERPRETER_H_

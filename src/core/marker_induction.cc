@@ -1,0 +1,76 @@
+#include "core/marker_induction.h"
+
+#include <algorithm>
+#include <set>
+
+#include "ml/kmeans.h"
+
+namespace opinedb::core {
+
+MarkerSummaryType InduceLinearMarkers(const std::string& attribute_name,
+                                      const std::vector<std::string>& domain,
+                                      size_t k,
+                                      const sentiment::Analyzer& analyzer) {
+  MarkerSummaryType type;
+  type.name = attribute_name;
+  type.kind = SummaryKind::kLinearlyOrdered;
+  if (domain.empty() || k == 0) return type;
+
+  std::vector<std::pair<double, std::string>> scored;
+  scored.reserve(domain.size());
+  for (const auto& phrase : domain) {
+    scored.emplace_back(analyzer.ScorePhrase(phrase), phrase);
+  }
+  // High sentiment first so the scale reads best -> worst, mirroring
+  // [very_clean, average, dirty, very_dirty].
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  k = std::min(k, scored.size());
+  std::set<std::string> used;
+  for (size_t b = 0; b < k; ++b) {
+    const size_t lo = b * scored.size() / k;
+    const size_t hi = (b + 1) * scored.size() / k;
+    size_t center = lo + (hi - lo) / 2;
+    // Avoid duplicate marker phrases by probing within the bucket.
+    size_t probe = center;
+    while (probe < hi && used.count(scored[probe].second) > 0) ++probe;
+    if (probe == hi) {
+      probe = lo;
+      while (probe < center && used.count(scored[probe].second) > 0) ++probe;
+    }
+    if (used.count(scored[probe].second) > 0) continue;
+    used.insert(scored[probe].second);
+    type.markers.push_back(scored[probe].second);
+  }
+  return type;
+}
+
+MarkerSummaryType InduceCategoricalMarkers(
+    const std::string& attribute_name, const std::vector<std::string>& domain,
+    size_t k, const embedding::PhraseEmbedder& embedder, uint64_t seed) {
+  MarkerSummaryType type;
+  type.name = attribute_name;
+  type.kind = SummaryKind::kCategorical;
+  if (domain.empty() || k == 0) return type;
+
+  std::vector<embedding::Vec> points;
+  points.reserve(domain.size());
+  for (const auto& phrase : domain) {
+    points.push_back(embedder.Represent(phrase));
+  }
+  ml::KMeansOptions options;
+  options.seed = seed;
+  const auto result = ml::KMeans(points, k, options);
+  std::set<std::string> used;
+  for (int32_t medoid : result.medoids) {
+    if (medoid < 0) continue;
+    const std::string& phrase = domain[medoid];
+    if (used.insert(phrase).second) type.markers.push_back(phrase);
+  }
+  return type;
+}
+
+}  // namespace opinedb::core

@@ -1,0 +1,77 @@
+#include "core/marker_summary.h"
+
+#include <cassert>
+
+namespace opinedb::core {
+
+int MarkerSummaryType::MarkerIndex(const std::string& marker) const {
+  for (size_t i = 0; i < markers.size(); ++i) {
+    if (markers[i] == marker) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+MarkerSummary::MarkerSummary(const MarkerSummaryType* type,
+                             size_t embedding_dim)
+    : type_(type), embedding_dim_(embedding_dim) {
+  cells_.resize(type->num_markers());
+  for (auto& cell : cells_) {
+    cell.centroid = embedding::Zeros(embedding_dim);
+  }
+}
+
+double MarkerSummary::total_count() const {
+  double total = 0.0;
+  for (const auto& cell : cells_) total += cell.count;
+  return total;
+}
+
+void MarkerSummary::AddPhrase(const std::vector<double>& weights,
+                              double sentiment, const embedding::Vec& vec,
+                              text::ReviewId review) {
+  assert(weights.size() == cells_.size());
+  for (size_t m = 0; m < cells_.size(); ++m) {
+    const double w = weights[m];
+    if (w <= 0.0) continue;
+    MarkerCell& cell = cells_[m];
+    const double new_count = cell.count + w;
+    // Running weighted means for sentiment and the centroid.
+    cell.mean_sentiment =
+        (cell.mean_sentiment * cell.count + sentiment * w) / new_count;
+    for (size_t d = 0; d < cell.centroid.size() && d < vec.size(); ++d) {
+      cell.centroid[d] = static_cast<float>(
+          (double(cell.centroid[d]) * cell.count + double(vec[d]) * w) /
+          new_count);
+    }
+    cell.count = new_count;
+    cell.provenance.push_back(review);
+  }
+}
+
+int MarkerSummary::DominantMarker() const {
+  int best = -1;
+  double best_count = 0.0;
+  for (size_t m = 0; m < cells_.size(); ++m) {
+    if (cells_[m].count > best_count) {
+      best_count = cells_[m].count;
+      best = static_cast<int>(m);
+    }
+  }
+  return best;
+}
+
+std::string MarkerSummary::ToString() const {
+  std::string out = "[";
+  for (size_t m = 0; m < cells_.size(); ++m) {
+    if (m > 0) out += ", ";
+    out += type_->markers[m];
+    out += ": ";
+    char buf[32];
+    snprintf(buf, sizeof(buf), "%.1f", cells_[m].count);
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace opinedb::core

@@ -1,0 +1,97 @@
+#ifndef OPINEDB_CORE_MARKER_SUMMARY_H_
+#define OPINEDB_CORE_MARKER_SUMMARY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "embedding/vector_ops.h"
+#include "text/corpus.h"
+
+namespace opinedb::core {
+
+/// Whether a marker summary's markers form a linear scale or a set of
+/// categories (Section 2).
+enum class SummaryKind {
+  kLinearlyOrdered,
+  kCategorical,
+};
+
+/// The record *type* of a marker summary: a name plus its ordered marker
+/// phrases, e.g. room_cleanliness : [very_clean, average, dirty,
+/// very_dirty].
+struct MarkerSummaryType {
+  std::string name;
+  std::vector<std::string> markers;
+  SummaryKind kind = SummaryKind::kLinearlyOrdered;
+
+  size_t num_markers() const { return markers.size(); }
+  int MarkerIndex(const std::string& marker) const;
+};
+
+/// One marker's aggregate within a summary instance.
+struct MarkerCell {
+  /// Total (possibly fractional) phrase mass assigned to this marker.
+  double count = 0.0;
+  /// Mean sentiment of contributing phrases.
+  double mean_sentiment = 0.0;
+  /// Centroid of contributing phrase embeddings.
+  embedding::Vec centroid;
+  /// Provenance: reviews that contributed phrases to this marker.
+  std::vector<text::ReviewId> provenance;
+};
+
+/// The record *instance* of a marker summary for one entity: a histogram
+/// over the markers plus the precomputed features (sentiment averages and
+/// phrase-embedding centroids) used by the membership functions.
+class MarkerSummary {
+ public:
+  MarkerSummary() = default;
+  MarkerSummary(const MarkerSummaryType* type, size_t embedding_dim);
+
+  const MarkerSummaryType& type() const { return *type_; }
+  size_t num_markers() const { return cells_.size(); }
+
+  const MarkerCell& cell(size_t marker) const { return cells_[marker]; }
+  double count(size_t marker) const { return cells_[marker].count; }
+
+  /// Total phrase mass across markers.
+  double total_count() const;
+
+  /// Count of extracted phrases that matched no marker confidently.
+  double unmatched_count() const { return unmatched_; }
+
+  /// Adds a phrase contribution: `weights[m]` is the phrase's mass on
+  /// marker m (one-hot in the default configuration, fractional when
+  /// enabled). `sentiment` and `vec` describe the phrase; `review` is the
+  /// provenance.
+  void AddPhrase(const std::vector<double>& weights, double sentiment,
+                 const embedding::Vec& vec, text::ReviewId review);
+
+  /// Records a phrase that matched no marker.
+  void AddUnmatched() { unmatched_ += 1.0; }
+
+  /// Replaces one marker's aggregate wholesale (deserialization path).
+  void RestoreCell(size_t marker, MarkerCell cell) {
+    cells_[marker] = std::move(cell);
+  }
+
+  /// Restores the unmatched counter (deserialization path).
+  void SetUnmatchedCount(double count) { unmatched_ = count; }
+
+  /// Index of the marker with the largest mass (-1 if empty).
+  int DominantMarker() const;
+
+  /// Renders e.g. "[very_clean: 20, average: 70, ...]".
+  std::string ToString() const;
+
+ private:
+  const MarkerSummaryType* type_ = nullptr;
+  std::vector<MarkerCell> cells_;
+  double unmatched_ = 0.0;
+  size_t embedding_dim_ = 0;
+};
+
+}  // namespace opinedb::core
+
+#endif  // OPINEDB_CORE_MARKER_SUMMARY_H_

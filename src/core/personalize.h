@@ -1,0 +1,65 @@
+#ifndef OPINEDB_CORE_PERSONALIZE_H_
+#define OPINEDB_CORE_PERSONALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace opinedb::core {
+
+/// A user profile (Section 7 future work: "a subjective database system
+/// should be able to take into consideration a user profile"): how much
+/// the user cares about each subjective attribute, in [0, 1].
+struct UserProfile {
+  /// One weight per schema attribute (missing entries default to 0).
+  std::vector<double> attribute_weights;
+
+  /// Builds a profile over `db`'s schema from (attribute name, weight)
+  /// pairs; unknown names are ignored.
+  static UserProfile FromWeights(
+      const OpineDb& db,
+      const std::vector<std::pair<std::string, double>>& weights);
+};
+
+/// The profile-weighted subjective affinity of one entity: the mean of
+/// the positive-sentiment mass fractions of the attributes the user
+/// cares about, weighted by the profile and discounted by evidence
+/// volume.
+double ProfileAffinity(const OpineDb& db, const UserProfile& profile,
+                       text::EntityId entity);
+
+/// Re-ranks a query result by blending each entity's query score with
+/// its profile affinity: score' = (1 - blend) * score + blend * affinity.
+std::vector<RankedResult> PersonalizeResults(
+    const OpineDb& db, const UserProfile& profile,
+    const std::vector<RankedResult>& results, double blend = 0.3);
+
+/// An unexpected experiential aspect of an entity (Section 7: "if there
+/// are reviews claiming that an expensive hotel has dirty rooms, that
+/// would be important to point out").
+struct UnexpectedFinding {
+  text::EntityId entity = 0;
+  int attribute = -1;
+  /// Percentile of the entity's objective key (e.g. price) among all
+  /// entities: high percentile = expensive.
+  double objective_percentile = 0.0;
+  /// The entity's positive-mass score for the attribute in [0, 1].
+  double subjective_score = 0.0;
+  /// Signed surprise: objective percentile minus subjective score; large
+  /// positive = expensive-but-bad, large negative = cheap-but-great.
+  double surprise = 0.0;
+  std::string description;
+};
+
+/// Mines the subjective database for expectation violations: entities
+/// whose percentile on the numeric objective column `column` disagrees
+/// most with their subjective quality per attribute. Returns the top-k
+/// findings by |surprise| (requires the objective table to be set).
+Result<std::vector<UnexpectedFinding>> FindUnexpected(
+    const OpineDb& db, const storage::Table& objective,
+    const std::string& column, size_t k);
+
+}  // namespace opinedb::core
+
+#endif  // OPINEDB_CORE_PERSONALIZE_H_

@@ -1,0 +1,275 @@
+#include "core/query.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace opinedb::core {
+
+namespace {
+
+/// Token kinds for the SQL lexer.
+enum class TokKind {
+  kWord,     // Identifier or keyword.
+  kNumber,   // Numeric literal.
+  kString,   // Single-quoted string literal.
+  kPhrase,   // Double-quoted subjective predicate.
+  kOp,       // Comparison operator.
+  kLParen,
+  kRParen,
+  kStar,
+  kComma,
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  Result<std::vector<Token>> Lex() {
+    std::vector<Token> tokens;
+    size_t i = 0;
+    const std::string& s = input_;
+    while (i < s.size()) {
+      const char c = s[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '(') {
+        tokens.push_back({TokKind::kLParen, "("});
+        ++i;
+      } else if (c == ')') {
+        tokens.push_back({TokKind::kRParen, ")"});
+        ++i;
+      } else if (c == '*') {
+        tokens.push_back({TokKind::kStar, "*"});
+        ++i;
+      } else if (c == ',') {
+        tokens.push_back({TokKind::kComma, ","});
+        ++i;
+      } else if (c == ';') {
+        ++i;  // Trailing semicolons are ignored.
+      } else if (c == '"') {
+        size_t end = s.find('"', i + 1);
+        if (end == std::string::npos) {
+          return Status::ParseError("unterminated double quote");
+        }
+        tokens.push_back({TokKind::kPhrase, s.substr(i + 1, end - i - 1)});
+        i = end + 1;
+      } else if (c == '\'') {
+        size_t end = s.find('\'', i + 1);
+        if (end == std::string::npos) {
+          return Status::ParseError("unterminated single quote");
+        }
+        tokens.push_back({TokKind::kString, s.substr(i + 1, end - i - 1)});
+        i = end + 1;
+      } else if (c == '<' || c == '>' || c == '=' || c == '!') {
+        std::string op(1, c);
+        if (i + 1 < s.size() && (s[i + 1] == '=' || s[i + 1] == '>')) {
+          op += s[i + 1];
+          i += 2;
+        } else {
+          ++i;
+        }
+        tokens.push_back({TokKind::kOp, op});
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '-' && i + 1 < s.size() &&
+                  std::isdigit(static_cast<unsigned char>(s[i + 1])))) {
+        size_t j = i + 1;
+        while (j < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[j])) ||
+                s[j] == '.')) {
+          ++j;
+        }
+        tokens.push_back({TokKind::kNumber, s.substr(i, j - i)});
+        i = j;
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t j = i + 1;
+        while (j < s.size() &&
+               (std::isalnum(static_cast<unsigned char>(s[j])) ||
+                s[j] == '_' || s[j] == '.')) {
+          ++j;
+        }
+        tokens.push_back({TokKind::kWord, s.substr(i, j - i)});
+        i = j;
+      } else {
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "'");
+      }
+    }
+    tokens.push_back({TokKind::kEnd, ""});
+    return tokens;
+  }
+
+ private:
+  const std::string& input_;
+};
+
+/// Recursive-descent parser over the token stream. Grammar:
+///   query  := SELECT '*' FROM word (WHERE orExpr)? (LIMIT number)?
+///   orExpr := andExpr (OR andExpr)*
+///   andExpr:= unary (AND unary)*
+///   unary  := NOT unary | '(' orExpr ')' | atom
+///   atom   := phrase | word op literal
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, SubjectiveQuery* query)
+      : tokens_(std::move(tokens)), query_(query) {}
+
+  Status Parse() {
+    if (!ConsumeKeyword("select")) {
+      return Status::ParseError("expected SELECT");
+    }
+    if (!Consume(TokKind::kStar)) {
+      return Status::ParseError("only SELECT * is supported");
+    }
+    if (!ConsumeKeyword("from")) {
+      return Status::ParseError("expected FROM");
+    }
+    if (Peek().kind != TokKind::kWord) {
+      return Status::ParseError("expected table name");
+    }
+    query_->table = Next().text;
+    if (ConsumeKeyword("where")) {
+      auto expr = ParseOr();
+      if (!expr.ok()) return expr.status();
+      query_->where = *expr;
+    }
+    if (ConsumeKeyword("limit")) {
+      if (Peek().kind != TokKind::kNumber) {
+        return Status::ParseError("expected number after LIMIT");
+      }
+      query_->limit = static_cast<size_t>(std::stod(Next().text));
+    }
+    if (Peek().kind != TokKind::kEnd) {
+      return Status::ParseError("unexpected trailing token: " + Peek().text);
+    }
+    return Status::OK();
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  bool Consume(TokKind kind) {
+    if (Peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeKeyword(const std::string& keyword) {
+    if (Peek().kind == TokKind::kWord && ToLower(Peek().text) == keyword) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<fuzzy::Expr::Ptr> ParseOr() {
+    auto left = ParseAnd();
+    if (!left.ok()) return left.status();
+    std::vector<fuzzy::Expr::Ptr> terms = {*left};
+    while (ConsumeKeyword("or")) {
+      auto right = ParseAnd();
+      if (!right.ok()) return right.status();
+      terms.push_back(*right);
+    }
+    return fuzzy::Expr::MakeOr(std::move(terms));
+  }
+
+  Result<fuzzy::Expr::Ptr> ParseAnd() {
+    auto left = ParseUnary();
+    if (!left.ok()) return left.status();
+    std::vector<fuzzy::Expr::Ptr> terms = {*left};
+    while (ConsumeKeyword("and")) {
+      auto right = ParseUnary();
+      if (!right.ok()) return right.status();
+      terms.push_back(*right);
+    }
+    return fuzzy::Expr::MakeAnd(std::move(terms));
+  }
+
+  Result<fuzzy::Expr::Ptr> ParseUnary() {
+    if (ConsumeKeyword("not")) {
+      auto child = ParseUnary();
+      if (!child.ok()) return child.status();
+      return fuzzy::Expr::MakeNot(*child);
+    }
+    if (Consume(TokKind::kLParen)) {
+      auto inner = ParseOr();
+      if (!inner.ok()) return inner.status();
+      if (!Consume(TokKind::kRParen)) {
+        return Status::ParseError("expected ')'");
+      }
+      return inner;
+    }
+    return ParseAtom();
+  }
+
+  Result<fuzzy::Expr::Ptr> ParseAtom() {
+    if (Peek().kind == TokKind::kPhrase) {
+      Condition condition;
+      condition.kind = Condition::Kind::kSubjective;
+      condition.subjective = Next().text;
+      query_->conditions.push_back(std::move(condition));
+      return fuzzy::Expr::Leaf(query_->conditions.size() - 1);
+    }
+    if (Peek().kind == TokKind::kWord) {
+      const std::string column = Next().text;
+      if (Peek().kind != TokKind::kOp) {
+        return Status::ParseError("expected comparison after column " +
+                                  column);
+      }
+      auto op = storage::ParseCompareOp(Next().text);
+      if (!op.ok()) return op.status();
+      storage::Value literal;
+      if (Peek().kind == TokKind::kNumber) {
+        const std::string num = Next().text;
+        if (num.find('.') != std::string::npos) {
+          literal = storage::Value(std::stod(num));
+        } else {
+          literal = storage::Value(static_cast<int64_t>(std::stoll(num)));
+        }
+      } else if (Peek().kind == TokKind::kString) {
+        literal = storage::Value(Next().text);
+      } else {
+        return Status::ParseError("expected literal after operator");
+      }
+      Condition condition;
+      condition.kind = Condition::Kind::kObjective;
+      condition.objective.column = column;
+      condition.objective.op = *op;
+      condition.objective.literal = std::move(literal);
+      query_->conditions.push_back(std::move(condition));
+      return fuzzy::Expr::Leaf(query_->conditions.size() - 1);
+    }
+    return Status::ParseError("expected condition, got: " + Peek().text);
+  }
+
+  std::vector<Token> tokens_;
+  SubjectiveQuery* query_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SubjectiveQuery> ParseSubjectiveSql(const std::string& sql) {
+  Lexer lexer(sql);
+  auto tokens = lexer.Lex();
+  if (!tokens.ok()) return tokens.status();
+  SubjectiveQuery query;
+  Parser parser(std::move(*tokens), &query);
+  Status status = parser.Parse();
+  if (!status.ok()) return status;
+  return query;
+}
+
+}  // namespace opinedb::core

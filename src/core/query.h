@@ -1,0 +1,49 @@
+#ifndef OPINEDB_CORE_QUERY_H_
+#define OPINEDB_CORE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fuzzy/logic.h"
+#include "storage/table.h"
+
+namespace opinedb::core {
+
+/// One atomic condition of a subjective query: either an objective
+/// column predicate or a natural-language subjective predicate.
+struct Condition {
+  enum class Kind { kObjective, kSubjective };
+  Kind kind = Kind::kObjective;
+  /// Set when kind == kObjective.
+  storage::ColumnPredicate objective;
+  /// Set when kind == kSubjective: the raw NL predicate, e.g.
+  /// "has really clean rooms".
+  std::string subjective;
+};
+
+/// A parsed subjective SQL query (single select-from-where block).
+struct SubjectiveQuery {
+  std::string table;
+  /// Atomic conditions referenced by the expression's leaf indices.
+  std::vector<Condition> conditions;
+  /// Boolean structure over the conditions; null means "no where clause".
+  fuzzy::Expr::Ptr where;
+  /// LIMIT k (defaults to 10, the paper's top-10 evaluation cut-off).
+  size_t limit = 10;
+};
+
+/// Parses the OpineDB dialect of SQL:
+///
+///   select * from Hotels
+///   where price_pn < 150 and "has really clean rooms"
+///     and ("is romantic" or style = 'modern') limit 10
+///
+/// Double-quoted strings in the WHERE clause are subjective predicates;
+/// single-quoted strings are ordinary string literals. AND/OR/NOT and
+/// parentheses are supported; keywords are case-insensitive.
+Result<SubjectiveQuery> ParseSubjectiveSql(const std::string& sql);
+
+}  // namespace opinedb::core
+
+#endif  // OPINEDB_CORE_QUERY_H_

@@ -1,0 +1,12 @@
+#include "core/schema.h"
+
+namespace opinedb::core {
+
+int SubjectiveSchema::AttributeIndex(const std::string& name) const {
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    if (attributes[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace opinedb::core

@@ -1,0 +1,223 @@
+#include "core/serialize.h"
+
+#include <limits>
+#include <string>
+
+namespace opinedb::core {
+
+namespace {
+
+constexpr char kSchemaMagic[] = "opinedb-schema";
+constexpr char kSummariesMagic[] = "opinedb-summaries";
+constexpr int kVersion = 1;
+
+/// Netstring-style string encoding: "<length>:<bytes>" — robust to
+/// spaces inside markers and phrases.
+void WriteString(const std::string& s, std::ostream* out) {
+  *out << s.size() << ':' << s;
+}
+
+Result<std::string> ReadString(std::istream* in) {
+  size_t length = 0;
+  char colon = 0;
+  if (!(*in >> length) || !in->get(colon) || colon != ':') {
+    return Status::ParseError("bad string header");
+  }
+  std::string s(length, '\0');
+  if (!in->read(s.data(), static_cast<std::streamsize>(length))) {
+    return Status::ParseError("truncated string");
+  }
+  return s;
+}
+
+}  // namespace
+
+Status SaveSchema(const SubjectiveSchema& schema, std::ostream* out) {
+  *out << kSchemaMagic << ' ' << kVersion << '\n';
+  WriteString(schema.objective_table, out);
+  *out << ' ';
+  WriteString(schema.key_column, out);
+  *out << '\n' << schema.attributes.size() << '\n';
+  for (const auto& attribute : schema.attributes) {
+    WriteString(attribute.name, out);
+    *out << ' '
+         << (attribute.summary_type.kind == SummaryKind::kLinearlyOrdered
+                 ? 'L'
+                 : 'C')
+         << ' ' << attribute.summary_type.markers.size() << ' '
+         << attribute.linguistic_domain.size() << ' '
+         << attribute.seeds.aspect_terms.size() << ' '
+         << attribute.seeds.opinion_terms.size() << '\n';
+    for (const auto& marker : attribute.summary_type.markers) {
+      WriteString(marker, out);
+      *out << '\n';
+    }
+    for (const auto& phrase : attribute.linguistic_domain) {
+      WriteString(phrase, out);
+      *out << '\n';
+    }
+    for (const auto& seed : attribute.seeds.aspect_terms) {
+      WriteString(seed, out);
+      *out << '\n';
+    }
+    for (const auto& seed : attribute.seeds.opinion_terms) {
+      WriteString(seed, out);
+      *out << '\n';
+    }
+  }
+  if (!out->good()) return Status::Internal("write failed");
+  return Status::OK();
+}
+
+Result<SubjectiveSchema> LoadSchema(std::istream* in) {
+  std::string magic;
+  int version = 0;
+  if (!(*in >> magic >> version) || magic != kSchemaMagic) {
+    return Status::ParseError("not an opinedb schema file");
+  }
+  if (version != kVersion) {
+    return Status::NotSupported("schema version " +
+                                std::to_string(version));
+  }
+  SubjectiveSchema schema;
+  auto table = ReadString(in);
+  if (!table.ok()) return table.status();
+  schema.objective_table = *table;
+  in->get();  // Separator.
+  auto key = ReadString(in);
+  if (!key.ok()) return key.status();
+  schema.key_column = *key;
+  size_t num_attributes = 0;
+  if (!(*in >> num_attributes)) {
+    return Status::ParseError("bad attribute count");
+  }
+  for (size_t a = 0; a < num_attributes; ++a) {
+    SubjectiveAttribute attribute;
+    auto name = ReadString(in);
+    if (!name.ok()) return name.status();
+    attribute.name = *name;
+    attribute.summary_type.name = *name;
+    char kind = 0;
+    size_t markers = 0, domain = 0, aspects = 0, opinions = 0;
+    if (!(*in >> kind >> markers >> domain >> aspects >> opinions)) {
+      return Status::ParseError("bad attribute header: " + attribute.name);
+    }
+    attribute.summary_type.kind = kind == 'L'
+                                      ? SummaryKind::kLinearlyOrdered
+                                      : SummaryKind::kCategorical;
+    auto read_many = [in](size_t n,
+                          std::vector<std::string>* out) -> Status {
+      for (size_t i = 0; i < n; ++i) {
+        auto s = ReadString(in);
+        if (!s.ok()) return s.status();
+        out->push_back(*s);
+      }
+      return Status::OK();
+    };
+    Status status = read_many(markers, &attribute.summary_type.markers);
+    if (!status.ok()) return status;
+    status = read_many(domain, &attribute.linguistic_domain);
+    if (!status.ok()) return status;
+    status = read_many(aspects, &attribute.seeds.aspect_terms);
+    if (!status.ok()) return status;
+    status = read_many(opinions, &attribute.seeds.opinion_terms);
+    if (!status.ok()) return status;
+    schema.attributes.push_back(std::move(attribute));
+  }
+  return schema;
+}
+
+Status SaveSummaries(const SubjectiveTables& tables, std::ostream* out) {
+  // Full double precision so reload is bit-exact.
+  out->precision(std::numeric_limits<double>::max_digits10);
+  *out << kSummariesMagic << ' ' << kVersion << '\n';
+  *out << tables.summaries.size() << ' '
+       << (tables.summaries.empty() ? 0 : tables.summaries[0].size())
+       << '\n';
+  for (const auto& per_entity : tables.summaries) {
+    for (const auto& summary : per_entity) {
+      *out << summary.num_markers() << ' ' << summary.unmatched_count();
+      const size_t dim =
+          summary.num_markers() > 0 ? summary.cell(0).centroid.size() : 0;
+      *out << ' ' << dim << '\n';
+      for (size_t m = 0; m < summary.num_markers(); ++m) {
+        const MarkerCell& cell = summary.cell(m);
+        *out << cell.count << ' ' << cell.mean_sentiment;
+        for (float x : cell.centroid) *out << ' ' << x;
+        *out << ' ' << cell.provenance.size();
+        for (auto review : cell.provenance) *out << ' ' << review;
+        *out << '\n';
+      }
+    }
+  }
+  if (!out->good()) return Status::Internal("write failed");
+  return Status::OK();
+}
+
+Result<SubjectiveTables> LoadSummaries(const SubjectiveSchema& schema,
+                                       std::istream* in) {
+  std::string magic;
+  int version = 0;
+  if (!(*in >> magic >> version) || magic != kSummariesMagic) {
+    return Status::ParseError("not an opinedb summaries file");
+  }
+  if (version != kVersion) {
+    return Status::NotSupported("summaries version " +
+                                std::to_string(version));
+  }
+  size_t num_attributes = 0;
+  size_t num_entities = 0;
+  if (!(*in >> num_attributes >> num_entities)) {
+    return Status::ParseError("bad summaries header");
+  }
+  if (num_attributes != schema.num_attributes()) {
+    return Status::InvalidArgument(
+        "schema has " + std::to_string(schema.num_attributes()) +
+        " attributes, file has " + std::to_string(num_attributes));
+  }
+  SubjectiveTables tables;
+  tables.summaries.resize(num_attributes);
+  for (size_t a = 0; a < num_attributes; ++a) {
+    for (size_t e = 0; e < num_entities; ++e) {
+      size_t markers = 0;
+      double unmatched = 0.0;
+      size_t dim = 0;
+      if (!(*in >> markers >> unmatched >> dim)) {
+        return Status::ParseError("bad summary header");
+      }
+      if (markers != schema.attributes[a].summary_type.num_markers()) {
+        return Status::InvalidArgument("marker count mismatch in " +
+                                       schema.attributes[a].name);
+      }
+      MarkerSummary summary(&schema.attributes[a].summary_type, dim);
+      for (size_t m = 0; m < markers; ++m) {
+        MarkerCell cell;
+        if (!(*in >> cell.count >> cell.mean_sentiment)) {
+          return Status::ParseError("bad marker cell");
+        }
+        cell.centroid.resize(dim);
+        for (size_t d = 0; d < dim; ++d) {
+          if (!(*in >> cell.centroid[d])) {
+            return Status::ParseError("bad centroid");
+          }
+        }
+        size_t provenance = 0;
+        if (!(*in >> provenance)) {
+          return Status::ParseError("bad provenance count");
+        }
+        cell.provenance.resize(provenance);
+        for (size_t r = 0; r < provenance; ++r) {
+          if (!(*in >> cell.provenance[r])) {
+            return Status::ParseError("bad provenance entry");
+          }
+        }
+        summary.RestoreCell(m, std::move(cell));
+      }
+      summary.SetUnmatchedCount(unmatched);
+      tables.summaries[a].push_back(std::move(summary));
+    }
+  }
+  return tables;
+}
+
+}  // namespace opinedb::core

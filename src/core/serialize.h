@@ -1,0 +1,34 @@
+#ifndef OPINEDB_CORE_SERIALIZE_H_
+#define OPINEDB_CORE_SERIALIZE_H_
+
+#include <istream>
+#include <ostream>
+
+#include "common/result.h"
+#include "core/aggregator.h"
+#include "core/schema.h"
+
+namespace opinedb::core {
+
+/// Persists a subjective schema (attributes, marker-summary types,
+/// linguistic domains, seeds) in a line-oriented text format.
+Status SaveSchema(const SubjectiveSchema& schema, std::ostream* out);
+
+/// Reads a schema written by SaveSchema.
+Result<SubjectiveSchema> LoadSchema(std::istream* in);
+
+/// Persists the marker summaries of `tables` (histogram counts, mean
+/// sentiments, centroids and provenance). The extraction relation itself
+/// is not persisted — summaries are the queryable state; extractions can
+/// be re-derived from the corpus.
+Status SaveSummaries(const SubjectiveTables& tables, std::ostream* out);
+
+/// Reads summaries written by SaveSummaries. `schema` must be the loaded
+/// engine's schema (summary types are bound by attribute index) and must
+/// outlive the returned tables.
+Result<SubjectiveTables> LoadSummaries(const SubjectiveSchema& schema,
+                                       std::istream* in);
+
+}  // namespace opinedb::core
+
+#endif  // OPINEDB_CORE_SERIALIZE_H_

@@ -1,0 +1,379 @@
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace opinedb::datagen {
+
+namespace {
+
+std::vector<std::string> SplitTokens(const std::string& phrase) {
+  return SplitWhitespace(phrase);
+}
+
+void AppendTagged(const std::vector<std::string>& words, int tag,
+                  RealizedSentence* out) {
+  for (const auto& word : words) {
+    out->tokens.push_back(word);
+    out->tags.push_back(tag);
+  }
+}
+
+void AppendPlain(const std::string& words, RealizedSentence* out) {
+  AppendTagged(SplitTokens(words), extract::kO, out);
+}
+
+}  // namespace
+
+RealizedSentence RealizeOpinionSentence(const std::string& aspect,
+                                        const std::string& opinion,
+                                        Rng* rng) {
+  RealizedSentence out;
+  const auto aspect_tokens = SplitTokens(aspect);
+  const auto opinion_tokens = SplitTokens(opinion);
+  switch (rng->Below(4)) {
+    case 0:  // "the <asp> was <op>"
+      AppendPlain("the", &out);
+      AppendTagged(aspect_tokens, extract::kAS, &out);
+      AppendPlain("was", &out);
+      AppendTagged(opinion_tokens, extract::kOP, &out);
+      break;
+    case 1:  // "<op> <asp>"
+      AppendTagged(opinion_tokens, extract::kOP, &out);
+      AppendTagged(aspect_tokens, extract::kAS, &out);
+      break;
+    case 2:  // "the <asp> seemed <op> to us"
+      AppendPlain("the", &out);
+      AppendTagged(aspect_tokens, extract::kAS, &out);
+      AppendPlain("seemed", &out);
+      AppendTagged(opinion_tokens, extract::kOP, &out);
+      AppendPlain("to us", &out);
+      break;
+    default:  // "we thought the <asp> was <op>"
+      AppendPlain("we thought the", &out);
+      AppendTagged(aspect_tokens, extract::kAS, &out);
+      AppendPlain("was", &out);
+      AppendTagged(opinion_tokens, extract::kOP, &out);
+      break;
+  }
+  return out;
+}
+
+const OpinionPhrase& SampleOpinion(const AttributeSpec& attribute, double q,
+                                   double noise, Rng* rng) {
+  const double target =
+      std::clamp(2.0 * q - 1.0 + rng->Gaussian(0.0, noise), -1.0, 1.0);
+  size_t best = 0;
+  double best_gap = 10.0;
+  for (size_t i = 0; i < attribute.opinions.size(); ++i) {
+    const double gap = std::abs(attribute.opinions[i].polarity - target);
+    // Jitter breaks ties so equally-distant phrases alternate.
+    const double jittered = gap + rng->Uniform() * 0.05;
+    if (jittered < best_gap) {
+      best_gap = jittered;
+      best = i;
+    }
+  }
+  return attribute.opinions[best];
+}
+
+core::SubjectiveSchema SchemaFromSpec(const DomainSpec& spec) {
+  core::SubjectiveSchema schema;
+  schema.objective_table = spec.name + "s";
+  schema.key_column = "name";
+  for (const auto& attribute : spec.attributes) {
+    core::SubjectiveAttribute subjective;
+    subjective.name = attribute.name;
+    subjective.summary_type.name = attribute.name;
+    subjective.summary_type.kind = attribute.kind;
+    subjective.summary_type.markers = attribute.markers;
+    subjective.seeds.aspect_terms = attribute.aspect_nouns;
+    // Only every other opinion phrase becomes a seed; the classifier must
+    // reach the rest through seed expansion and smoothing.
+    for (size_t i = 0; i < attribute.opinions.size(); i += 2) {
+      subjective.seeds.opinion_terms.push_back(attribute.opinions[i].text);
+    }
+    schema.attributes.push_back(std::move(subjective));
+  }
+  return schema;
+}
+
+namespace {
+
+std::string RenderReview(const DomainSpec& spec,
+                         const SyntheticEntity& entity,
+                         const GeneratorOptions& options, Rng* rng) {
+  const size_t num_sentences =
+      options.min_sentences_per_review +
+      rng->Below(options.max_sentences_per_review -
+                 options.min_sentences_per_review + 1);
+  std::vector<std::string> sentences;
+  for (size_t s = 0; s < num_sentences; ++s) {
+    if (rng->Bernoulli(options.filler_probability) && !spec.fillers.empty()) {
+      sentences.push_back(spec.fillers[rng->Below(spec.fillers.size())]);
+      continue;
+    }
+    const size_t a = rng->Below(spec.attributes.size());
+    const auto& attribute = spec.attributes[a];
+    double q = entity.quality[a];
+    if (rng->Bernoulli(options.contradiction_probability)) q = 1.0 - q;
+    const OpinionPhrase& opinion =
+        SampleOpinion(attribute, q, options.polarity_noise, rng);
+    const auto& aspect =
+        attribute.aspect_nouns[rng->Below(attribute.aspect_nouns.size())];
+    std::string opinion_text = opinion.text;
+    if (opinion.polarity < -0.2 &&
+        rng->Bernoulli(options.negation_probability)) {
+      // Render the negative as a negated positive.
+      const OpinionPhrase* positive = nullptr;
+      for (const auto& candidate : attribute.opinions) {
+        if (candidate.polarity >= 0.5) {
+          positive = &candidate;
+          break;
+        }
+      }
+      if (positive != nullptr) opinion_text = "not " + positive->text;
+    }
+    RealizedSentence realized =
+        RealizeOpinionSentence(aspect, opinion_text, rng);
+    sentences.push_back(Join(realized.tokens, " "));
+  }
+  // Correlated-concept sentences fire when the trigger qualities are high.
+  for (const auto& cc : spec.concepts) {
+    double min_quality = 1.0;
+    for (int t : cc.trigger_attributes) {
+      min_quality = std::min(min_quality, entity.quality[t]);
+    }
+    if (min_quality >= 0.6 && rng->Bernoulli(0.35 * min_quality)) {
+      sentences.push_back(cc.sentence);
+      // A reviewer who mentions the concept also praises the attributes
+      // behind it ("romantic getaway ... exceptional service"): this is
+      // the co-occurrence signal the interpreter mines.
+      for (int t : cc.trigger_attributes) {
+        const auto& trigger = spec.attributes[t];
+        const OpinionPhrase& praise =
+            SampleOpinion(trigger, entity.quality[t], 0.15, rng);
+        const auto& aspect =
+            trigger.aspect_nouns[rng->Below(trigger.aspect_nouns.size())];
+        RealizedSentence praised =
+            RealizeOpinionSentence(aspect, praise.text, rng);
+        sentences.push_back(Join(praised.tokens, " "));
+      }
+    }
+  }
+  std::string body;
+  for (const auto& sentence : sentences) {
+    body += sentence;
+    body += ". ";
+  }
+  return body;
+}
+
+}  // namespace
+
+SyntheticDomain GenerateDomain(const DomainSpec& spec,
+                               const GeneratorOptions& options) {
+  SyntheticDomain domain;
+  domain.spec = spec;
+  domain.options = options;
+  domain.schema = SchemaFromSpec(spec);
+  Rng rng(options.seed);
+
+  const bool is_hotel = spec.name == "hotel";
+  const std::vector<std::string> cuisines = {"japanese", "italian", "french",
+                                             "mexican", "thai"};
+
+  for (size_t e = 0; e < options.num_entities; ++e) {
+    SyntheticEntity entity;
+    char buf[64];
+    snprintf(buf, sizeof(buf), "%s_%03zu", spec.name.c_str(), e);
+    entity.name = buf;
+    entity.quality.resize(spec.attributes.size());
+    for (auto& q : entity.quality) {
+      q = std::pow(rng.Uniform(), 1.0 / options.quality_skew);
+    }
+    if (is_hotel) {
+      entity.city = rng.Bernoulli(0.6) ? "london" : "amsterdam";
+      entity.price = rng.Int(60, 500);
+    } else {
+      entity.cuisine = cuisines[rng.Below(cuisines.size())];
+      entity.price_range = rng.Int(1, 4);
+    }
+    double mean_quality = 0.0;
+    for (double q : entity.quality) mean_quality += q;
+    mean_quality /= static_cast<double>(entity.quality.size());
+    entity.rating = std::clamp(
+        1.0 + 4.0 * mean_quality + rng.Gaussian(0.0, 0.3), 1.0, 5.0);
+    entity.site_scores.resize(spec.attributes.size());
+    for (size_t a = 0; a < spec.attributes.size(); ++a) {
+      // Site category scores are coarse aggregates (star widgets, survey
+      // checkboxes), noticeably noisier than the latent quality.
+      entity.site_scores[a] = std::clamp(
+          entity.quality[a] + rng.Gaussian(0.0, 0.28), 0.0, 1.0);
+    }
+    domain.entities.push_back(std::move(entity));
+    domain.corpus.AddEntity(domain.entities.back().name);
+  }
+
+  // Reviews.
+  for (size_t e = 0; e < options.num_entities; ++e) {
+    const size_t n = options.min_reviews_per_entity +
+                     rng.Below(options.max_reviews_per_entity -
+                               options.min_reviews_per_entity + 1);
+    for (size_t r = 0; r < n; ++r) {
+      const auto reviewer =
+          static_cast<text::ReviewerId>(rng.Below(options.num_reviewers));
+      const auto date = static_cast<int32_t>(rng.Int(0, 3650));
+      domain.corpus.AddReview(
+          static_cast<text::EntityId>(e), reviewer, date,
+          RenderReview(spec, domain.entities[e], options, &rng));
+    }
+  }
+
+  // Objective table (row i == entity i).
+  if (is_hotel) {
+    domain.objective_table = storage::Table(
+        domain.schema.objective_table,
+        {{"name", storage::ValueType::kString},
+         {"city", storage::ValueType::kString},
+         {"price_pn", storage::ValueType::kInt},
+         {"rating", storage::ValueType::kDouble}});
+    for (const auto& entity : domain.entities) {
+      domain.objective_table
+          .Append({storage::Value(entity.name), storage::Value(entity.city),
+                   storage::Value(entity.price),
+                   storage::Value(entity.rating)})
+          .ok();
+    }
+  } else {
+    domain.objective_table = storage::Table(
+        domain.schema.objective_table,
+        {{"name", storage::ValueType::kString},
+         {"cuisine", storage::ValueType::kString},
+         {"price_range", storage::ValueType::kInt},
+         {"rating", storage::ValueType::kDouble}});
+    for (const auto& entity : domain.entities) {
+      domain.objective_table
+          .Append({storage::Value(entity.name),
+                   storage::Value(entity.cuisine),
+                   storage::Value(entity.price_range),
+                   storage::Value(entity.rating)})
+          .ok();
+    }
+  }
+  return domain;
+}
+
+namespace {
+
+/// Neutral-context templates that mention an aspect noun without
+/// expressing any opinion about it: every token is gold-O.
+RealizedSentence RealizeNeutralSentence(const std::string& aspect,
+                                        Rng* rng) {
+  RealizedSentence out;
+  switch (rng->Below(4)) {
+    case 0:
+      AppendPlain("we asked about the " + aspect + " at the desk", &out);
+      break;
+    case 1:
+      AppendPlain("the " + aspect + " is on the third floor", &out);
+      break;
+    case 2:
+      AppendPlain("we paid for the " + aspect + " in advance", &out);
+      break;
+    default:
+      AppendPlain("they showed us the " + aspect + " before booking",
+                  &out);
+      break;
+  }
+  return out;
+}
+
+const char* kIntensifiers[] = {"very", "really", "quite", "extremely",
+                               "pretty", "so"};
+
+}  // namespace
+
+std::vector<extract::LabeledSentence> GenerateLabeledSentences(
+    const DomainSpec& spec, size_t n, uint64_t seed,
+    const LabeledSentenceOptions& options) {
+  Rng rng(seed);
+  DomainSpec effective = spec;
+  if (options.exclude_holdout_vocabulary) {
+    for (auto& attribute : effective.attributes) {
+      std::vector<OpinionPhrase> kept_opinions;
+      for (size_t i = 0; i < attribute.opinions.size(); ++i) {
+        if (i % 4 != 3) kept_opinions.push_back(attribute.opinions[i]);
+      }
+      if (!kept_opinions.empty()) attribute.opinions = kept_opinions;
+      std::vector<std::string> kept_aspects;
+      for (size_t i = 0; i < attribute.aspect_nouns.size(); ++i) {
+        if (i % 4 != 3) kept_aspects.push_back(attribute.aspect_nouns[i]);
+      }
+      if (!kept_aspects.empty()) attribute.aspect_nouns = kept_aspects;
+    }
+  }
+  std::vector<extract::LabeledSentence> sentences;
+  sentences.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    extract::LabeledSentence sentence;
+    const double kind = rng.Uniform();
+    const auto& random_attribute =
+        effective.attributes[rng.Below(effective.attributes.size())];
+    const auto& random_aspect = random_attribute.aspect_nouns[rng.Below(
+        random_attribute.aspect_nouns.size())];
+    if (kind < 0.08 && !effective.fillers.empty()) {
+      // Pure filler: everything O.
+      const auto tokens = SplitWhitespace(
+          effective.fillers[rng.Below(effective.fillers.size())]);
+      sentence.tokens.assign(tokens.begin(), tokens.end());
+      sentence.tags.assign(tokens.size(), extract::kO);
+    } else if (kind < 0.08 + options.ambiguous_probability) {
+      RealizedSentence realized = RealizeNeutralSentence(random_aspect,
+                                                         &rng);
+      sentence.tokens = std::move(realized.tokens);
+      sentence.tags = std::move(realized.tags);
+    } else {
+      const size_t clauses = kind < 0.78 ? 1 : 2;
+      RealizedSentence realized;
+      for (size_t c = 0; c < clauses; ++c) {
+        if (c > 0) AppendPlain("and", &realized);
+        const auto& attribute =
+            effective.attributes[rng.Below(effective.attributes.size())];
+        const auto& aspect = attribute.aspect_nouns[rng.Below(
+            attribute.aspect_nouns.size())];
+        const auto& opinion = SampleOpinion(
+            attribute, rng.Uniform(), 0.4, &rng);
+        std::string opinion_text = opinion.text;
+        if (rng.Bernoulli(options.intensifier_probability)) {
+          opinion_text =
+              std::string(kIntensifiers[rng.Below(std::size(kIntensifiers))]) +
+              " " + opinion_text;
+        }
+        RealizedSentence clause =
+            RealizeOpinionSentence(aspect, opinion_text, &rng);
+        realized.tokens.insert(realized.tokens.end(), clause.tokens.begin(),
+                               clause.tokens.end());
+        realized.tags.insert(realized.tags.end(), clause.tags.begin(),
+                             clause.tags.end());
+      }
+      sentence.tokens = std::move(realized.tokens);
+      sentence.tags = std::move(realized.tags);
+    }
+    // Annotation noise on gold tags (training sets only).
+    if (options.label_noise > 0.0) {
+      for (auto& tag : sentence.tags) {
+        if (rng.Bernoulli(options.label_noise)) {
+          tag = static_cast<int>(rng.Below(extract::kNumTags));
+        }
+      }
+    }
+    sentences.push_back(std::move(sentence));
+  }
+  return sentences;
+}
+
+}  // namespace opinedb::datagen

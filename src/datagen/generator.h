@@ -1,0 +1,125 @@
+#ifndef OPINEDB_DATAGEN_GENERATOR_H_
+#define OPINEDB_DATAGEN_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/schema.h"
+#include "datagen/domain_spec.h"
+#include "extract/opinion_tagger.h"
+#include "storage/table.h"
+#include "text/corpus.h"
+
+namespace opinedb::datagen {
+
+/// Generator knobs. Every experiment fixes the seed, so corpora are
+/// reproducible bit-for-bit.
+struct GeneratorOptions {
+  size_t num_entities = 120;
+  size_t min_reviews_per_entity = 15;
+  size_t max_reviews_per_entity = 45;
+  size_t num_reviewers = 400;
+  /// Review length range in sentences.
+  size_t min_sentences_per_review = 2;
+  size_t max_sentences_per_review = 5;
+  /// Latent qualities are drawn as Uniform^(1/quality_skew): skew > 1
+  /// biases entities toward high quality (Yelp-style positivity).
+  double quality_skew = 1.0;
+  /// Probability a review sentence is off-topic filler.
+  double filler_probability = 0.25;
+  /// Std-dev of the polarity noise around the latent quality.
+  double polarity_noise = 0.35;
+  /// Probability an opinion sentence contradicts the latent quality
+  /// outright (a dissenting reviewer).
+  double contradiction_probability = 0.07;
+  /// Probability a negative opinion is rendered as a negated positive
+  /// phrase ("not clean" instead of "dirty").
+  double negation_probability = 0.12;
+  uint64_t seed = 42;
+};
+
+/// One synthetic entity: the latent ground truth behind its reviews.
+struct SyntheticEntity {
+  std::string name;
+  /// Latent quality per attribute in [0, 1] — the ground truth that
+  /// review text is sampled from and that sat(q, e) labels derive from.
+  std::vector<double> quality;
+  /// Hotel objective attributes.
+  std::string city;
+  int64_t price = 0;
+  /// Restaurant objective attributes.
+  std::string cuisine;
+  int64_t price_range = 0;
+  /// Aggregate rating (mean quality + noise) — the ByRating baseline's
+  /// input, mirroring the site-wide star rating.
+  double rating = 0.0;
+  /// Per-attribute site scores (quality + noise) — the k-Attribute
+  /// baseline's input, mirroring booking.com's queryable category scores.
+  std::vector<double> site_scores;
+};
+
+/// A generated domain: entities with latent ground truth, the review
+/// corpus sampled from it, the designer schema (with seeds), and the
+/// objective table (row i == entity i).
+struct SyntheticDomain {
+  DomainSpec spec;
+  GeneratorOptions options;
+  std::vector<SyntheticEntity> entities;
+  text::ReviewCorpus corpus;
+  core::SubjectiveSchema schema;
+  storage::Table objective_table;
+};
+
+/// Generates a full synthetic domain.
+SyntheticDomain GenerateDomain(const DomainSpec& spec,
+                               const GeneratorOptions& options);
+
+/// Builds the designer schema (seeds + markers) from a DomainSpec. Seeds
+/// take the aspect nouns and a *subset* of the opinion vocabulary — the
+/// classifier must generalize to the rest via seed expansion.
+core::SubjectiveSchema SchemaFromSpec(const DomainSpec& spec);
+
+/// A sentence realized with gold token tags (for the extractor datasets).
+struct RealizedSentence {
+  std::vector<std::string> tokens;
+  std::vector<int> tags;
+};
+
+/// Realizes one opinion clause "the <aspect> was <opinion>"-style; the
+/// template is chosen by `rng`. Gold AS/OP tags track the slot fillers.
+RealizedSentence RealizeOpinionSentence(const std::string& aspect,
+                                        const std::string& opinion,
+                                        Rng* rng);
+
+/// Samples an opinion phrase for latent quality `q` (polarity tracks
+/// 2q - 1 with Gaussian noise).
+const OpinionPhrase& SampleOpinion(const AttributeSpec& attribute, double q,
+                                   double noise, Rng* rng);
+
+/// Knobs for labeled-sentence generation (Table 6 datasets).
+struct LabeledSentenceOptions {
+  /// Probability of a neutral-context sentence that mentions an aspect
+  /// noun without any opinion ("we asked about the room at the desk") —
+  /// gold tags are all O, so gazetteer-style tagging over-predicts.
+  double ambiguous_probability = 0.18;
+  /// Probability of flipping a gold tag (annotation noise); apply to
+  /// training sets only.
+  double label_noise = 0.0;
+  /// Probability of prepending an intensifier to the opinion span.
+  double intensifier_probability = 0.25;
+  /// When true, every 4th opinion phrase and aspect noun of each
+  /// attribute is withheld from generation. Training sets use this so the
+  /// test set contains out-of-vocabulary words the tagger never saw —
+  /// the generalization gap that separates models in Table 6.
+  bool exclude_holdout_vocabulary = false;
+};
+
+/// Generates labeled tagging sentences for a spec (Table 6 datasets).
+std::vector<extract::LabeledSentence> GenerateLabeledSentences(
+    const DomainSpec& spec, size_t n, uint64_t seed,
+    const LabeledSentenceOptions& options = LabeledSentenceOptions());
+
+}  // namespace opinedb::datagen
+
+#endif  // OPINEDB_DATAGEN_GENERATOR_H_

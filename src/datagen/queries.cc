@@ -1,0 +1,97 @@
+#include "datagen/queries.h"
+
+#include <algorithm>
+#include <set>
+
+namespace opinedb::datagen {
+
+std::vector<QueryPredicate> BuildPredicatePool(const DomainSpec& spec,
+                                               size_t target_count,
+                                               uint64_t seed) {
+  Rng rng(seed);
+  std::vector<QueryPredicate> pool;
+  std::set<std::string> seen;
+  auto add = [&](QueryPredicate predicate) {
+    if (seen.insert(predicate.text).second) {
+      pool.push_back(std::move(predicate));
+    }
+  };
+
+  // Correlated concepts first: they are the interpreter's hard cases.
+  for (const auto& cc : spec.concepts) {
+    QueryPredicate predicate;
+    predicate.text = cc.phrase;
+    predicate.gold_attribute = cc.gold_attribute;
+    predicate.quality_attributes = cc.trigger_attributes;
+    predicate.threshold = 0.6;
+    predicate.correlated = true;
+    add(std::move(predicate));
+  }
+
+  // Hard paraphrases: out-of-vocabulary user wording.
+  for (const auto& hard : spec.hard_queries) {
+    QueryPredicate predicate;
+    predicate.text = hard.text;
+    predicate.gold_attribute = spec.AttributeIndex(hard.gold_attribute);
+    if (predicate.gold_attribute >= 0) {
+      predicate.quality_attributes = {predicate.gold_attribute};
+    }
+    predicate.threshold = 0.6;
+    predicate.correlated = true;  // Keep them in the trimmed pool.
+    add(std::move(predicate));
+  }
+
+  // Templated positive phrasings of every attribute.
+  const std::vector<std::string> prefixes = {"", "has ", "with ",
+                                             "a place with "};
+  for (size_t a = 0; a < spec.attributes.size(); ++a) {
+    const auto& attribute = spec.attributes[a];
+    for (const auto& opinion : attribute.opinions) {
+      if (opinion.polarity < 0.3) continue;  // Users ask for the good.
+      for (const auto& aspect : attribute.aspect_nouns) {
+        for (const auto& prefix : prefixes) {
+          QueryPredicate predicate;
+          predicate.text = prefix + opinion.text + " " + aspect;
+          predicate.gold_attribute = static_cast<int>(a);
+          predicate.quality_attributes = {static_cast<int>(a)};
+          // Stronger language -> stricter ground truth.
+          predicate.threshold = opinion.polarity >= 0.8 ? 0.7 : 0.6;
+          add(std::move(predicate));
+        }
+      }
+    }
+  }
+  rng.Shuffle(&pool);
+  // Keep all correlated predicates (move them to the front first).
+  std::stable_partition(pool.begin(), pool.end(),
+                        [](const QueryPredicate& p) { return p.correlated; });
+  if (pool.size() > target_count) pool.resize(target_count);
+  rng.Shuffle(&pool);
+  return pool;
+}
+
+bool SatisfiesGroundTruth(const SyntheticEntity& entity,
+                          const QueryPredicate& predicate) {
+  if (predicate.quality_attributes.empty()) return false;
+  double min_quality = 1.0;
+  for (int a : predicate.quality_attributes) {
+    min_quality = std::min(min_quality, entity.quality[a]);
+  }
+  return min_quality >= predicate.threshold;
+}
+
+std::vector<WorkloadQuery> SampleWorkload(size_t pool_size, size_t conjuncts,
+                                          size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<WorkloadQuery> workload;
+  workload.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    WorkloadQuery query;
+    query.predicate_indices =
+        rng.SampleIndices(pool_size, std::min(conjuncts, pool_size));
+    workload.push_back(std::move(query));
+  }
+  return workload;
+}
+
+}  // namespace opinedb::datagen

@@ -1,0 +1,51 @@
+#ifndef OPINEDB_DATAGEN_QUERIES_H_
+#define OPINEDB_DATAGEN_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/generator.h"
+
+namespace opinedb::datagen {
+
+/// One subjective query predicate with its gold interpretation and the
+/// latent-quality ground truth it tests.
+struct QueryPredicate {
+  std::string text;
+  /// The attribute a human labeler would map the predicate to; -1 for
+  /// predicates that only text fallback can answer.
+  int gold_attribute = -1;
+  /// sat(q, e) ground truth: min trigger quality >= threshold.
+  double threshold = 0.6;
+  /// Attributes whose latent quality the predicate constrains (usually
+  /// just gold_attribute; correlated concepts constrain several).
+  std::vector<int> quality_attributes;
+  bool correlated = false;
+};
+
+/// Builds the domain's predicate pool (the Section 5.2.2 collections:
+/// 190 hotel / 185 restaurant predicates): templated positive phrasings
+/// of every attribute plus the correlated-concept phrases.
+std::vector<QueryPredicate> BuildPredicatePool(const DomainSpec& spec,
+                                               size_t target_count,
+                                               uint64_t seed);
+
+/// Ground truth sat(q, e): does the entity's latent quality satisfy the
+/// predicate?
+bool SatisfiesGroundTruth(const SyntheticEntity& entity,
+                          const QueryPredicate& predicate);
+
+/// A sampled subjective query: a conjunction of pool predicates.
+struct WorkloadQuery {
+  std::vector<size_t> predicate_indices;
+};
+
+/// Samples `count` conjunctive queries of `conjuncts` predicates each by
+/// uniform sampling without replacement within a query.
+std::vector<WorkloadQuery> SampleWorkload(size_t pool_size, size_t conjuncts,
+                                          size_t count, uint64_t seed);
+
+}  // namespace opinedb::datagen
+
+#endif  // OPINEDB_DATAGEN_QUERIES_H_

@@ -1,0 +1,157 @@
+#include "datagen/survey.h"
+
+namespace opinedb::datagen {
+
+double DomainSurvey::SubjectiveFraction() const {
+  if (criteria.empty()) return 0.0;
+  int subjective = 0;
+  for (const auto& criterion : criteria) {
+    if (criterion.subjective) ++subjective;
+  }
+  return static_cast<double>(subjective) /
+         static_cast<double>(criteria.size());
+}
+
+std::vector<std::string> DomainSurvey::ExampleSubjective(size_t n) const {
+  std::vector<std::string> examples;
+  for (const auto& criterion : criteria) {
+    if (criterion.subjective) {
+      examples.push_back(criterion.text);
+      if (examples.size() == n) break;
+    }
+  }
+  return examples;
+}
+
+std::vector<DomainSurvey> SurveyData() {
+  // S = subjective, O = objective. Counts per domain are chosen so the
+  // tabulated fractions land on the Table 3 figures.
+  auto S = [](const char* t) { return Criterion{t, true}; };
+  auto O = [](const char* t) { return Criterion{t, false}; };
+  std::vector<DomainSurvey> surveys;
+
+  surveys.push_back({"Hotel",
+                     {
+                         S("cleanliness"), S("comfortable beds"),
+                         S("good food"), S("friendly staff"),
+                         S("quiet rooms"), S("nice view"),
+                         S("cozy atmosphere"), S("modern bathrooms"),
+                         S("good service"), S("safe neighborhood"),
+                         S("lively bar"), S("relaxing spa"),
+                         S("spacious rooms"), S("good breakfast"),
+                         S("romantic feel"), S("family friendly"),
+                         S("value for money"), S("stylish decor"),
+                         S("welcoming lobby"), S("peaceful location"),
+                         O("wifi"), O("parking"), O("pool"),
+                         O("distance to center"), O("pet policy"),
+                         O("check-in time"), O("airport shuttle"),
+                         O("number of beds"), O("air conditioning"),
+                     }});
+  surveys.push_back({"Restaurant",
+                     {
+                         S("delicious food"), S("good ambiance"),
+                         S("menu variety"), S("friendly service"),
+                         S("fresh ingredients"), S("romantic setting"),
+                         S("generous portions"), S("clean tables"),
+                         S("quiet enough to talk"), S("nice presentation"),
+                         S("good drinks"), S("fast service"),
+                         S("authentic flavors"), S("kid friendly"),
+                         S("good value"), S("cozy seating"),
+                         S("creative dishes"), S("lively vibe"),
+                         O("cuisine type"), O("price range"),
+                         O("opening hours"), O("reservations"),
+                         O("distance"), O("outdoor seating"),
+                         O("vegetarian options"), O("parking"),
+                         O("delivery"), O("wheelchair access"),
+                     }});
+  surveys.push_back({"Vacation",
+                     {
+                         S("good weather"), S("safety"),
+                         S("interesting culture"), S("nightlife"),
+                         S("beautiful scenery"), S("relaxing beaches"),
+                         S("friendly locals"), S("good food scene"),
+                         S("walkable towns"), S("romantic spots"),
+                         S("family friendly"), S("clean beaches"),
+                         S("lively festivals"), S("peaceful retreats"),
+                         S("adventurous hikes"), S("charming villages"),
+                         S("affordable overall"), S("authentic experiences"),
+                         S("uncrowded attractions"),
+                         O("visa requirements"), O("flight time"),
+                         O("currency"), O("language spoken"),
+                     }});
+  surveys.push_back({"College",
+                     {
+                         S("dorm quality"), S("faculty quality"),
+                         S("diversity"), S("campus beauty"),
+                         S("social life"), S("academic rigor"),
+                         S("career support"), S("food quality"),
+                         S("class sizes feel small"), S("safety on campus"),
+                         S("school spirit"), S("research opportunities"),
+                         S("welcoming community"), S("strong alumni network"),
+                         S("good advising"), S("mental health support"),
+                         S("surrounding town vibe"), S("study spaces"),
+                         S("intramural culture"), S("arts scene"),
+                         S("prestige"), S("party scene"),
+                         S("professor accessibility"), S("innovative teaching"),
+                         O("tuition"), O("location"), O("enrollment"),
+                         O("majors offered"), O("acceptance rate"),
+                         O("student-faculty ratio"), O("on-campus housing"),
+                     }});
+  surveys.push_back({"Home",
+                     {
+                         S("space"), S("good schools"), S("quiet street"),
+                         S("safe area"), S("natural light"),
+                         S("nice backyard"), S("modern kitchen"),
+                         S("friendly neighbors"), S("walkable area"),
+                         S("charming style"), S("move-in ready"),
+                         S("good layout"), S("storage space"),
+                         S("curb appeal"), S("low traffic"),
+                         S("near good cafes"), S("quiet at night"),
+                         S("well maintained"), S("energy efficient feel"),
+                         S("spacious garage"), S("cozy living room"),
+                         S("good resale prospects"),
+                         O("price"), O("bedrooms"), O("bathrooms"),
+                         O("square footage"), O("lot size"),
+                         O("year built"), O("hoa fees"), O("property tax"),
+                         O("distance to work"), O("garage spaces"),
+                     }});
+  surveys.push_back({"Career",
+                     {
+                         S("work-life balance"), S("good colleagues"),
+                         S("company culture"), S("growth opportunities"),
+                         S("interesting work"), S("supportive manager"),
+                         S("job security"), S("social good"),
+                         S("dynamic team"), S("learning opportunities"),
+                         S("recognition"), S("autonomy"),
+                         S("low stress"), S("clear mission"),
+                         S("fair promotion process"), S("mentorship"),
+                         S("creative freedom"), S("transparent leadership"),
+                         S("reasonable hours"), S("team collaboration"),
+                         S("prestige of employer"), S("innovative products"),
+                         S("inclusive environment"), S("stability"),
+                         S("meaningful impact"),
+                         O("salary"), O("benefits"), O("remote policy"),
+                         O("vacation days"), O("commute"), O("stock options"),
+                         O("title"), O("industry"), O("company size"),
+                         O("401k match"), O("relocation package"),
+                         O("signing bonus"), O("office location"),
+                     }});
+  surveys.push_back({"Car",
+                     {
+                         S("comfortable"), S("safety"), S("reliability"),
+                         S("fun to drive"), S("quiet cabin"),
+                         S("good handling"), S("stylish design"),
+                         S("smooth ride"), S("roomy interior"),
+                         S("good visibility"), S("easy to park"),
+                         S("solid build quality"), S("responsive steering"),
+                         S("premium feel"),
+                         O("price"), O("fuel economy"), O("seats"),
+                         O("cargo space"), O("horsepower"), O("warranty"),
+                         O("electric range"), O("towing capacity"),
+                         O("all-wheel drive"), O("maintenance cost"),
+                         O("resale value"),
+                     }});
+  return surveys;
+}
+
+}  // namespace opinedb::datagen

@@ -1,0 +1,35 @@
+#ifndef OPINEDB_DATAGEN_SURVEY_H_
+#define OPINEDB_DATAGEN_SURVEY_H_
+
+#include <string>
+#include <vector>
+
+namespace opinedb::datagen {
+
+/// One search criterion named by a survey respondent, with the manual
+/// (conservative) subjective/objective judgment of Section 5.1.
+struct Criterion {
+  std::string text;
+  bool subjective = false;
+};
+
+/// One domain's survey responses.
+struct DomainSurvey {
+  std::string domain;
+  std::vector<Criterion> criteria;
+
+  /// Fraction of criteria judged subjective.
+  double SubjectiveFraction() const;
+  /// Up to `n` example subjective criteria, for display.
+  std::vector<std::string> ExampleSubjective(size_t n) const;
+};
+
+/// The frozen survey corpus standing in for the paper's MTurk study
+/// (Table 3): 7 domains, ~30 criteria each, conservatively labeled.
+/// "wifi" counts as objective (is there wifi), matching the paper's
+/// conservative protocol.
+std::vector<DomainSurvey> SurveyData();
+
+}  // namespace opinedb::datagen
+
+#endif  // OPINEDB_DATAGEN_SURVEY_H_

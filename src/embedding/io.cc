@@ -1,0 +1,67 @@
+#include "embedding/io.h"
+
+#include <limits>
+#include <string>
+
+namespace opinedb::embedding {
+
+namespace {
+constexpr char kMagic[] = "opinedb-embeddings";
+constexpr int kVersion = 1;
+}  // namespace
+
+Status SaveEmbeddings(const WordEmbeddings& model, std::ostream* out) {
+  // Full float precision so reload is bit-exact.
+  out->precision(std::numeric_limits<float>::max_digits10);
+  *out << kMagic << ' ' << kVersion << '\n';
+  *out << model.size() << ' ' << model.dim() << '\n';
+  for (size_t i = 0; i < model.size(); ++i) {
+    const auto id = static_cast<text::WordId>(i);
+    *out << model.vocab().word(id) << ' ' << model.vocab().count(id);
+    for (float x : model.vector(id)) *out << ' ' << x;
+    *out << '\n';
+  }
+  if (!out->good()) return Status::Internal("write failed");
+  return Status::OK();
+}
+
+Result<WordEmbeddings> LoadEmbeddings(std::istream* in) {
+  std::string magic;
+  int version = 0;
+  if (!(*in >> magic >> version) || magic != kMagic) {
+    return Status::ParseError("not an opinedb embeddings file");
+  }
+  if (version != kVersion) {
+    return Status::NotSupported("embeddings version " +
+                                std::to_string(version));
+  }
+  size_t size = 0;
+  size_t dim = 0;
+  if (!(*in >> size >> dim)) {
+    return Status::ParseError("bad embeddings header");
+  }
+  text::Vocab vocab;
+  std::vector<Vec> vectors;
+  vectors.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    std::string word;
+    int64_t count = 0;
+    if (!(*in >> word >> count)) {
+      return Status::ParseError("truncated embeddings entry " +
+                                std::to_string(i));
+    }
+    Vec vec(dim);
+    for (size_t d = 0; d < dim; ++d) {
+      if (!(*in >> vec[d])) {
+        return Status::ParseError("truncated vector for " + word);
+      }
+    }
+    if (vocab.AddCount(word, count) != static_cast<text::WordId>(i)) {
+      return Status::ParseError("duplicate word " + word);
+    }
+    vectors.push_back(std::move(vec));
+  }
+  return WordEmbeddings(std::move(vocab), std::move(vectors));
+}
+
+}  // namespace opinedb::embedding

@@ -1,0 +1,29 @@
+#ifndef OPINEDB_EMBEDDING_IO_H_
+#define OPINEDB_EMBEDDING_IO_H_
+
+#include <istream>
+#include <ostream>
+
+#include "common/result.h"
+#include "embedding/word2vec.h"
+
+namespace opinedb::embedding {
+
+/// Writes a trained embedding model in the word2vec-style text format:
+///
+///   opinedb-embeddings 1
+///   <vocab_size> <dim>
+///   <word> <count> <v0> <v1> ... <vdim-1>
+///   ...
+///
+/// Training an SGNS model takes seconds on our corpora, but persisting
+/// it makes databases reloadable without retraining and lets users bring
+/// externally-trained vectors.
+Status SaveEmbeddings(const WordEmbeddings& model, std::ostream* out);
+
+/// Reads a model written by SaveEmbeddings.
+Result<WordEmbeddings> LoadEmbeddings(std::istream* in);
+
+}  // namespace opinedb::embedding
+
+#endif  // OPINEDB_EMBEDDING_IO_H_

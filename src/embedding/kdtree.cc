@@ -1,0 +1,88 @@
+#include "embedding/kdtree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace opinedb::embedding {
+
+KdTree KdTree::Build(std::vector<Vec> points) {
+  KdTree tree;
+  tree.points_ = std::move(points);
+  tree.dim_ = tree.points_.empty() ? 0 : tree.points_[0].size();
+  if (tree.points_.empty()) return tree;
+  std::vector<int32_t> items(tree.points_.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    items[i] = static_cast<int32_t>(i);
+  }
+  tree.nodes_.reserve(tree.points_.size());
+  tree.root_ = tree.BuildRecursive(&items, 0, items.size(), 0);
+  return tree;
+}
+
+int32_t KdTree::BuildRecursive(std::vector<int32_t>* items, size_t lo,
+                               size_t hi, int depth) {
+  if (lo >= hi) return -1;
+  const int16_t axis = static_cast<int16_t>(depth % dim_);
+  const size_t mid = lo + (hi - lo) / 2;
+  std::nth_element(items->begin() + lo, items->begin() + mid,
+                   items->begin() + hi,
+                   [&](int32_t a, int32_t b) {
+                     return points_[a][axis] < points_[b][axis];
+                   });
+  Node node;
+  node.point = (*items)[mid];
+  node.axis = axis;
+  const int32_t node_index = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(node);
+  const int32_t left = BuildRecursive(items, lo, mid, depth + 1);
+  const int32_t right = BuildRecursive(items, mid + 1, hi, depth + 1);
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+void KdTree::Search(int32_t node_index, const Vec& query, size_t k,
+                    std::vector<std::pair<double, int32_t>>* heap,
+                    size_t* visited) const {
+  if (node_index < 0) return;
+  const Node& node = nodes_[node_index];
+  if (visited != nullptr) ++*visited;
+  const double dist = SquaredDistance(points_[node.point], query);
+  // Max-heap on distance keeps the k best.
+  if (heap->size() < k) {
+    heap->emplace_back(dist, node.point);
+    std::push_heap(heap->begin(), heap->end());
+  } else if (dist < heap->front().first) {
+    std::pop_heap(heap->begin(), heap->end());
+    heap->back() = {dist, node.point};
+    std::push_heap(heap->begin(), heap->end());
+  }
+  const double delta =
+      double(query[node.axis]) - double(points_[node.point][node.axis]);
+  const int32_t near = delta <= 0.0 ? node.left : node.right;
+  const int32_t far = delta <= 0.0 ? node.right : node.left;
+  Search(near, query, k, heap, visited);
+  if (heap->size() < k || delta * delta < heap->front().first) {
+    Search(far, query, k, heap, visited);
+  }
+}
+
+int32_t KdTree::Nearest(const Vec& query, size_t* visited) const {
+  if (root_ < 0) return -1;
+  std::vector<std::pair<double, int32_t>> heap;
+  Search(root_, query, 1, &heap, visited);
+  return heap.empty() ? -1 : heap.front().second;
+}
+
+std::vector<int32_t> KdTree::KNearest(const Vec& query, size_t k) const {
+  std::vector<int32_t> result;
+  if (root_ < 0 || k == 0) return result;
+  std::vector<std::pair<double, int32_t>> heap;
+  Search(root_, query, k, &heap, nullptr);
+  std::sort_heap(heap.begin(), heap.end());
+  result.reserve(heap.size());
+  for (const auto& [dist, point] : heap) result.push_back(point);
+  return result;
+}
+
+}  // namespace opinedb::embedding

@@ -1,0 +1,57 @@
+#ifndef OPINEDB_EMBEDDING_KDTREE_H_
+#define OPINEDB_EMBEDDING_KDTREE_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "embedding/vector_ops.h"
+
+namespace opinedb::embedding {
+
+/// A k-d tree over dense vectors for exact nearest-neighbour search
+/// (Bentley 1975) — the fallback similarity-search structure of the
+/// paper's Appendix B indexing scheme.
+///
+/// Items are identified by the index they were inserted with; the tree is
+/// built once via Build() and is immutable afterwards.
+class KdTree {
+ public:
+  /// Builds a tree over `points` (all of equal dimension; may be empty).
+  static KdTree Build(std::vector<Vec> points);
+
+  /// Index of the nearest point to `query` by Euclidean distance, or -1
+  /// if the tree is empty. `visited` (optional) receives the number of
+  /// nodes touched, for benchmarking pruning effectiveness.
+  int32_t Nearest(const Vec& query, size_t* visited = nullptr) const;
+
+  /// Indices of the k nearest points, closest first.
+  std::vector<int32_t> KNearest(const Vec& query, size_t k) const;
+
+  size_t size() const { return points_.size(); }
+
+ private:
+  struct Node {
+    int32_t point = -1;     // Index into points_.
+    int32_t left = -1;      // Node index.
+    int32_t right = -1;     // Node index.
+    int16_t axis = 0;
+  };
+
+  int32_t BuildRecursive(std::vector<int32_t>* items, size_t lo, size_t hi,
+                         int depth);
+
+  void Search(int32_t node, const Vec& query, size_t k,
+              std::vector<std::pair<double, int32_t>>* heap,
+              size_t* visited) const;
+
+  std::vector<Vec> points_;
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+  size_t dim_ = 0;
+};
+
+}  // namespace opinedb::embedding
+
+#endif  // OPINEDB_EMBEDDING_KDTREE_H_

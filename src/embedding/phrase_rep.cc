@@ -1,0 +1,33 @@
+#include "embedding/phrase_rep.h"
+
+#include <utility>
+
+namespace opinedb::embedding {
+
+PhraseEmbedder::PhraseEmbedder(const WordEmbeddings* embeddings,
+                               std::function<double(std::string_view)> idf)
+    : embeddings_(embeddings), idf_(std::move(idf)) {}
+
+Vec PhraseEmbedder::RepresentTokens(
+    const std::vector<std::string>& tokens) const {
+  Vec rep = Zeros(embeddings_->dim());
+  for (const auto& token : tokens) {
+    const Vec* wv = embeddings_->Get(token);
+    if (wv == nullptr) continue;
+    const double weight = idf_ ? idf_(token) : 1.0;
+    if (weight <= 0.0) continue;
+    AxPy(weight, *wv, &rep);
+  }
+  return rep;
+}
+
+Vec PhraseEmbedder::Represent(std::string_view phrase) const {
+  return RepresentTokens(tokenizer_.Tokenize(phrase));
+}
+
+double PhraseEmbedder::Similarity(std::string_view a,
+                                  std::string_view b) const {
+  return Cosine(Represent(a), Represent(b));
+}
+
+}  // namespace opinedb::embedding

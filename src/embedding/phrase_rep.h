@@ -1,0 +1,48 @@
+#ifndef OPINEDB_EMBEDDING_PHRASE_REP_H_
+#define OPINEDB_EMBEDDING_PHRASE_REP_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "embedding/word2vec.h"
+#include "text/tokenizer.h"
+
+namespace opinedb::embedding {
+
+/// Computes IDF-weighted phrase representations (paper Eq. 1):
+///
+///   rep(p) = sum_{w in p} w2v(w) * idf(w)
+///
+/// and their cosine similarity (paper Eq. 2). This is the representation
+/// the subjective query interpreter matches query predicates against
+/// linguistic variations with.
+class PhraseEmbedder {
+ public:
+  /// `idf` maps a token to its inverse document frequency over the review
+  /// corpus; tokens the embedding model does not know are skipped.
+  PhraseEmbedder(const WordEmbeddings* embeddings,
+                 std::function<double(std::string_view)> idf);
+
+  /// rep(phrase); the zero vector if no token is in vocabulary.
+  Vec Represent(std::string_view phrase) const;
+
+  /// rep over pre-tokenized text.
+  Vec RepresentTokens(const std::vector<std::string>& tokens) const;
+
+  /// cosine(rep(a), rep(b)).
+  double Similarity(std::string_view a, std::string_view b) const;
+
+  size_t dim() const { return embeddings_->dim(); }
+  const WordEmbeddings& embeddings() const { return *embeddings_; }
+
+ private:
+  const WordEmbeddings* embeddings_;
+  std::function<double(std::string_view)> idf_;
+  text::Tokenizer tokenizer_;
+};
+
+}  // namespace opinedb::embedding
+
+#endif  // OPINEDB_EMBEDDING_PHRASE_REP_H_

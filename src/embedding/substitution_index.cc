@@ -1,0 +1,103 @@
+#include "embedding/substitution_index.h"
+
+#include <limits>
+#include <set>
+
+namespace opinedb::embedding {
+
+namespace {
+
+/// Generic query scaffolding words ignored when canonicalizing phrases
+/// ("has spotless carpet" and "spotless carpet" are the same lookup key).
+bool IsScaffolding(const std::string& token) {
+  return text::IsStopword(token) || token == "has" || token == "place";
+}
+
+}  // namespace
+
+std::string SubstitutionIndex::KeyOf(const std::vector<std::string>& tokens) {
+  std::string key;
+  for (const auto& token : tokens) {
+    if (IsScaffolding(token)) continue;
+    if (!key.empty()) key += ' ';
+    key += token;
+  }
+  return key;
+}
+
+SubstitutionIndex::SubstitutionIndex(std::vector<std::string> phrases,
+                                     const PhraseEmbedder* embedder)
+    : phrases_(std::move(phrases)), embedder_(embedder) {
+  // Dictionary of canonicalized phrases and the phrase-level k-d tree.
+  std::vector<Vec> reps;
+  reps.reserve(phrases_.size());
+  std::set<std::string> domain_words;
+  for (size_t i = 0; i < phrases_.size(); ++i) {
+    auto tokens = tokenizer_.Tokenize(phrases_[i]);
+    dictionary_.emplace(KeyOf(tokens), static_cast<int32_t>(i));
+    for (const auto& token : tokens) domain_words.insert(token);
+    reps.push_back(embedder_->RepresentTokens(tokens));
+  }
+  tree_ = KdTree::Build(std::move(reps));
+
+  // Precompute, for each domain word, its nearest neighbour word by the
+  // distance between the IDF-scaled embeddings (Appendix B).
+  std::vector<std::string> words(domain_words.begin(), domain_words.end());
+  std::vector<Vec> scaled;
+  std::vector<size_t> known;  // Indices of words with embeddings.
+  scaled.reserve(words.size());
+  for (size_t i = 0; i < words.size(); ++i) {
+    Vec rep = embedder_->RepresentTokens({words[i]});
+    if (Norm(rep) == 0.0) continue;
+    known.push_back(i);
+    scaled.push_back(std::move(rep));
+  }
+  for (size_t a = 0; a < known.size(); ++a) {
+    double best = std::numeric_limits<double>::infinity();
+    size_t best_b = known.size();
+    for (size_t b = 0; b < known.size(); ++b) {
+      if (a == b) continue;
+      const double d = SquaredDistance(scaled[a], scaled[b]);
+      if (d < best) {
+        best = d;
+        best_b = b;
+      }
+    }
+    if (best_b < known.size()) {
+      nearest_word_[words[known[a]]] = words[known[best_b]];
+    }
+  }
+}
+
+SubstitutionMatch SubstitutionIndex::Lookup(std::string_view query) const {
+  SubstitutionMatch match;
+  auto tokens = tokenizer_.Tokenize(query);
+  // 1. Verbatim dictionary hit.
+  auto it = dictionary_.find(KeyOf(tokens));
+  if (it != dictionary_.end()) {
+    match.phrase = it->second;
+    match.fast_path = true;
+    return match;
+  }
+  // 2. Single-word substitution with the precomputed nearest word.
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (IsScaffolding(tokens[i])) continue;
+    auto sub = nearest_word_.find(tokens[i]);
+    if (sub == nearest_word_.end()) continue;
+    std::vector<std::string> variant = tokens;
+    variant[i] = sub->second;
+    auto hit = dictionary_.find(KeyOf(variant));
+    if (hit != dictionary_.end()) {
+      match.phrase = hit->second;
+      match.fast_path = true;
+      return match;
+    }
+  }
+  // 3. Full similarity search over phrase representations.
+  Vec rep = embedder_->RepresentTokens(tokens);
+  match.phrase = tree_.Nearest(rep);
+  match.fast_path = false;
+  return match;
+}
+
+}  // namespace opinedb::embedding

@@ -1,0 +1,61 @@
+#ifndef OPINEDB_EMBEDDING_SUBSTITUTION_INDEX_H_
+#define OPINEDB_EMBEDDING_SUBSTITUTION_INDEX_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "embedding/kdtree.h"
+#include "embedding/phrase_rep.h"
+
+namespace opinedb::embedding {
+
+/// Result of a SubstitutionIndex lookup.
+struct SubstitutionMatch {
+  /// Index of the matched phrase within the indexed phrase list; -1 if no
+  /// match was found at all.
+  int32_t phrase = -1;
+  /// True when the fast dictionary/substitution path answered the query;
+  /// false when the k-d tree similarity search had to run.
+  bool fast_path = false;
+};
+
+/// The Appendix-B indexing scheme for w2v-based phrase similarity search.
+///
+/// For each vocabulary word w of the indexed phrases, the word w' with the
+/// closest IDF-scaled embedding is precomputed. A query is first tried
+/// verbatim against a phrase dictionary, then with each single word
+/// substituted by its precomputed neighbour; only if no variant matches
+/// does the full k-d tree similarity search over phrase representations
+/// run.
+class SubstitutionIndex {
+ public:
+  /// Indexes `phrases` (e.g. a linguistic domain) using `embedder` for
+  /// representations.
+  SubstitutionIndex(std::vector<std::string> phrases,
+                    const PhraseEmbedder* embedder);
+
+  /// Finds the indexed phrase most similar to `query`.
+  SubstitutionMatch Lookup(std::string_view query) const;
+
+  const std::string& phrase(int32_t i) const { return phrases_[i]; }
+  size_t num_phrases() const { return phrases_.size(); }
+
+ private:
+  /// Canonical dictionary key for a token sequence.
+  static std::string KeyOf(const std::vector<std::string>& tokens);
+
+  std::vector<std::string> phrases_;
+  const PhraseEmbedder* embedder_;
+  text::Tokenizer tokenizer_;
+  /// Canonical token-join -> phrase index.
+  std::unordered_map<std::string, int32_t> dictionary_;
+  /// word -> nearest other word by |w2v*idf| distance.
+  std::unordered_map<std::string, std::string> nearest_word_;
+  KdTree tree_;
+};
+
+}  // namespace opinedb::embedding
+
+#endif  // OPINEDB_EMBEDDING_SUBSTITUTION_INDEX_H_

@@ -1,0 +1,39 @@
+#ifndef OPINEDB_EMBEDDING_VECTOR_OPS_H_
+#define OPINEDB_EMBEDDING_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace opinedb::embedding {
+
+/// Dense embedding vector.
+using Vec = std::vector<float>;
+
+/// Dot product. Vectors must have equal dimension.
+double Dot(const Vec& a, const Vec& b);
+
+/// Euclidean norm.
+double Norm(const Vec& a);
+
+/// Cosine similarity in [-1, 1]; 0 if either vector is zero.
+double Cosine(const Vec& a, const Vec& b);
+
+/// Squared Euclidean distance.
+double SquaredDistance(const Vec& a, const Vec& b);
+
+/// a += scale * b.
+void AxPy(double scale, const Vec& b, Vec* a);
+
+/// Scales `a` in place.
+void Scale(double s, Vec* a);
+
+/// Returns a zero vector of dimension `dim`.
+Vec Zeros(size_t dim);
+
+/// Element-wise mean of `vectors`; zero vector of `dim` if empty.
+Vec Mean(const std::vector<Vec>& vectors, size_t dim);
+
+}  // namespace opinedb::embedding
+
+#endif  // OPINEDB_EMBEDDING_VECTOR_OPS_H_

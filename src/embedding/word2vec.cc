@@ -1,0 +1,204 @@
+#include "embedding/word2vec.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace opinedb::embedding {
+
+namespace {
+
+double Sigmoid(double x) {
+  if (x > 8.0) return 1.0;
+  if (x < -8.0) return 0.0;
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+/// Unigram^(3/4) negative-sampling table (the standard word2vec trick).
+class NegativeSampler {
+ public:
+  NegativeSampler(const text::Vocab& vocab) {
+    weights_.reserve(vocab.size());
+    for (size_t i = 0; i < vocab.size(); ++i) {
+      weights_.push_back(
+          std::pow(static_cast<double>(vocab.count(static_cast<int>(i))),
+                   0.75));
+    }
+    // Build a cumulative table for binary-search sampling.
+    cumulative_.resize(weights_.size());
+    double total = 0.0;
+    for (size_t i = 0; i < weights_.size(); ++i) {
+      total += weights_[i];
+      cumulative_[i] = total;
+    }
+    total_ = total;
+  }
+
+  text::WordId Sample(Rng* rng) const {
+    const double target = rng->Uniform() * total_;
+    auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), target);
+    return static_cast<text::WordId>(it - cumulative_.begin());
+  }
+
+ private:
+  std::vector<double> weights_;
+  std::vector<double> cumulative_;
+  double total_ = 0.0;
+};
+
+}  // namespace
+
+WordEmbeddings::WordEmbeddings(text::Vocab vocab, std::vector<Vec> vectors)
+    : vocab_(std::move(vocab)), vectors_(std::move(vectors)) {
+  dim_ = vectors_.empty() ? 0 : vectors_[0].size();
+}
+
+WordEmbeddings WordEmbeddings::TrainSgns(
+    const std::vector<std::vector<std::string>>& sentences,
+    const Word2VecOptions& options) {
+  // Pass 1: count the vocabulary.
+  text::Vocab full;
+  for (const auto& sentence : sentences) {
+    for (const auto& token : sentence) full.Add(token);
+  }
+  text::Vocab vocab = full.Pruned(options.min_count);
+  const size_t v = vocab.size();
+  const size_t dim = options.dim;
+
+  Rng rng(options.seed);
+  std::vector<Vec> in(v), out(v);
+  for (size_t i = 0; i < v; ++i) {
+    in[i].resize(dim);
+    for (float& x : in[i]) {
+      x = static_cast<float>((rng.Uniform() - 0.5) / dim);
+    }
+    out[i].assign(dim, 0.0f);
+  }
+  if (v == 0) return WordEmbeddings(std::move(vocab), std::move(in));
+
+  NegativeSampler sampler(vocab);
+  const double total_count = static_cast<double>(vocab.total_count());
+
+  // Pre-encode sentences as word ids.
+  std::vector<std::vector<text::WordId>> encoded;
+  encoded.reserve(sentences.size());
+  for (const auto& sentence : sentences) {
+    std::vector<text::WordId> ids;
+    ids.reserve(sentence.size());
+    for (const auto& token : sentence) {
+      text::WordId id = vocab.Lookup(token);
+      if (id != text::kInvalidWordId) ids.push_back(id);
+    }
+    if (ids.size() >= 2) encoded.push_back(std::move(ids));
+  }
+
+  Vec grad_accumulator(dim);
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    const double lr = options.learning_rate *
+                      (1.0 - static_cast<double>(epoch) / options.epochs);
+    for (const auto& ids : encoded) {
+      // Frequent-word subsampling per occurrence.
+      std::vector<text::WordId> kept;
+      kept.reserve(ids.size());
+      for (text::WordId id : ids) {
+        if (options.subsample > 0.0) {
+          const double freq =
+              static_cast<double>(vocab.count(id)) / total_count;
+          const double keep_prob =
+              std::min(1.0, std::sqrt(options.subsample / freq) +
+                                options.subsample / freq);
+          if (!rng.Bernoulli(keep_prob)) continue;
+        }
+        kept.push_back(id);
+      }
+      for (size_t pos = 0; pos < kept.size(); ++pos) {
+        const text::WordId center = kept[pos];
+        const int reduced_window =
+            1 + static_cast<int>(rng.Below(options.window));
+        const size_t lo =
+            pos >= static_cast<size_t>(reduced_window)
+                ? pos - static_cast<size_t>(reduced_window)
+                : 0;
+        const size_t hi =
+            std::min(kept.size() - 1, pos + static_cast<size_t>(reduced_window));
+        for (size_t ctx_pos = lo; ctx_pos <= hi; ++ctx_pos) {
+          if (ctx_pos == pos) continue;
+          const text::WordId context = kept[ctx_pos];
+          Vec& vin = in[context];
+          std::fill(grad_accumulator.begin(), grad_accumulator.end(), 0.0f);
+          // Positive example + negatives.
+          for (int s = 0; s < options.negative_samples + 1; ++s) {
+            text::WordId target;
+            double label;
+            if (s == 0) {
+              target = center;
+              label = 1.0;
+            } else {
+              target = sampler.Sample(&rng);
+              if (target == center) continue;
+              label = 0.0;
+            }
+            Vec& vout = out[target];
+            const double score = Sigmoid(Dot(vin, vout));
+            const double g = lr * (label - score);
+            AxPy(g, vout, &grad_accumulator);
+            AxPy(g, vin, &vout);
+          }
+          AxPy(1.0, grad_accumulator, &vin);
+        }
+      }
+    }
+  }
+  return WordEmbeddings(std::move(vocab), std::move(in));
+}
+
+const Vec* WordEmbeddings::Get(std::string_view word) const {
+  text::WordId id = vocab_.Lookup(word);
+  if (id == text::kInvalidWordId && word.size() > 3 && word.back() == 's') {
+    // Light morphological fallback: "rooms" -> "room". Review corpora are
+    // small enough that one inflection may be unseen.
+    id = vocab_.Lookup(word.substr(0, word.size() - 1));
+  }
+  if (id == text::kInvalidWordId) return nullptr;
+  return &vectors_[id];
+}
+
+double WordEmbeddings::Similarity(std::string_view a,
+                                  std::string_view b) const {
+  const Vec* va = Get(a);
+  const Vec* vb = Get(b);
+  if (va == nullptr || vb == nullptr) return 0.0;
+  return Cosine(*va, *vb);
+}
+
+std::vector<std::pair<std::string, double>> WordEmbeddings::MostSimilar(
+    std::string_view word, size_t k) const {
+  const Vec* query = Get(word);
+  if (query == nullptr) return {};
+  auto result = MostSimilarToVector(*query, k + 1);
+  // Drop the word itself if present.
+  std::vector<std::pair<std::string, double>> filtered;
+  for (auto& [w, score] : result) {
+    if (w != word) filtered.emplace_back(std::move(w), score);
+    if (filtered.size() == k) break;
+  }
+  return filtered;
+}
+
+std::vector<std::pair<std::string, double>>
+WordEmbeddings::MostSimilarToVector(const Vec& query, size_t k) const {
+  std::vector<std::pair<std::string, double>> scored;
+  scored.reserve(vectors_.size());
+  for (size_t i = 0; i < vectors_.size(); ++i) {
+    scored.emplace_back(vocab_.word(static_cast<text::WordId>(i)),
+                        Cosine(query, vectors_[i]));
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  if (scored.size() > k) scored.resize(k);
+  return scored;
+}
+
+}  // namespace opinedb::embedding

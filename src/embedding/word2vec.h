@@ -1,0 +1,71 @@
+#ifndef OPINEDB_EMBEDDING_WORD2VEC_H_
+#define OPINEDB_EMBEDDING_WORD2VEC_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "embedding/vector_ops.h"
+#include "text/vocab.h"
+
+namespace opinedb::embedding {
+
+/// Skip-gram-with-negative-sampling training options.
+struct Word2VecOptions {
+  size_t dim = 48;
+  int window = 3;
+  int negative_samples = 8;
+  int epochs = 15;
+  double learning_rate = 0.08;
+  /// Words rarer than this are dropped from the vocabulary.
+  int64_t min_count = 2;
+  /// Frequent-word subsampling threshold (word2vec's `sample`); 0 disables.
+  double subsample = 1e-3;
+  uint64_t seed = 42;
+};
+
+/// A trained word-embedding model: word -> dense vector.
+///
+/// This is our from-scratch substitute for gensim's word2vec. The training
+/// algorithm is the standard SGNS objective of Mikolov et al., which the
+/// paper uses for (a) the interpreter's similarity method, (b) seed
+/// expansion, and (c) phrase centroids in marker summaries.
+class WordEmbeddings {
+ public:
+  WordEmbeddings() = default;
+  WordEmbeddings(text::Vocab vocab, std::vector<Vec> vectors);
+
+  /// Trains SGNS embeddings over tokenized sentences.
+  static WordEmbeddings TrainSgns(
+      const std::vector<std::vector<std::string>>& sentences,
+      const Word2VecOptions& options);
+
+  /// Returns the vector for `word`, or nullptr if out of vocabulary.
+  const Vec* Get(std::string_view word) const;
+
+  /// Cosine similarity of two words; 0 if either is unknown.
+  double Similarity(std::string_view a, std::string_view b) const;
+
+  /// Top-k most similar in-vocabulary words to `word` (excluding itself).
+  std::vector<std::pair<std::string, double>> MostSimilar(
+      std::string_view word, size_t k) const;
+
+  /// Top-k most similar words to an arbitrary query vector.
+  std::vector<std::pair<std::string, double>> MostSimilarToVector(
+      const Vec& query, size_t k) const;
+
+  const text::Vocab& vocab() const { return vocab_; }
+  size_t dim() const { return dim_; }
+  size_t size() const { return vectors_.size(); }
+  const Vec& vector(text::WordId id) const { return vectors_[id]; }
+
+ private:
+  text::Vocab vocab_;
+  std::vector<Vec> vectors_;
+  size_t dim_ = 0;
+};
+
+}  // namespace opinedb::embedding
+
+#endif  // OPINEDB_EMBEDDING_WORD2VEC_H_

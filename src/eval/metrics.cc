@@ -1,0 +1,107 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace opinedb::eval {
+
+namespace {
+
+PrF1 FromCounts(double matched, double predicted_total, double gold_total) {
+  PrF1 out;
+  out.precision = predicted_total > 0.0 ? matched / predicted_total : 0.0;
+  out.recall = gold_total > 0.0 ? matched / gold_total : 0.0;
+  out.f1 = (out.precision + out.recall) > 0.0
+               ? 2.0 * out.precision * out.recall /
+                     (out.precision + out.recall)
+               : 0.0;
+  return out;
+}
+
+}  // namespace
+
+PrF1 SpanF1(const std::vector<std::vector<extract::Span>>& gold,
+            const std::vector<std::vector<extract::Span>>& predicted) {
+  assert(gold.size() == predicted.size());
+  double matched = 0.0, pred_total = 0.0, gold_total = 0.0;
+  for (size_t s = 0; s < gold.size(); ++s) {
+    pred_total += static_cast<double>(predicted[s].size());
+    gold_total += static_cast<double>(gold[s].size());
+    for (const auto& p : predicted[s]) {
+      for (const auto& g : gold[s]) {
+        if (p == g) {
+          matched += 1.0;
+          break;
+        }
+      }
+    }
+  }
+  return FromCounts(matched, pred_total, gold_total);
+}
+
+PrF1 SpanF1ForTag(const std::vector<std::vector<extract::Span>>& gold,
+                  const std::vector<std::vector<extract::Span>>& predicted,
+                  extract::Tag tag) {
+  std::vector<std::vector<extract::Span>> g(gold.size()), p(gold.size());
+  for (size_t s = 0; s < gold.size(); ++s) {
+    for (const auto& span : gold[s]) {
+      if (span.tag == tag) g[s].push_back(span);
+    }
+    for (const auto& span : predicted[s]) {
+      if (span.tag == tag) p[s].push_back(span);
+    }
+  }
+  return SpanF1(g, p);
+}
+
+double SatScore(const std::vector<std::vector<bool>>& satisfied) {
+  double total = 0.0;
+  for (size_t j = 0; j < satisfied.size(); ++j) {
+    int count = 0;
+    for (bool sat : satisfied[j]) {
+      if (sat) ++count;
+    }
+    total += static_cast<double>(count) /
+             std::log2(static_cast<double>(j) + 2.0);
+  }
+  return total;
+}
+
+double SatMax(std::vector<int> per_entity_counts, size_t k,
+              size_t num_predicates) {
+  // Ideal ranking: entities sorted by satisfaction count descending.
+  std::sort(per_entity_counts.begin(), per_entity_counts.end(),
+            std::greater<int>());
+  double total = 0.0;
+  const size_t n = std::min(k, per_entity_counts.size());
+  for (size_t j = 0; j < n; ++j) {
+    const int count =
+        std::min<int>(per_entity_counts[j], static_cast<int>(num_predicates));
+    total += static_cast<double>(count) /
+             std::log2(static_cast<double>(j) + 2.0);
+  }
+  return total;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double ss = 0.0;
+  for (double v : values) ss += (v - mean) * (v - mean);
+  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+double ConfidenceInterval95(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  return 1.96 * StdDev(values) / std::sqrt(static_cast<double>(values.size()));
+}
+
+}  // namespace opinedb::eval

@@ -1,0 +1,49 @@
+#ifndef OPINEDB_EVAL_METRICS_H_
+#define OPINEDB_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "extract/tags.h"
+
+namespace opinedb::eval {
+
+/// Precision/recall/F1 triple.
+struct PrF1 {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Exact-span-match F1 (the Table 6 metric): a predicted span counts only
+/// if it matches a gold span exactly (boundaries and tag).
+PrF1 SpanF1(const std::vector<std::vector<extract::Span>>& gold,
+            const std::vector<std::vector<extract::Span>>& predicted);
+
+/// Like SpanF1 but restricted to spans of one tag (aspect or opinion).
+PrF1 SpanF1ForTag(const std::vector<std::vector<extract::Span>>& gold,
+                  const std::vector<std::vector<extract::Span>>& predicted,
+                  extract::Tag tag);
+
+/// The paper's result-quality metric (Section 5.2.3):
+///   sat(Q, E) = sum_j (sum_i sat(q_i, e_j)) / log2(j + 1)
+/// where `satisfied[j][i]` says whether result j satisfies predicate i.
+double SatScore(const std::vector<std::vector<bool>>& satisfied);
+
+/// Discounted gain of an ideal top-k list given each entity's
+/// predicate-satisfaction count, i.e. sat-max(Q) (best permutation).
+double SatMax(std::vector<int> per_entity_counts, size_t k,
+              size_t num_predicates);
+
+/// Mean of `values`.
+double Mean(const std::vector<double>& values);
+
+/// Sample standard deviation (n-1 denominator); 0 for n < 2.
+double StdDev(const std::vector<double>& values);
+
+/// Half-width of the 95% normal-approximation confidence interval.
+double ConfidenceInterval95(const std::vector<double>& values);
+
+}  // namespace opinedb::eval
+
+#endif  // OPINEDB_EVAL_METRICS_H_

@@ -1,0 +1,115 @@
+#include "extract/opinion_tagger.h"
+
+#include <algorithm>
+
+#include "text/tokenizer.h"
+
+namespace opinedb::extract {
+
+namespace {
+
+std::string Shape(const std::string& token) {
+  std::string shape;
+  for (char c : token) {
+    if (c >= '0' && c <= '9') {
+      if (shape.empty() || shape.back() != 'd') shape += 'd';
+    } else if (c == '-' || c == '\'') {
+      shape += c;
+    } else {
+      if (shape.empty() || shape.back() != 'x') shape += 'x';
+    }
+  }
+  return shape;
+}
+
+void TokenFeatures(const std::vector<std::string>& tokens, int i,
+                   const sentiment::Lexicon& lexicon,
+                   const std::string& prefix,
+                   std::vector<std::string>* out) {
+  if (i < 0 || i >= static_cast<int>(tokens.size())) {
+    out->push_back(prefix + "w=<pad>");
+    return;
+  }
+  const std::string& w = tokens[i];
+  out->push_back(prefix + "w=" + w);
+  const double v = lexicon.valence(w);
+  if (v > 0.0) out->push_back(prefix + "lex=pos");
+  if (v < 0.0) out->push_back(prefix + "lex=neg");
+  if (sentiment::IntensityOf(w) != 1.0) out->push_back(prefix + "mod");
+  if (sentiment::IsNegation(w)) out->push_back(prefix + "negation");
+  if (text::IsStopword(w)) out->push_back(prefix + "stop");
+}
+
+}  // namespace
+
+std::vector<std::vector<std::string>> TaggingFeatures(
+    const std::vector<std::string>& tokens,
+    const sentiment::Lexicon& lexicon) {
+  std::vector<std::vector<std::string>> features(tokens.size());
+  for (int i = 0; i < static_cast<int>(tokens.size()); ++i) {
+    auto& f = features[i];
+    f.reserve(16);
+    TokenFeatures(tokens, i, lexicon, "", &f);
+    TokenFeatures(tokens, i - 1, lexicon, "p1:", &f);
+    TokenFeatures(tokens, i + 1, lexicon, "n1:", &f);
+    TokenFeatures(tokens, i - 2, lexicon, "p2:", &f);
+    TokenFeatures(tokens, i + 2, lexicon, "n2:", &f);
+    const std::string& w = tokens[i];
+    f.push_back("shape=" + Shape(w));
+    if (w.size() >= 3) {
+      f.push_back("suf3=" + w.substr(w.size() - 3));
+      f.push_back("pre3=" + w.substr(0, 3));
+    }
+    f.push_back("bias");
+  }
+  return features;
+}
+
+OpinionTagger OpinionTagger::Train(const std::vector<LabeledSentence>& data,
+                                   int epochs, uint64_t seed) {
+  OpinionTagger tagger;
+  std::vector<ml::TaggedSequence> sequences;
+  sequences.reserve(data.size());
+  for (const auto& sentence : data) {
+    ml::TaggedSequence seq;
+    seq.features = TaggingFeatures(sentence.tokens, tagger.lexicon_);
+    seq.tags = sentence.tags;
+    sequences.push_back(std::move(seq));
+  }
+  ml::PerceptronTagger::Options options;
+  options.epochs = epochs;
+  options.seed = seed;
+  tagger.model_ = ml::PerceptronTagger::Train(sequences, kNumTags, options);
+  return tagger;
+}
+
+std::vector<int> OpinionTagger::Tag(
+    const std::vector<std::string>& tokens) const {
+  return model_.Predict(TaggingFeatures(tokens, lexicon_));
+}
+
+RuleBasedTagger::RuleBasedTagger(std::unordered_set<std::string> aspect_nouns)
+    : aspect_nouns_(std::move(aspect_nouns)) {}
+
+std::vector<int> RuleBasedTagger::Tag(
+    const std::vector<std::string>& tokens) const {
+  std::vector<int> tags(tokens.size(), kO);
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (lexicon_.valence(tokens[i]) != 0.0) {
+      tags[i] = kOP;
+    } else if (aspect_nouns_.count(tokens[i]) > 0) {
+      tags[i] = kAS;
+    }
+  }
+  // Modifiers and negations attach to a following opinion word.
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tags[i] == kO && tags[i + 1] == kOP &&
+        (sentiment::IntensityOf(tokens[i]) != 1.0 ||
+         sentiment::IsNegation(tokens[i]))) {
+      tags[i] = kOP;
+    }
+  }
+  return tags;
+}
+
+}  // namespace opinedb::extract

@@ -1,0 +1,64 @@
+#ifndef OPINEDB_EXTRACT_OPINION_TAGGER_H_
+#define OPINEDB_EXTRACT_OPINION_TAGGER_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "extract/tags.h"
+#include "ml/perceptron_tagger.h"
+#include "sentiment/analyzer.h"
+
+namespace opinedb::extract {
+
+/// One labeled sentence: tokens + gold tags.
+struct LabeledSentence {
+  std::vector<std::string> tokens;
+  std::vector<int> tags;
+};
+
+/// Builds the emission feature bundle for each token of `tokens`.
+///
+/// Features include lexical identity, affixes, word shape, opinion-lexicon
+/// membership with valence sign, intensifier/negation flags, and a +/-2
+/// context window — the hand-engineered analogue of the contextual
+/// representations the paper obtains from BERT.
+std::vector<std::vector<std::string>> TaggingFeatures(
+    const std::vector<std::string>& tokens,
+    const sentiment::Lexicon& lexicon);
+
+/// The trained opinion-term tagger of Section 4.1 (our BERT+BiLSTM+CRF
+/// substitute): averaged-perceptron sequence model over TaggingFeatures.
+class OpinionTagger {
+ public:
+  /// Trains on labeled sentences.
+  static OpinionTagger Train(const std::vector<LabeledSentence>& data,
+                             int epochs = 8, uint64_t seed = 42);
+
+  /// Predicts tags for a tokenized sentence.
+  std::vector<int> Tag(const std::vector<std::string>& tokens) const;
+
+ private:
+  ml::PerceptronTagger model_;
+  sentiment::Lexicon lexicon_ = sentiment::Lexicon::Default();
+};
+
+/// Rule/lexicon baseline tagger standing in for the pre-BERT prior art
+/// (the CMLA/RNCRF line the paper compares against in Table 6): tags a
+/// token OP if it is an opinion-lexicon word (or an intensifier/negation
+/// directly preceding one) and AS if it is a known aspect noun.
+class RuleBasedTagger {
+ public:
+  /// `aspect_nouns` is the baseline's aspect gazetteer.
+  explicit RuleBasedTagger(std::unordered_set<std::string> aspect_nouns);
+
+  std::vector<int> Tag(const std::vector<std::string>& tokens) const;
+
+ private:
+  std::unordered_set<std::string> aspect_nouns_;
+  sentiment::Lexicon lexicon_ = sentiment::Lexicon::Default();
+};
+
+}  // namespace opinedb::extract
+
+#endif  // OPINEDB_EXTRACT_OPINION_TAGGER_H_

@@ -1,0 +1,143 @@
+#include "extract/pairing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace opinedb::extract {
+
+namespace {
+
+/// Token gap between two spans (0 when adjacent/overlapping).
+int SpanDistance(const Span& a, const Span& b) {
+  if (a.end <= b.begin) return b.begin - a.end;
+  if (b.end <= a.begin) return a.begin - b.end;
+  return 0;
+}
+
+}  // namespace
+
+std::vector<OpinionPair> RuleBasedPairing(const std::vector<Span>& spans) {
+  std::vector<OpinionPair> pairs;
+  std::vector<const Span*> aspects;
+  for (const Span& span : spans) {
+    if (span.tag == kAS) aspects.push_back(&span);
+  }
+  for (const Span& span : spans) {
+    if (span.tag != kOP) continue;
+    const Span* best = nullptr;
+    int best_dist = std::numeric_limits<int>::max();
+    for (const Span* aspect : aspects) {
+      const int d = SpanDistance(*aspect, span);
+      // Ties resolve to the leftmost aspect (aspects are in order).
+      if (d < best_dist) {
+        best_dist = d;
+        best = aspect;
+      }
+    }
+    OpinionPair pair;
+    pair.opinion = span;
+    if (best != nullptr) {
+      pair.aspect = *best;
+    } else {
+      pair.aspect = Span{span.begin, span.begin, kAS};  // Empty aspect.
+    }
+    pairs.push_back(pair);
+  }
+  return pairs;
+}
+
+std::vector<double> PairingFeatures(const std::vector<Span>& spans,
+                                    const Span& aspect, const Span& opinion) {
+  const int dist = SpanDistance(aspect, opinion);
+  const bool opinion_after = opinion.begin >= aspect.end;
+  int spans_between = 0;
+  const int lo = std::min(aspect.end, opinion.end);
+  const int hi = std::max(aspect.begin, opinion.begin);
+  for (const Span& s : spans) {
+    if (s.begin >= lo && s.end <= hi &&
+        !(s == aspect) && !(s == opinion)) {
+      ++spans_between;
+    }
+  }
+  int num_aspects = 0;
+  int num_opinions = 0;
+  for (const Span& s : spans) {
+    if (s.tag == kAS) ++num_aspects;
+    if (s.tag == kOP) ++num_opinions;
+  }
+  return {
+      static_cast<double>(dist),
+      std::log1p(static_cast<double>(dist)),
+      opinion_after ? 1.0 : 0.0,
+      static_cast<double>(spans_between),
+      static_cast<double>(aspect.end - aspect.begin),
+      static_cast<double>(opinion.end - opinion.begin),
+      dist <= 1 ? 1.0 : 0.0,
+      static_cast<double>(num_aspects),
+      static_cast<double>(num_opinions),
+  };
+}
+
+PairingClassifier PairingClassifier::Train(
+    const std::vector<Example>& examples, uint64_t seed) {
+  PairingClassifier classifier;
+  std::vector<ml::Example> training;
+  training.reserve(examples.size());
+  for (const auto& ex : examples) {
+    ml::Example t;
+    t.features = PairingFeatures(ex.spans, ex.aspect, ex.opinion);
+    t.label = ex.correct ? 1 : 0;
+    training.push_back(std::move(t));
+  }
+  ml::LogRegOptions options;
+  options.seed = seed;
+  classifier.model_ = ml::LogisticRegression::Train(training, options);
+  return classifier;
+}
+
+double PairingClassifier::Score(const std::vector<Span>& spans,
+                                const Span& aspect,
+                                const Span& opinion) const {
+  return model_.Predict(PairingFeatures(spans, aspect, opinion));
+}
+
+std::vector<OpinionPair> PairingClassifier::Pair(
+    const std::vector<Span>& spans) const {
+  std::vector<OpinionPair> pairs;
+  std::vector<const Span*> aspects;
+  for (const Span& span : spans) {
+    if (span.tag == kAS) aspects.push_back(&span);
+  }
+  for (const Span& span : spans) {
+    if (span.tag != kOP) continue;
+    const Span* best = nullptr;
+    double best_score = 0.5;
+    for (const Span* aspect : aspects) {
+      const double s = Score(spans, *aspect, span);
+      if (s >= best_score) {
+        best_score = s;
+        best = aspect;
+      }
+    }
+    OpinionPair pair;
+    pair.opinion = span;
+    pair.aspect =
+        best != nullptr ? *best : Span{span.begin, span.begin, kAS};
+    pairs.push_back(pair);
+  }
+  return pairs;
+}
+
+double PairingClassifier::Accuracy(
+    const std::vector<Example>& examples) const {
+  if (examples.empty()) return 0.0;
+  int correct = 0;
+  for (const auto& ex : examples) {
+    const bool predicted = Score(ex.spans, ex.aspect, ex.opinion) >= 0.5;
+    if (predicted == ex.correct) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(examples.size());
+}
+
+}  // namespace opinedb::extract

@@ -1,0 +1,67 @@
+#ifndef OPINEDB_EXTRACT_PAIRING_H_
+#define OPINEDB_EXTRACT_PAIRING_H_
+
+#include <string>
+#include <vector>
+
+#include "extract/tags.h"
+#include "ml/logistic_regression.h"
+
+namespace opinedb::extract {
+
+/// A paired (aspect term, opinion term) extraction from one sentence.
+struct OpinionPair {
+  Span aspect;
+  Span opinion;
+
+  bool operator==(const OpinionPair& other) const {
+    return aspect == other.aspect && opinion == other.opinion;
+  }
+};
+
+/// Rule-based pairing (Appendix C, method 1): each opinion span links to
+/// the closest aspect span by token distance — a proxy for the parse-tree
+/// distance heuristic — resolving ties to the left. Opinion spans with no
+/// aspect in the sentence are paired with an empty aspect span (the
+/// opinion stands alone, e.g. "amazing!").
+std::vector<OpinionPair> RuleBasedPairing(const std::vector<Span>& spans);
+
+/// Dense features describing a candidate (aspect, opinion) link, used by
+/// the supervised pairing classifier (Appendix C, method 2).
+std::vector<double> PairingFeatures(const std::vector<Span>& spans,
+                                    const Span& aspect, const Span& opinion);
+
+/// Supervised pairing model: a binary classifier scoring candidate links;
+/// each opinion span is paired to its highest-scoring aspect (if any
+/// candidate scores >= 0.5).
+class PairingClassifier {
+ public:
+  /// Training example: all spans of a sentence, one candidate link, and
+  /// whether that link is correct.
+  struct Example {
+    std::vector<Span> spans;
+    Span aspect;
+    Span opinion;
+    bool correct = false;
+  };
+
+  static PairingClassifier Train(const std::vector<Example>& examples,
+                                 uint64_t seed = 42);
+
+  /// Probability the link is correct.
+  double Score(const std::vector<Span>& spans, const Span& aspect,
+               const Span& opinion) const;
+
+  /// Pairs all opinion spans using the classifier.
+  std::vector<OpinionPair> Pair(const std::vector<Span>& spans) const;
+
+  /// Accuracy on held-out link examples.
+  double Accuracy(const std::vector<Example>& examples) const;
+
+ private:
+  ml::LogisticRegression model_;
+};
+
+}  // namespace opinedb::extract
+
+#endif  // OPINEDB_EXTRACT_PAIRING_H_

@@ -1,0 +1,43 @@
+#include "extract/pipeline.h"
+
+namespace opinedb::extract {
+
+std::vector<ExtractedOpinion> ExtractionPipeline::ExtractFromReview(
+    const text::Review& review) const {
+  std::vector<ExtractedOpinion> opinions;
+  const auto sentences = text::Tokenizer::SplitSentences(review.body);
+  for (size_t s = 0; s < sentences.size(); ++s) {
+    const auto tokens = tokenizer_.Tokenize(sentences[s]);
+    if (tokens.empty()) continue;
+    const auto tags = tagger_.Tag(tokens);
+    const auto spans = SpansFromTags(tags);
+    const auto pairs = RuleBasedPairing(spans);
+    for (const auto& pair : pairs) {
+      ExtractedOpinion opinion;
+      opinion.entity = review.entity;
+      opinion.review = review.id;
+      opinion.sentence_index = static_cast<int>(s);
+      opinion.aspect = SpanText(tokens, pair.aspect);
+      opinion.opinion = SpanText(tokens, pair.opinion);
+      opinion.phrase = opinion.aspect.empty()
+                           ? opinion.opinion
+                           : opinion.opinion + " " + opinion.aspect;
+      opinion.sentiment = analyzer_.ScorePhrase(opinion.opinion);
+      opinions.push_back(std::move(opinion));
+    }
+  }
+  return opinions;
+}
+
+std::vector<ExtractedOpinion> ExtractionPipeline::ExtractFromCorpus(
+    const text::ReviewCorpus& corpus) const {
+  std::vector<ExtractedOpinion> all;
+  for (const auto& review : corpus.reviews()) {
+    auto opinions = ExtractFromReview(review);
+    all.insert(all.end(), std::make_move_iterator(opinions.begin()),
+               std::make_move_iterator(opinions.end()));
+  }
+  return all;
+}
+
+}  // namespace opinedb::extract

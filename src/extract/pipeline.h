@@ -1,0 +1,55 @@
+#ifndef OPINEDB_EXTRACT_PIPELINE_H_
+#define OPINEDB_EXTRACT_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "extract/opinion_tagger.h"
+#include "extract/pairing.h"
+#include "sentiment/analyzer.h"
+#include "text/corpus.h"
+#include "text/tokenizer.h"
+
+namespace opinedb::extract {
+
+/// One extracted opinion with full provenance (Section 4.2.2: "any result
+/// returned can be supported with evidence from the reviews").
+struct ExtractedOpinion {
+  text::EntityId entity = 0;
+  text::ReviewId review = 0;
+  int sentence_index = 0;
+  /// The aspect term (may be empty for stand-alone opinions).
+  std::string aspect;
+  /// The opinion term.
+  std::string opinion;
+  /// concat(aspect, opinion) — the linguistic-variation phrase the rest of
+  /// the system (attribute classifier, marker matching) operates on.
+  std::string phrase;
+  /// Sentiment of the opinion term in [-1, 1].
+  double sentiment = 0.0;
+};
+
+/// The two-stage extractor of Section 4.1: tag tokens with an
+/// OpinionTagger, then pair aspect and opinion spans.
+class ExtractionPipeline {
+ public:
+  explicit ExtractionPipeline(OpinionTagger tagger)
+      : tagger_(std::move(tagger)) {}
+
+  /// Extracts all opinions from one review.
+  std::vector<ExtractedOpinion> ExtractFromReview(
+      const text::Review& review) const;
+
+  /// Extracts from every review in a corpus.
+  std::vector<ExtractedOpinion> ExtractFromCorpus(
+      const text::ReviewCorpus& corpus) const;
+
+ private:
+  OpinionTagger tagger_;
+  text::Tokenizer tokenizer_;
+  sentiment::Analyzer analyzer_;
+};
+
+}  // namespace opinedb::extract
+
+#endif  // OPINEDB_EXTRACT_PIPELINE_H_

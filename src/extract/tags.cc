@@ -1,0 +1,32 @@
+#include "extract/tags.h"
+
+namespace opinedb::extract {
+
+std::vector<Span> SpansFromTags(const std::vector<int>& tags) {
+  std::vector<Span> spans;
+  size_t i = 0;
+  while (i < tags.size()) {
+    if (tags[i] == kO) {
+      ++i;
+      continue;
+    }
+    size_t j = i + 1;
+    while (j < tags.size() && tags[j] == tags[i]) ++j;
+    spans.push_back(Span{static_cast<int>(i), static_cast<int>(j),
+                         static_cast<Tag>(tags[i])});
+    i = j;
+  }
+  return spans;
+}
+
+std::string SpanText(const std::vector<std::string>& tokens,
+                     const Span& span) {
+  std::string out;
+  for (int i = span.begin; i < span.end; ++i) {
+    if (i > span.begin) out += ' ';
+    out += tokens[i];
+  }
+  return out;
+}
+
+}  // namespace opinedb::extract

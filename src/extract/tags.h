@@ -1,0 +1,39 @@
+#ifndef OPINEDB_EXTRACT_TAGS_H_
+#define OPINEDB_EXTRACT_TAGS_H_
+
+#include <string>
+#include <vector>
+
+namespace opinedb::extract {
+
+/// Token tags for opinion extraction (paper Fig. 6): part of an aspect
+/// term, part of an opinion term, or irrelevant.
+enum Tag : int {
+  kO = 0,   // Irrelevant.
+  kAS = 1,  // Aspect term.
+  kOP = 2,  // Opinion term.
+};
+
+inline constexpr int kNumTags = 3;
+
+/// A contiguous tagged span [begin, end) of one tag type.
+struct Span {
+  int begin = 0;
+  int end = 0;
+  Tag tag = kO;
+
+  bool operator==(const Span& other) const {
+    return begin == other.begin && end == other.end && tag == other.tag;
+  }
+};
+
+/// Extracts maximal non-O spans from a tag sequence.
+std::vector<Span> SpansFromTags(const std::vector<int>& tags);
+
+/// Joins tokens[span.begin, span.end) with single spaces.
+std::string SpanText(const std::vector<std::string>& tokens,
+                     const Span& span);
+
+}  // namespace opinedb::extract
+
+#endif  // OPINEDB_EXTRACT_TAGS_H_

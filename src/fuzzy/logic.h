@@ -1,0 +1,75 @@
+#ifndef OPINEDB_FUZZY_LOGIC_H_
+#define OPINEDB_FUZZY_LOGIC_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace opinedb::fuzzy {
+
+/// The fuzzy-logic variant used to combine degrees of truth (Section 3.1).
+enum class Variant {
+  /// Classic Zadeh/Gödel: x⊗y = min(x,y), x⊕y = max(x,y).
+  kGodel,
+  /// Product variant (OpineDB's choice): x⊗y = xy,
+  /// x⊕y = 1 - (1-x)(1-y).
+  kProduct,
+};
+
+/// x ⊗ y under `variant`.
+double And(Variant variant, double x, double y);
+/// x ⊕ y under `variant`.
+double Or(Variant variant, double x, double y);
+/// ¬x = 1 - x (both variants).
+double Not(double x);
+
+/// A fuzzy boolean expression tree over leaf truth values.
+///
+/// Leaves are identified by an index; evaluation pulls the leaf degrees of
+/// truth from a callback so the same compiled expression can be evaluated
+/// for every entity.
+class Expr {
+ public:
+  enum class Kind { kLeaf, kAnd, kOr, kNot };
+
+  using Ptr = std::shared_ptr<const Expr>;
+
+  /// Leaf referencing the `index`-th atomic condition.
+  static Ptr Leaf(size_t index);
+  /// Conjunction of `children` (at least one).
+  static Ptr MakeAnd(std::vector<Ptr> children);
+  /// Disjunction of `children` (at least one).
+  static Ptr MakeOr(std::vector<Ptr> children);
+  /// Negation.
+  static Ptr MakeNot(Ptr child);
+
+  Kind kind() const { return kind_; }
+  size_t leaf_index() const { return leaf_index_; }
+  const std::vector<Ptr>& children() const { return children_; }
+
+  /// Evaluates the expression; `leaf` maps a leaf index to its degree of
+  /// truth in [0, 1].
+  double Evaluate(Variant variant,
+                  const std::function<double(size_t)>& leaf) const;
+
+  /// Number of leaves (max leaf index + 1) in the expression.
+  size_t NumLeaves() const;
+
+  /// Renders e.g. "(p0 ⊗ (p1 ⊕ p2))" for diagnostics.
+  std::string ToString() const;
+
+ private:
+  Expr(Kind kind, size_t leaf_index, std::vector<Ptr> children)
+      : kind_(kind), leaf_index_(leaf_index),
+        children_(std::move(children)) {}
+
+  Kind kind_;
+  size_t leaf_index_ = 0;
+  std::vector<Ptr> children_;
+};
+
+}  // namespace opinedb::fuzzy
+
+#endif  // OPINEDB_FUZZY_LOGIC_H_

@@ -1,0 +1,100 @@
+#include "fuzzy/threshold_algorithm.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace opinedb::fuzzy {
+
+namespace {
+
+double Aggregate(const std::vector<std::vector<double>>& lists, int32_t e,
+                 Variant variant) {
+  double acc = 1.0;
+  bool first = true;
+  for (const auto& list : lists) {
+    if (first) {
+      acc = list[e];
+      first = false;
+    } else {
+      acc = And(variant, acc, list[e]);
+    }
+  }
+  return acc;
+}
+
+void SortAndTrim(std::vector<RankedEntity>* ranked, size_t k) {
+  std::sort(ranked->begin(), ranked->end(),
+            [](const RankedEntity& a, const RankedEntity& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.entity < b.entity;
+            });
+  if (ranked->size() > k) ranked->resize(k);
+}
+
+}  // namespace
+
+std::vector<RankedEntity> ThresholdAlgorithmTopK(
+    const std::vector<std::vector<double>>& lists, size_t k, Variant variant,
+    TaStats* stats) {
+  std::vector<RankedEntity> result;
+  if (lists.empty() || lists[0].empty() || k == 0) return result;
+  const size_t num_entities = lists[0].size();
+  const size_t num_lists = lists.size();
+
+  // Sorted access order per list.
+  std::vector<std::vector<int32_t>> order(num_lists);
+  for (size_t j = 0; j < num_lists; ++j) {
+    order[j].resize(num_entities);
+    for (size_t e = 0; e < num_entities; ++e) {
+      order[j][e] = static_cast<int32_t>(e);
+    }
+    std::sort(order[j].begin(), order[j].end(),
+              [&lists, j](int32_t a, int32_t b) {
+                if (lists[j][a] != lists[j][b]) {
+                  return lists[j][a] > lists[j][b];
+                }
+                return a < b;
+              });
+  }
+
+  std::unordered_set<int32_t> seen;
+  std::vector<RankedEntity> top;
+  for (size_t depth = 0; depth < num_entities; ++depth) {
+    if (stats != nullptr) ++stats->rounds;
+    // One sorted access per list at this depth.
+    for (size_t j = 0; j < num_lists; ++j) {
+      const int32_t e = order[j][depth];
+      if (stats != nullptr) ++stats->sorted_accesses;
+      if (seen.insert(e).second) {
+        if (stats != nullptr) stats->random_accesses += num_lists - 1;
+        top.push_back(RankedEntity{e, Aggregate(lists, e, variant)});
+      }
+    }
+    SortAndTrim(&top, k);
+    // Threshold: aggregate of the current depth's per-list scores.
+    double threshold = lists[0][order[0][depth]];
+    for (size_t j = 1; j < num_lists; ++j) {
+      threshold = And(variant, threshold, lists[j][order[j][depth]]);
+    }
+    if (top.size() >= k && top.back().score >= threshold) break;
+  }
+  return top;
+}
+
+std::vector<RankedEntity> FullScanTopK(
+    const std::vector<std::vector<double>>& lists, size_t k,
+    Variant variant) {
+  std::vector<RankedEntity> ranked;
+  if (lists.empty()) return ranked;
+  const size_t num_entities = lists[0].size();
+  ranked.reserve(num_entities);
+  for (size_t e = 0; e < num_entities; ++e) {
+    ranked.push_back(RankedEntity{static_cast<int32_t>(e),
+                                  Aggregate(lists, static_cast<int32_t>(e),
+                                            variant)});
+  }
+  SortAndTrim(&ranked, k);
+  return ranked;
+}
+
+}  // namespace opinedb::fuzzy

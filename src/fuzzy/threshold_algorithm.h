@@ -1,0 +1,42 @@
+#ifndef OPINEDB_FUZZY_THRESHOLD_ALGORITHM_H_
+#define OPINEDB_FUZZY_THRESHOLD_ALGORITHM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fuzzy/logic.h"
+
+namespace opinedb::fuzzy {
+
+/// An entity with its aggregated score.
+struct RankedEntity {
+  int32_t entity = 0;
+  double score = 0.0;
+};
+
+/// Statistics about a Threshold Algorithm run, for benchmarking.
+struct TaStats {
+  size_t sorted_accesses = 0;
+  size_t random_accesses = 0;
+  size_t rounds = 0;
+};
+
+/// Fagin's Threshold Algorithm (Fagin, Lotem & Naor 2003) for monotone
+/// top-k aggregation over per-predicate score lists.
+///
+/// `lists[j][e]` is the degree of truth of predicate j for entity e
+/// (dense: every list covers all entities). The aggregate is the fuzzy
+/// conjunction of all predicates under `variant` — which is monotone, so
+/// TA's early-termination bound applies. Returns the top-k entities by
+/// aggregate score, best first, ties broken by smaller entity id.
+std::vector<RankedEntity> ThresholdAlgorithmTopK(
+    const std::vector<std::vector<double>>& lists, size_t k, Variant variant,
+    TaStats* stats = nullptr);
+
+/// Baseline: full scan computing the same aggregate for all entities.
+std::vector<RankedEntity> FullScanTopK(
+    const std::vector<std::vector<double>>& lists, size_t k, Variant variant);
+
+}  // namespace opinedb::fuzzy
+
+#endif  // OPINEDB_FUZZY_THRESHOLD_ALGORITHM_H_

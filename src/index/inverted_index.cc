@@ -1,0 +1,121 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace opinedb::index {
+
+DocId InvertedIndex::AddDocument(const std::vector<std::string>& tokens) {
+  DocId doc = static_cast<DocId>(doc_lengths_.size());
+  std::unordered_map<std::string, int32_t> tf;
+  for (const auto& token : tokens) ++tf[token];
+  for (auto& [term, count] : tf) {
+    postings_[term].push_back(Posting{doc, count});
+  }
+  doc_lengths_.push_back(static_cast<int32_t>(tokens.size()));
+  total_length_ += static_cast<int64_t>(tokens.size());
+  return doc;
+}
+
+double InvertedIndex::average_doc_length() const {
+  if (doc_lengths_.empty()) return 0.0;
+  return static_cast<double>(total_length_) /
+         static_cast<double>(doc_lengths_.size());
+}
+
+int64_t InvertedIndex::DocumentFrequency(std::string_view term) const {
+  auto it = postings_.find(std::string(term));
+  return it == postings_.end() ? 0
+                               : static_cast<int64_t>(it->second.size());
+}
+
+double InvertedIndex::Bm25Idf(std::string_view term) const {
+  const double n = static_cast<double>(num_documents());
+  const double df = static_cast<double>(DocumentFrequency(term));
+  return std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+}
+
+double InvertedIndex::Idf(std::string_view term) const {
+  const double n = static_cast<double>(num_documents());
+  const double df = static_cast<double>(DocumentFrequency(term));
+  if (n == 0.0) return 0.0;
+  return std::max(0.0, std::log(n / (1.0 + df)));
+}
+
+int32_t InvertedIndex::TermFrequency(DocId doc, std::string_view term) const {
+  auto it = postings_.find(std::string(term));
+  if (it == postings_.end()) return 0;
+  // Postings are appended in increasing doc order, so binary search works.
+  const auto& list = it->second;
+  auto pos = std::lower_bound(
+      list.begin(), list.end(), doc,
+      [](const Posting& p, DocId d) { return p.doc < d; });
+  if (pos != list.end() && pos->doc == doc) return pos->tf;
+  return 0;
+}
+
+double InvertedIndex::Score(DocId doc,
+                            const std::vector<std::string>& query) const {
+  const double avg_len = average_doc_length();
+  const double len = static_cast<double>(doc_lengths_[doc]);
+  double score = 0.0;
+  for (const auto& term : query) {
+    int32_t tf = TermFrequency(doc, term);
+    if (tf == 0) continue;
+    const double idf = Bm25Idf(term);
+    const double num = tf * (params_.k1 + 1.0);
+    const double den =
+        tf + params_.k1 * (1.0 - params_.b + params_.b * len / avg_len);
+    score += idf * num / den;
+  }
+  return score;
+}
+
+std::vector<ScoredDoc> InvertedIndex::RankAll(
+    const std::vector<std::string>& query, size_t k,
+    const std::vector<double>* weights) const {
+  std::unordered_map<DocId, double> accum;
+  const double avg_len = average_doc_length();
+  // Deduplicate query terms while preserving multiplicity semantics of
+  // BM25 (repeated query terms contribute repeatedly, as in Okapi).
+  for (const auto& term : query) {
+    auto it = postings_.find(term);
+    if (it == postings_.end()) continue;
+    const double idf = Bm25Idf(term);
+    for (const Posting& posting : it->second) {
+      const double len = static_cast<double>(doc_lengths_[posting.doc]);
+      const double num = posting.tf * (params_.k1 + 1.0);
+      const double den = posting.tf + params_.k1 * (1.0 - params_.b +
+                                                    params_.b * len / avg_len);
+      accum[posting.doc] += idf * num / den;
+    }
+  }
+  std::vector<ScoredDoc> scored;
+  scored.reserve(accum.size());
+  for (const auto& [doc, score] : accum) {
+    double s = score;
+    if (weights != nullptr) s *= (*weights)[doc];
+    if (s > 0.0) scored.push_back(ScoredDoc{doc, s});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredDoc& a, const ScoredDoc& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc < b.doc;
+            });
+  if (scored.size() > k) scored.resize(k);
+  return scored;
+}
+
+std::vector<ScoredDoc> InvertedIndex::TopK(
+    const std::vector<std::string>& query, size_t k) const {
+  return RankAll(query, k, nullptr);
+}
+
+std::vector<ScoredDoc> InvertedIndex::TopKWeighted(
+    const std::vector<std::string>& query, size_t k,
+    const std::vector<double>& weights) const {
+  return RankAll(query, k, &weights);
+}
+
+}  // namespace opinedb::index

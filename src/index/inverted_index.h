@@ -1,0 +1,87 @@
+#ifndef OPINEDB_INDEX_INVERTED_INDEX_H_
+#define OPINEDB_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace opinedb::index {
+
+/// Document id within an InvertedIndex. Assigned densely by AddDocument.
+using DocId = int32_t;
+
+/// A scored document.
+struct ScoredDoc {
+  DocId doc = 0;
+  double score = 0.0;
+};
+
+/// Okapi BM25 parameters (standard defaults).
+struct Bm25Params {
+  double k1 = 1.2;
+  double b = 0.75;
+};
+
+/// An in-memory inverted index with Okapi BM25 ranking — our substitute
+/// for the Elasticsearch substrate the paper relies on for the
+/// co-occurrence interpretation method and the IR baseline.
+class InvertedIndex {
+ public:
+  explicit InvertedIndex(Bm25Params params = Bm25Params())
+      : params_(params) {}
+
+  /// Adds a tokenized document; returns its dense DocId.
+  DocId AddDocument(const std::vector<std::string>& tokens);
+
+  size_t num_documents() const { return doc_lengths_.size(); }
+  double average_doc_length() const;
+
+  /// Document frequency of a term (number of documents containing it).
+  int64_t DocumentFrequency(std::string_view term) const;
+
+  /// BM25 idf component: ln(1 + (N - df + 0.5) / (df + 0.5)).
+  double Bm25Idf(std::string_view term) const;
+
+  /// Classic smoothed idf: ln(N / (1 + df)) clamped at >= 0. Used for the
+  /// IDF-weighted phrase embeddings (paper Eq. 1).
+  double Idf(std::string_view term) const;
+
+  /// BM25 score of one document for a tokenized query.
+  double Score(DocId doc, const std::vector<std::string>& query) const;
+
+  /// Top-k documents by BM25 (ties broken by smaller DocId). Documents
+  /// with zero score are omitted; fewer than k results may be returned.
+  std::vector<ScoredDoc> TopK(const std::vector<std::string>& query,
+                              size_t k) const;
+
+  /// Like TopK but each document's BM25 score is multiplied by
+  /// `weights[doc]` (e.g. a sentiment score); non-positive products are
+  /// omitted. `weights` must have one entry per document.
+  std::vector<ScoredDoc> TopKWeighted(const std::vector<std::string>& query,
+                                      size_t k,
+                                      const std::vector<double>& weights) const;
+
+  /// Term frequency of `term` in `doc` (0 if absent).
+  int32_t TermFrequency(DocId doc, std::string_view term) const;
+
+ private:
+  struct Posting {
+    DocId doc;
+    int32_t tf;
+  };
+
+  std::vector<ScoredDoc> RankAll(const std::vector<std::string>& query,
+                                 size_t k,
+                                 const std::vector<double>* weights) const;
+
+  Bm25Params params_;
+  std::unordered_map<std::string, std::vector<Posting>> postings_;
+  std::vector<int32_t> doc_lengths_;
+  int64_t total_length_ = 0;
+};
+
+}  // namespace opinedb::index
+
+#endif  // OPINEDB_INDEX_INVERTED_INDEX_H_

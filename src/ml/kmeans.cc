@@ -1,0 +1,100 @@
+#include "ml/kmeans.h"
+
+#include <cassert>
+#include <limits>
+
+namespace opinedb::ml {
+
+using embedding::SquaredDistance;
+using embedding::Vec;
+
+KMeansResult KMeans(const std::vector<Vec>& points, size_t k,
+                    const KMeansOptions& options) {
+  KMeansResult result;
+  if (points.empty() || k == 0) return result;
+  k = std::min(k, points.size());
+  const size_t dim = points[0].size();
+  Rng rng(options.seed);
+
+  // k-means++ seeding.
+  result.centroids.push_back(points[rng.Below(points.size())]);
+  std::vector<double> min_dist(points.size(),
+                               std::numeric_limits<double>::infinity());
+  while (result.centroids.size() < k) {
+    for (size_t i = 0; i < points.size(); ++i) {
+      min_dist[i] = std::min(
+          min_dist[i], SquaredDistance(points[i], result.centroids.back()));
+    }
+    double total = 0.0;
+    for (double d : min_dist) total += d;
+    if (total <= 0.0) {
+      // All remaining points coincide with chosen centroids.
+      result.centroids.push_back(points[rng.Below(points.size())]);
+      continue;
+    }
+    double target = rng.Uniform() * total;
+    size_t chosen = points.size() - 1;
+    for (size_t i = 0; i < points.size(); ++i) {
+      target -= min_dist[i];
+      if (target < 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    result.centroids.push_back(points[chosen]);
+  }
+
+  result.assignment.assign(points.size(), 0);
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    bool changed = false;
+    // Assignment step.
+    for (size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int32_t best_c = 0;
+      for (size_t c = 0; c < result.centroids.size(); ++c) {
+        const double d = SquaredDistance(points[i], result.centroids[c]);
+        if (d < best) {
+          best = d;
+          best_c = static_cast<int32_t>(c);
+        }
+      }
+      if (result.assignment[i] != best_c) {
+        result.assignment[i] = best_c;
+        changed = true;
+      }
+    }
+    // Update step.
+    std::vector<Vec> sums(result.centroids.size(), embedding::Zeros(dim));
+    std::vector<int> counts(result.centroids.size(), 0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      embedding::AxPy(1.0, points[i], &sums[result.assignment[i]]);
+      ++counts[result.assignment[i]];
+    }
+    for (size_t c = 0; c < result.centroids.size(); ++c) {
+      if (counts[c] > 0) {
+        embedding::Scale(1.0 / counts[c], &sums[c]);
+        result.centroids[c] = sums[c];
+      }
+      // Empty clusters keep their previous centroid.
+    }
+    if (!changed && iteration > 0) break;
+  }
+
+  // Final inertia + medoids.
+  result.inertia = 0.0;
+  result.medoids.assign(result.centroids.size(), -1);
+  std::vector<double> medoid_dist(result.centroids.size(),
+                                  std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < points.size(); ++i) {
+    const int32_t c = result.assignment[i];
+    const double d = SquaredDistance(points[i], result.centroids[c]);
+    result.inertia += d;
+    if (d < medoid_dist[c]) {
+      medoid_dist[c] = d;
+      result.medoids[c] = static_cast<int32_t>(i);
+    }
+  }
+  return result;
+}
+
+}  // namespace opinedb::ml

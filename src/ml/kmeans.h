@@ -1,0 +1,40 @@
+#ifndef OPINEDB_ML_KMEANS_H_
+#define OPINEDB_ML_KMEANS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "embedding/vector_ops.h"
+
+namespace opinedb::ml {
+
+/// k-means clustering result.
+struct KMeansResult {
+  /// Cluster centroids (k of them).
+  std::vector<embedding::Vec> centroids;
+  /// Cluster assignment per input point.
+  std::vector<int32_t> assignment;
+  /// Sum of squared distances to assigned centroids.
+  double inertia = 0.0;
+  /// For each cluster, the index of the input point closest to its
+  /// centroid (the "medoid"); used to pick representative marker phrases.
+  std::vector<int32_t> medoids;
+};
+
+/// k-means options.
+struct KMeansOptions {
+  int max_iterations = 50;
+  uint64_t seed = 42;
+};
+
+/// Lloyd's algorithm with k-means++ initialization. Used for inducing
+/// categorical marker summaries (Section 4.2.1): cluster the linguistic
+/// domain's phrase embeddings and take the phrases nearest each centroid
+/// as the suggested markers.
+KMeansResult KMeans(const std::vector<embedding::Vec>& points, size_t k,
+                    const KMeansOptions& options = KMeansOptions());
+
+}  // namespace opinedb::ml
+
+#endif  // OPINEDB_ML_KMEANS_H_

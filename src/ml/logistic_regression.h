@@ -1,0 +1,63 @@
+#ifndef OPINEDB_ML_LOGISTIC_REGRESSION_H_
+#define OPINEDB_ML_LOGISTIC_REGRESSION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace opinedb::ml {
+
+/// One binary-labeled training example with a dense feature vector.
+struct Example {
+  std::vector<double> features;
+  int label = 0;  // 0 or 1.
+};
+
+/// Logistic-regression training options.
+struct LogRegOptions {
+  int epochs = 80;
+  double learning_rate = 0.1;
+  double l2 = 1e-4;
+  uint64_t seed = 42;
+  /// Standardize features to zero mean / unit variance before training
+  /// (stored so inference applies the same transform).
+  bool standardize = true;
+};
+
+/// Binary logistic regression trained with mini-SGD.
+///
+/// This is the membership-function model of Section 3.3: the probability
+/// output P(y=1|x) is used directly as a degree of truth in [0, 1].
+class LogisticRegression {
+ public:
+  /// Trains on `examples` (all feature vectors of equal length).
+  static LogisticRegression Train(const std::vector<Example>& examples,
+                                  const LogRegOptions& options);
+
+  /// P(y = 1 | features) in [0, 1].
+  double Predict(const std::vector<double>& features) const;
+
+  /// Hard decision at 0.5.
+  int Classify(const std::vector<double>& features) const {
+    return Predict(features) >= 0.5 ? 1 : 0;
+  }
+
+  /// Fraction of `examples` classified correctly.
+  double Accuracy(const std::vector<Example>& examples) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+  size_t dim() const { return weights_.size(); }
+
+ private:
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  // Standardization parameters (identity when standardize was false).
+  std::vector<double> mean_;
+  std::vector<double> inv_std_;
+};
+
+}  // namespace opinedb::ml
+
+#endif  // OPINEDB_ML_LOGISTIC_REGRESSION_H_

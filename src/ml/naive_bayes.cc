@@ -1,0 +1,85 @@
+#include "ml/naive_bayes.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace opinedb::ml {
+
+NaiveBayesClassifier NaiveBayesClassifier::Train(
+    const std::vector<TextExample>& examples, int num_labels, double alpha) {
+  NaiveBayesClassifier model;
+  model.num_labels_ = num_labels;
+  model.alpha_ = alpha;
+  model.log_prior_.assign(num_labels, 0.0);
+  model.label_token_totals_.assign(num_labels, 0.0);
+
+  std::vector<double> label_counts(num_labels, 0.0);
+  for (const auto& ex : examples) {
+    assert(ex.label >= 0 && ex.label < num_labels);
+    label_counts[ex.label] += 1.0;
+    for (const auto& token : ex.tokens) {
+      auto& counts = model.token_counts_[token];
+      if (counts.empty()) counts.assign(num_labels, 0.0);
+      counts[ex.label] += 1.0;
+      model.label_token_totals_[ex.label] += 1.0;
+    }
+  }
+  model.vocab_size_ = model.token_counts_.size();
+  const double total =
+      std::max<double>(1.0, static_cast<double>(examples.size()));
+  for (int c = 0; c < num_labels; ++c) {
+    model.log_prior_[c] = std::log((label_counts[c] + 1.0) /
+                                   (total + num_labels));
+  }
+  return model;
+}
+
+std::vector<double> NaiveBayesClassifier::Scores(
+    const std::vector<std::string>& tokens) const {
+  std::vector<double> scores = log_prior_;
+  const double v = static_cast<double>(std::max<size_t>(1, vocab_size_));
+  for (const auto& token : tokens) {
+    auto it = token_counts_.find(token);
+    for (int c = 0; c < num_labels_; ++c) {
+      const double count = it == token_counts_.end() ? 0.0 : it->second[c];
+      scores[c] += std::log((count + alpha_) /
+                            (label_token_totals_[c] + alpha_ * v));
+    }
+  }
+  return scores;
+}
+
+int NaiveBayesClassifier::Classify(
+    const std::vector<std::string>& tokens) const {
+  return ClassifyWithMargin(tokens).first;
+}
+
+std::pair<int, double> NaiveBayesClassifier::ClassifyWithMargin(
+    const std::vector<std::string>& tokens) const {
+  auto scores = Scores(tokens);
+  int best = 0;
+  for (int c = 1; c < num_labels_; ++c) {
+    if (scores[c] > scores[best]) best = c;
+  }
+  double runner_up = -std::numeric_limits<double>::infinity();
+  for (int c = 0; c < num_labels_; ++c) {
+    if (c != best && scores[c] > runner_up) runner_up = scores[c];
+  }
+  const double margin =
+      num_labels_ < 2 ? 0.0 : scores[best] - runner_up;
+  return {best, margin};
+}
+
+double NaiveBayesClassifier::Accuracy(
+    const std::vector<TextExample>& examples) const {
+  if (examples.empty()) return 0.0;
+  int correct = 0;
+  for (const auto& ex : examples) {
+    if (Classify(ex.tokens) == ex.label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(examples.size());
+}
+
+}  // namespace opinedb::ml

@@ -1,0 +1,57 @@
+#ifndef OPINEDB_ML_NAIVE_BAYES_H_
+#define OPINEDB_ML_NAIVE_BAYES_H_
+
+#include <string>
+#include <utility>
+#include <unordered_map>
+#include <vector>
+
+namespace opinedb::ml {
+
+/// A labeled text example: bag of tokens + class label id.
+struct TextExample {
+  std::vector<std::string> tokens;
+  int label = 0;
+};
+
+/// Multinomial naive Bayes text classifier with Laplace smoothing.
+///
+/// This is the attribute classifier of Section 4.2: it maps extracted
+/// (aspect, opinion) pairs — encoded as token bags — to subjective
+/// attributes, trained on seed-expanded weak supervision.
+class NaiveBayesClassifier {
+ public:
+  /// Trains on `examples` covering labels 0..num_labels-1.
+  static NaiveBayesClassifier Train(const std::vector<TextExample>& examples,
+                                    int num_labels, double alpha = 1.0);
+
+  /// Most likely label for a token bag.
+  int Classify(const std::vector<std::string>& tokens) const;
+
+  /// Most likely label plus the log-probability margin over the
+  /// runner-up (0 when fewer than two labels). Small margins mean the
+  /// token bag carries no real evidence.
+  std::pair<int, double> ClassifyWithMargin(
+      const std::vector<std::string>& tokens) const;
+
+  /// Per-label log-posterior (unnormalized).
+  std::vector<double> Scores(const std::vector<std::string>& tokens) const;
+
+  /// Fraction of `examples` classified correctly.
+  double Accuracy(const std::vector<TextExample>& examples) const;
+
+  int num_labels() const { return num_labels_; }
+
+ private:
+  int num_labels_ = 0;
+  double alpha_ = 1.0;
+  std::vector<double> log_prior_;
+  /// token -> per-label counts.
+  std::unordered_map<std::string, std::vector<double>> token_counts_;
+  std::vector<double> label_token_totals_;
+  size_t vocab_size_ = 0;
+};
+
+}  // namespace opinedb::ml
+
+#endif  // OPINEDB_ML_NAIVE_BAYES_H_

@@ -1,0 +1,169 @@
+#include "ml/perceptron_tagger.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace opinedb::ml {
+
+double PerceptronTagger::EmissionScore(
+    int tag, const std::vector<std::string>& features, bool averaged) const {
+  double score = 0.0;
+  const auto& table = emission_[tag];
+  for (const auto& feature : features) {
+    auto it = table.find(feature);
+    if (it != table.end()) {
+      score += averaged ? it->second.averaged : it->second.weight;
+    }
+  }
+  return score;
+}
+
+std::vector<int> PerceptronTagger::Decode(
+    const std::vector<std::vector<std::string>>& features,
+    bool averaged) const {
+  const size_t n = features.size();
+  std::vector<int> best_path;
+  if (n == 0) return best_path;
+  const int start = num_tags_;  // Virtual start tag.
+  std::vector<std::vector<double>> score(n,
+                                         std::vector<double>(num_tags_, 0.0));
+  std::vector<std::vector<int>> back(n, std::vector<int>(num_tags_, 0));
+  for (int t = 0; t < num_tags_; ++t) {
+    const auto& entry = transition_[start][t];
+    score[0][t] = (averaged ? entry.averaged : entry.weight) +
+                  EmissionScore(t, features[0], averaged);
+  }
+  for (size_t i = 1; i < n; ++i) {
+    for (int t = 0; t < num_tags_; ++t) {
+      const double emit = EmissionScore(t, features[i], averaged);
+      double best = -std::numeric_limits<double>::infinity();
+      int best_prev = 0;
+      for (int p = 0; p < num_tags_; ++p) {
+        const auto& entry = transition_[p][t];
+        const double s =
+            score[i - 1][p] + (averaged ? entry.averaged : entry.weight);
+        if (s > best) {
+          best = s;
+          best_prev = p;
+        }
+      }
+      score[i][t] = best + emit;
+      back[i][t] = best_prev;
+    }
+  }
+  int best_last = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (int t = 0; t < num_tags_; ++t) {
+    if (score[n - 1][t] > best_score) {
+      best_score = score[n - 1][t];
+      best_last = t;
+    }
+  }
+  best_path.assign(n, 0);
+  best_path[n - 1] = best_last;
+  for (size_t i = n - 1; i > 0; --i) {
+    best_path[i - 1] = back[i][best_path[i]];
+  }
+  return best_path;
+}
+
+void PerceptronTagger::UpdateFeature(int tag, const std::string& feature,
+                                     double delta, int64_t timestamp) {
+  WeightEntry& entry = emission_[tag][feature];
+  entry.total += entry.weight * static_cast<double>(timestamp - entry.stamp);
+  entry.stamp = timestamp;
+  entry.weight += delta;
+}
+
+void PerceptronTagger::UpdateTransition(int prev, int cur, double delta,
+                                        int64_t timestamp) {
+  WeightEntry& entry = transition_[prev][cur];
+  entry.total += entry.weight * static_cast<double>(timestamp - entry.stamp);
+  entry.stamp = timestamp;
+  entry.weight += delta;
+}
+
+void PerceptronTagger::FinalizeAverage(int64_t timestamp) {
+  auto finalize = [timestamp](WeightEntry* entry) {
+    entry->total +=
+        entry->weight * static_cast<double>(timestamp - entry->stamp);
+    entry->averaged =
+        timestamp > 0 ? entry->total / static_cast<double>(timestamp) : 0.0;
+  };
+  for (auto& table : emission_) {
+    for (auto& [feature, entry] : table) finalize(&entry);
+  }
+  for (auto& row : transition_) {
+    for (auto& entry : row) finalize(&entry);
+  }
+  finalized_ = true;
+}
+
+PerceptronTagger PerceptronTagger::Train(
+    const std::vector<TaggedSequence>& data, int num_tags,
+    const Options& options) {
+  PerceptronTagger tagger;
+  tagger.num_tags_ = num_tags;
+  tagger.emission_.resize(num_tags);
+  tagger.transition_.assign(num_tags + 1,
+                            std::vector<WeightEntry>(num_tags));
+  Rng rng(options.seed);
+  std::vector<size_t> order(data.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  int64_t timestamp = 0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t idx : order) {
+      const TaggedSequence& seq = data[idx];
+      assert(seq.features.size() == seq.tags.size());
+      if (seq.features.empty()) continue;
+      ++timestamp;
+      std::vector<int> predicted = tagger.Decode(seq.features, false);
+      if (predicted == seq.tags) continue;
+      // Structured update: +1 along the gold path, -1 along the predicted
+      // path (emissions and transitions).
+      const int start = num_tags;
+      for (size_t i = 0; i < seq.features.size(); ++i) {
+        if (predicted[i] != seq.tags[i]) {
+          for (const auto& feature : seq.features[i]) {
+            tagger.UpdateFeature(seq.tags[i], feature, +1.0, timestamp);
+            tagger.UpdateFeature(predicted[i], feature, -1.0, timestamp);
+          }
+        }
+        const int gold_prev = i == 0 ? start : seq.tags[i - 1];
+        const int pred_prev = i == 0 ? start : predicted[i - 1];
+        if (gold_prev != pred_prev || seq.tags[i] != predicted[i]) {
+          tagger.UpdateTransition(gold_prev, seq.tags[i], +1.0, timestamp);
+          tagger.UpdateTransition(pred_prev, predicted[i], -1.0, timestamp);
+        }
+      }
+    }
+  }
+  tagger.FinalizeAverage(timestamp);
+  return tagger;
+}
+
+std::vector<int> PerceptronTagger::Predict(
+    const std::vector<std::vector<std::string>>& features) const {
+  return Decode(features, finalized_);
+}
+
+double PerceptronTagger::TokenAccuracy(
+    const std::vector<TaggedSequence>& data) const {
+  int64_t correct = 0;
+  int64_t total = 0;
+  for (const auto& seq : data) {
+    auto predicted = Predict(seq.features);
+    for (size_t i = 0; i < seq.tags.size(); ++i) {
+      if (predicted[i] == seq.tags[i]) ++correct;
+      ++total;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct) /
+                          static_cast<double>(total);
+}
+
+}  // namespace opinedb::ml

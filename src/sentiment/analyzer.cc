@@ -1,0 +1,198 @@
+#include "sentiment/analyzer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace opinedb::sentiment {
+
+namespace {
+
+struct Entry {
+  const char* word;
+  double valence;
+};
+
+// The default lexicon. Valences follow the usual opinion-lexicon
+// convention: strong words near +/-1, hedged words near +/-0.3.
+constexpr Entry kDefaultLexicon[] = {
+    // Cleanliness.
+    {"clean", 0.7},        {"spotless", 1.0},     {"immaculate", 1.0},
+    {"spotlessly", 0.9},   {"tidy", 0.6},         {"pristine", 0.95},
+    {"hygienic", 0.6},     {"dirty", -0.7},       {"filthy", -1.0},
+    {"dusty", -0.5},       {"stained", -0.6},     {"grimy", -0.8},
+    {"smelly", -0.8},      {"moldy", -0.9},       {"sticky", -0.5},
+    {"unclean", -0.7},     {"spotty", -0.4},
+    // Comfort.
+    {"comfortable", 0.7},  {"comfy", 0.7},        {"cozy", 0.6},
+    {"soft", 0.4},         {"plush", 0.6},        {"firm", 0.3},
+    {"supportive", 0.5},   {"lumpy", -0.6},       {"sagging", -0.6},
+    {"worn", -0.5},        {"worn-out", -0.7},    {"uncomfortable", -0.7},
+    {"hard", -0.3},        {"creaky", -0.4},
+    // Service/staff.
+    {"friendly", 0.7},     {"helpful", 0.7},      {"attentive", 0.7},
+    {"courteous", 0.6},    {"welcoming", 0.7},    {"professional", 0.6},
+    {"kind", 0.6},         {"polite", 0.5},       {"accommodating", 0.6},
+    {"rude", -0.8},        {"unhelpful", -0.7},   {"dismissive", -0.6},
+    {"indifferent", -0.4}, {"unfriendly", -0.7},  {"incompetent", -0.8},
+    {"exceptional", 1.0},  {"impeccable", 0.95},
+    // Food.
+    {"delicious", 0.9},    {"tasty", 0.7},        {"flavorful", 0.7},
+    {"fresh", 0.6},        {"succulent", 0.8},    {"mouthwatering", 0.9},
+    {"bland", -0.5},       {"stale", -0.7},       {"greasy", -0.5},
+    {"soggy", -0.5},       {"overcooked", -0.6},  {"undercooked", -0.7},
+    {"inedible", -1.0},    {"flavorless", -0.6},  {"divine", 0.9},
+    // Noise/quietness.
+    {"quiet", 0.6},        {"peaceful", 0.8},     {"tranquil", 0.8},
+    {"serene", 0.8},       {"silent", 0.5},       {"noisy", -0.7},
+    {"loud", -0.6},        {"annoying", -0.7},    {"constant", -0.2},
+    {"thin-walled", -0.5},
+    // Style/decor.
+    {"modern", 0.5},       {"luxurious", 0.9},    {"elegant", 0.8},
+    {"stylish", 0.7},      {"chic", 0.7},         {"charming", 0.7},
+    {"beautiful", 0.8},    {"stunning", 0.9},     {"gorgeous", 0.9},
+    {"dated", -0.5},       {"outdated", -0.6},    {"old-fashioned", -0.3},
+    {"shabby", -0.7},      {"drab", -0.5},        {"tired", -0.4},
+    {"old", -0.3},         {"extravagant", 0.7},  {"opulent", 0.8},
+    // Space.
+    {"spacious", 0.7},     {"roomy", 0.6},        {"airy", 0.5},
+    {"cramped", -0.7},     {"tiny", -0.5},        {"claustrophobic", -0.8},
+    {"small", -0.3},       {"compact", -0.1},     {"generous", 0.5},
+    // Value/price.
+    {"affordable", 0.5},   {"reasonable", 0.4},   {"bargain", 0.6},
+    {"overpriced", -0.7},  {"pricey", -0.4},      {"expensive", -0.3},
+    {"cheap", -0.2},       {"value", 0.4},
+    // Location.
+    {"convenient", 0.6},   {"central", 0.5},      {"walkable", 0.5},
+    {"remote", -0.3},      {"sketchy", -0.7},     {"unsafe", -0.8},
+    {"safe", 0.6},         {"scenic", 0.7},
+    // Ambience.
+    {"romantic", 0.8},     {"lively", 0.6},       {"vibrant", 0.6},
+    {"intimate", 0.6},     {"relaxing", 0.7},     {"inviting", 0.6},
+    {"dull", -0.5},        {"boring", -0.5},      {"sterile", -0.4},
+    {"crowded", -0.5},     {"packed", -0.3},      {"buzzing", 0.4},
+    // Generic.
+    {"great", 0.8},        {"good", 0.6},         {"excellent", 0.9},
+    {"amazing", 0.9},      {"wonderful", 0.9},    {"fantastic", 0.9},
+    {"awesome", 0.8},      {"superb", 0.9},       {"perfect", 1.0},
+    {"outstanding", 0.9},  {"lovely", 0.7},       {"nice", 0.5},
+    {"pleasant", 0.5},     {"fine", 0.3},         {"decent", 0.3},
+    {"ok", 0.1},           {"okay", 0.1},         {"average", 0.0},
+    {"standard", 0.0},     {"adequate", 0.1},     {"acceptable", 0.1},
+    {"mediocre", -0.3},    {"disappointing", -0.6}, {"poor", -0.6},
+    {"bad", -0.6},         {"terrible", -0.9},    {"awful", -0.9},
+    {"horrible", -0.9},    {"dreadful", -0.9},    {"atrocious", -1.0},
+    {"disgusting", -0.9},  {"gross", -0.8},       {"broken", -0.6},
+    {"faulty", -0.6},      {"unacceptable", -0.8}, {"miserable", -0.8},
+    {"appalling", -0.9},   {"abysmal", -1.0},     {"subpar", -0.5},
+    {"underwhelming", -0.4}, {"memorable", 0.6},  {"delightful", 0.8},
+    {"flawless", 0.95},    {"five-star", 0.9},    {"world-class", 0.9},
+    // Speed / waiting.
+    {"fast", 0.5},         {"quick", 0.5},        {"prompt", 0.6},
+    {"speedy", 0.5},       {"slow", -0.5},        {"endless", -0.7},
+    {"sluggish", -0.5},    {"instant", 0.5},
+    // Product/build vocabulary (laptop domain).
+    {"responsive", 0.6},   {"mushy", -0.5},       {"blazing", 0.8},
+    {"solid", 0.6},        {"premium", 0.7},      {"sturdy", 0.6},
+    {"flimsy", -0.6},
+};
+
+struct ModifierEntry {
+  const char* word;
+  double factor;
+};
+
+constexpr ModifierEntry kModifiers[] = {
+    {"very", 1.5},       {"really", 1.5},   {"extremely", 1.8},
+    {"incredibly", 1.8}, {"absolutely", 1.7}, {"super", 1.5},
+    {"so", 1.3},         {"truly", 1.4},    {"exceptionally", 1.8},
+    {"remarkably", 1.5}, {"totally", 1.4},  {"utterly", 1.6},
+    {"quite", 1.2},      {"pretty", 1.1},   {"fairly", 0.9},
+    {"somewhat", 0.7},   {"slightly", 0.5}, {"a-bit", 0.6},
+    {"bit", 0.6},        {"kinda", 0.7},    {"rather", 1.1},
+    {"mildly", 0.6},     {"barely", 0.4},   {"wee", 0.6},
+};
+
+constexpr const char* kNegations[] = {
+    "not", "no", "never", "hardly", "isn't",  "wasn't", "aren't",
+    "weren't", "don't", "didn't", "doesn't", "cannot", "can't",
+    "won't", "nothing", "neither", "nor", "without",
+};
+
+}  // namespace
+
+Lexicon Lexicon::Default() {
+  Lexicon lex;
+  for (const auto& entry : kDefaultLexicon) {
+    lex.Set(entry.word, entry.valence);
+  }
+  return lex;
+}
+
+void Lexicon::Set(std::string word, double valence) {
+  entries_[std::move(word)] = std::clamp(valence, -1.0, 1.0);
+}
+
+double Lexicon::valence(std::string_view word) const {
+  auto it = entries_.find(std::string(word));
+  return it == entries_.end() ? 0.0 : it->second;
+}
+
+bool Lexicon::Contains(std::string_view word) const {
+  return entries_.count(std::string(word)) > 0;
+}
+
+bool IsNegation(std::string_view word) {
+  for (const char* neg : kNegations) {
+    if (word == neg) return true;
+  }
+  return false;
+}
+
+double IntensityOf(std::string_view word) {
+  for (const auto& mod : kModifiers) {
+    if (word == mod.word) return mod.factor;
+  }
+  return 1.0;
+}
+
+double Analyzer::ScoreTokens(const std::vector<std::string>& tokens) const {
+  double sum = 0.0;
+  int scored = 0;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    double v = lexicon_.valence(tokens[i]);
+    if (v == 0.0) continue;
+    // Look back up to 3 tokens for negations and intensity modifiers.
+    double intensity = 1.0;
+    bool negated = false;
+    size_t window_start = i >= 3 ? i - 3 : 0;
+    for (size_t j = window_start; j < i; ++j) {
+      if (IsNegation(tokens[j])) negated = !negated;
+      intensity *= IntensityOf(tokens[j]);
+    }
+    v *= intensity;
+    if (negated) v = -0.75 * v;  // Negation flips and dampens.
+    sum += std::clamp(v, -1.0, 1.0);
+    ++scored;
+  }
+  if (scored == 0) return 0.0;
+  return std::clamp(sum / scored, -1.0, 1.0);
+}
+
+double Analyzer::ScorePhrase(std::string_view phrase) const {
+  return ScoreTokens(tokenizer_.Tokenize(phrase));
+}
+
+double Analyzer::ScoreDocument(std::string_view document) const {
+  auto sentences = text::Tokenizer::SplitSentences(document);
+  if (sentences.empty()) return 0.0;
+  double sum = 0.0;
+  int counted = 0;
+  for (const auto& sentence : sentences) {
+    double s = ScorePhrase(sentence);
+    sum += s;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / counted;
+}
+
+}  // namespace opinedb::sentiment

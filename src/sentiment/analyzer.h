@@ -1,0 +1,69 @@
+#ifndef OPINEDB_SENTIMENT_ANALYZER_H_
+#define OPINEDB_SENTIMENT_ANALYZER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "text/tokenizer.h"
+
+namespace opinedb::sentiment {
+
+/// A word -> valence mapping. Valences are in [-1, 1].
+class Lexicon {
+ public:
+  /// Builds the default English opinion lexicon (covers the generic
+  /// opinion vocabulary used in hotel/restaurant reviews).
+  static Lexicon Default();
+
+  /// Adds or overwrites an entry. `valence` is clamped to [-1, 1].
+  void Set(std::string word, double valence);
+
+  /// Returns the valence of `word`, or 0 if absent.
+  double valence(std::string_view word) const;
+
+  /// True if `word` has an entry.
+  bool Contains(std::string_view word) const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<std::string, double> entries_;
+};
+
+/// Rule-based sentiment analyzer (our substitute for the NLTK analyzer the
+/// paper uses). Handles negation ("not clean"), intensifiers
+/// ("very clean") and diminishers ("slightly dirty").
+class Analyzer {
+ public:
+  explicit Analyzer(Lexicon lexicon = Lexicon::Default())
+      : lexicon_(std::move(lexicon)) {}
+
+  /// Sentiment of a short phrase in [-1, 1]. Returns 0 for neutral or
+  /// unknown text.
+  double ScorePhrase(std::string_view phrase) const;
+
+  /// Sentiment of pre-tokenized text in [-1, 1].
+  double ScoreTokens(const std::vector<std::string>& tokens) const;
+
+  /// Sentiment of a whole document: mean of its sentence scores.
+  double ScoreDocument(std::string_view document) const;
+
+  const Lexicon& lexicon() const { return lexicon_; }
+
+ private:
+  Lexicon lexicon_;
+  text::Tokenizer tokenizer_;
+};
+
+/// True if `word` is a negation marker ("not", "no", "never", ...).
+bool IsNegation(std::string_view word);
+
+/// Intensity multiplier for `word`: >1 for intensifiers ("very"),
+/// <1 for diminishers ("slightly"), 1 otherwise.
+double IntensityOf(std::string_view word);
+
+}  // namespace opinedb::sentiment
+
+#endif  // OPINEDB_SENTIMENT_ANALYZER_H_

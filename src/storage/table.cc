@@ -1,0 +1,95 @@
+#include "storage/table.h"
+
+namespace opinedb::storage {
+
+Table::Table(std::string name, std::vector<Column> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    column_index_[columns_[i].name] = static_cast<int>(i);
+  }
+}
+
+int Table::ColumnIndex(const std::string& name) const {
+  auto it = column_index_.find(name);
+  return it == column_index_.end() ? -1 : it->second;
+}
+
+Status Table::Append(Row row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != " +
+        std::to_string(columns_.size()) + " for table " + name_);
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    if (row[i].type() != columns_[i].type) {
+      return Status::InvalidArgument("type mismatch in column " +
+                                     columns_[i].name);
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status Catalog::AddTable(Table table) {
+  const std::string name = table.name();
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table " + name);
+  }
+  tables_.emplace(name, std::move(table));
+  return Status::OK();
+}
+
+Result<const Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table " + name);
+  return &it->second;
+}
+
+Result<Table*> Catalog::GetMutableTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table " + name);
+  return &it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+Result<bool> ColumnPredicate::Evaluate(const Table& table, size_t row) const {
+  const int col = table.ColumnIndex(column);
+  if (col < 0) return Status::NotFound("column " + column);
+  const Value& cell = table.at(row, static_cast<size_t>(col));
+  if (cell.is_null()) return false;  // SQL semantics: NULL never matches.
+  const int cmp = cell.Compare(literal);
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return Status::Internal("bad compare op");
+}
+
+Result<CompareOp> ParseCompareOp(const std::string& token) {
+  if (token == "=" || token == "==") return CompareOp::kEq;
+  if (token == "!=" || token == "<>") return CompareOp::kNe;
+  if (token == "<") return CompareOp::kLt;
+  if (token == "<=") return CompareOp::kLe;
+  if (token == ">") return CompareOp::kGt;
+  if (token == ">=") return CompareOp::kGe;
+  return Status::ParseError("unknown comparison operator: " + token);
+}
+
+}  // namespace opinedb::storage

@@ -1,0 +1,90 @@
+#ifndef OPINEDB_STORAGE_TABLE_H_
+#define OPINEDB_STORAGE_TABLE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace opinedb::storage {
+
+/// A row is one value per column.
+using Row = std::vector<Value>;
+
+/// Column metadata.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kNull;
+};
+
+/// An in-memory relational table with named, typed columns.
+///
+/// This substrate plays the role PostgreSQL plays in the paper's
+/// implementation: objective attributes live here and objective
+/// predicates are evaluated against it.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, std::vector<Column> columns);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Index of a column by name; -1 if absent.
+  int ColumnIndex(const std::string& name) const;
+
+  /// Appends a row after checking arity and types (nulls always pass).
+  Status Append(Row row);
+
+  const Row& row(size_t i) const { return rows_[i]; }
+  const Value& at(size_t row, size_t col) const { return rows_[row][col]; }
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  std::unordered_map<std::string, int> column_index_;
+  std::vector<Row> rows_;
+};
+
+/// A named collection of tables.
+class Catalog {
+ public:
+  /// Registers a table; fails if the name already exists.
+  Status AddTable(Table table);
+
+  /// Looks up a table by name.
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  /// Mutable lookup (for appends).
+  Result<Table*> GetMutableTable(const std::string& name);
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::unordered_map<std::string, Table> tables_;
+};
+
+/// Comparison operators usable in objective predicates.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// An objective predicate `column <op> literal` over a table.
+struct ColumnPredicate {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  Value literal;
+
+  /// Evaluates against a row of `table`. Errors if the column is unknown.
+  Result<bool> Evaluate(const Table& table, size_t row) const;
+};
+
+/// Parses "<", "<=", "=", "!=", ">", ">=" into a CompareOp.
+Result<CompareOp> ParseCompareOp(const std::string& token);
+
+}  // namespace opinedb::storage
+
+#endif  // OPINEDB_STORAGE_TABLE_H_

@@ -1,0 +1,64 @@
+#include "storage/value.h"
+
+#include <cassert>
+
+namespace opinedb::storage {
+
+ValueType Value::type() const {
+  switch (data_.index()) {
+    case 0:
+      return ValueType::kNull;
+    case 1:
+      return ValueType::kInt;
+    case 2:
+      return ValueType::kDouble;
+    case 3:
+      return ValueType::kString;
+  }
+  return ValueType::kNull;
+}
+
+double Value::AsNumber() const {
+  if (type() == ValueType::kInt) return static_cast<double>(AsInt());
+  return AsDouble();
+}
+
+int Value::Compare(const Value& other) const {
+  const ValueType a = type();
+  const ValueType b = other.type();
+  if (a == ValueType::kNull || b == ValueType::kNull) {
+    if (a == b) return 0;
+    return a == ValueType::kNull ? -1 : 1;
+  }
+  const bool a_num = a == ValueType::kInt || a == ValueType::kDouble;
+  const bool b_num = b == ValueType::kInt || b == ValueType::kDouble;
+  if (a_num && b_num) {
+    const double x = AsNumber();
+    const double y = other.AsNumber();
+    if (x < y) return -1;
+    if (x > y) return 1;
+    return 0;
+  }
+  if (a_num != b_num) return a_num ? -1 : 1;  // Numbers before strings.
+  return AsString().compare(other.AsString()) < 0
+             ? -1
+             : (AsString() == other.AsString() ? 0 : 1);
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      std::string s = std::to_string(AsDouble());
+      return s;
+    }
+    case ValueType::kString:
+      return AsString();
+  }
+  return "NULL";
+}
+
+}  // namespace opinedb::storage

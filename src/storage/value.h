@@ -1,0 +1,54 @@
+#ifndef OPINEDB_STORAGE_VALUE_H_
+#define OPINEDB_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace opinedb::storage {
+
+/// Column data types supported by the relational substrate.
+enum class ValueType {
+  kNull,
+  kInt,
+  kDouble,
+  kString,
+};
+
+/// A dynamically-typed cell value.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const;
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Accessors require the matching type.
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// Numeric view: ints widen to double. Requires kInt or kDouble.
+  double AsNumber() const;
+
+  /// SQL-style comparison. Null compares equal only to null and less than
+  /// everything else; numbers compare numerically across int/double;
+  /// comparing a number with a string orders by type id.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+}  // namespace opinedb::storage
+
+#endif  // OPINEDB_STORAGE_VALUE_H_

@@ -1,0 +1,40 @@
+#include "text/corpus.h"
+
+namespace opinedb::text {
+
+EntityId ReviewCorpus::AddEntity(std::string name) {
+  EntityId id = static_cast<EntityId>(entity_names_.size());
+  entity_names_.push_back(std::move(name));
+  entity_reviews_.emplace_back();
+  return id;
+}
+
+ReviewId ReviewCorpus::AddReview(EntityId entity, ReviewerId reviewer,
+                                 int32_t date, std::string body) {
+  ReviewId id = static_cast<ReviewId>(reviews_.size());
+  Review review;
+  review.id = id;
+  review.entity = entity;
+  review.reviewer = reviewer;
+  review.date = date;
+  review.body = std::move(body);
+  reviews_.push_back(std::move(review));
+  entity_reviews_[entity].push_back(id);
+  if (reviewer >= 0) {
+    if (static_cast<size_t>(reviewer) >= reviewer_counts_.size()) {
+      reviewer_counts_.resize(reviewer + 1, 0);
+    }
+    ++reviewer_counts_[reviewer];
+  }
+  return id;
+}
+
+int32_t ReviewCorpus::reviewer_review_count(ReviewerId reviewer) const {
+  if (reviewer < 0 ||
+      static_cast<size_t>(reviewer) >= reviewer_counts_.size()) {
+    return 0;
+  }
+  return reviewer_counts_[reviewer];
+}
+
+}  // namespace opinedb::text

@@ -1,0 +1,67 @@
+#ifndef OPINEDB_TEXT_CORPUS_H_
+#define OPINEDB_TEXT_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace opinedb::text {
+
+/// Id of an entity (hotel, restaurant, ...) in a corpus.
+using EntityId = int32_t;
+/// Id of a review in a corpus.
+using ReviewId = int32_t;
+/// Id of a reviewer (used by reviewer-qualification query filters).
+using ReviewerId = int32_t;
+
+/// A single user review of one entity.
+struct Review {
+  ReviewId id = 0;
+  EntityId entity = 0;
+  ReviewerId reviewer = 0;
+  /// Days since an arbitrary epoch; supports "reviews after <date>" filters.
+  int32_t date = 0;
+  std::string body;
+};
+
+/// All reviews for a domain, grouped by entity.
+///
+/// The corpus is append-only: marker summaries are computed from it and can
+/// be refreshed incrementally as reviews arrive.
+class ReviewCorpus {
+ public:
+  /// Registers an entity and returns its id. Entity names need not be
+  /// unique; callers that want uniqueness enforce it themselves.
+  EntityId AddEntity(std::string name);
+
+  /// Appends a review and returns its id.
+  ReviewId AddReview(EntityId entity, ReviewerId reviewer, int32_t date,
+                     std::string body);
+
+  size_t num_entities() const { return entity_names_.size(); }
+  size_t num_reviews() const { return reviews_.size(); }
+
+  const std::string& entity_name(EntityId e) const {
+    return entity_names_[e];
+  }
+  const Review& review(ReviewId r) const { return reviews_[r]; }
+  const std::vector<Review>& reviews() const { return reviews_; }
+
+  /// Review ids belonging to entity `e`.
+  const std::vector<ReviewId>& entity_reviews(EntityId e) const {
+    return entity_reviews_[e];
+  }
+
+  /// Number of reviews authored by `reviewer` (0 if unseen).
+  int32_t reviewer_review_count(ReviewerId reviewer) const;
+
+ private:
+  std::vector<std::string> entity_names_;
+  std::vector<Review> reviews_;
+  std::vector<std::vector<ReviewId>> entity_reviews_;
+  std::vector<int32_t> reviewer_counts_;
+};
+
+}  // namespace opinedb::text
+
+#endif  // OPINEDB_TEXT_CORPUS_H_

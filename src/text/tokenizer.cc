@@ -1,0 +1,115 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace opinedb::text {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+bool IsIntraword(char c) { return c == '\'' || c == '-'; }
+
+}  // namespace
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view s) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (current.empty()) return;
+    // Strip trailing intra-word characters ("don't-" -> "don't").
+    while (!current.empty() && IsIntraword(current.back())) {
+      current.pop_back();
+    }
+    if (!current.empty()) tokens.push_back(current);
+    current.clear();
+  };
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (IsWordChar(c)) {
+      current.push_back(
+          options_.lowercase
+              ? static_cast<char>(std::tolower(static_cast<unsigned char>(c)))
+              : c);
+    } else if (options_.keep_intraword && IsIntraword(c) && !current.empty() &&
+               i + 1 < s.size() && IsWordChar(s[i + 1])) {
+      current.push_back(c);
+    } else {
+      flush();
+      if (!options_.drop_punctuation &&
+          std::ispunct(static_cast<unsigned char>(c))) {
+        tokens.emplace_back(1, c);
+      }
+    }
+  }
+  flush();
+  return tokens;
+}
+
+std::vector<std::string> Tokenizer::SplitSentences(std::string_view s) {
+  std::vector<std::string> sentences;
+  std::string current;
+  for (char c : s) {
+    if (c == '.' || c == '!' || c == '?' || c == '\n') {
+      // End of sentence; keep non-empty content only.
+      bool has_content = false;
+      for (char d : current) {
+        if (!std::isspace(static_cast<unsigned char>(d))) {
+          has_content = true;
+          break;
+        }
+      }
+      if (has_content) sentences.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  bool has_content = false;
+  for (char d : current) {
+    if (!std::isspace(static_cast<unsigned char>(d))) {
+      has_content = true;
+      break;
+    }
+  }
+  if (has_content) sentences.push_back(current);
+  return sentences;
+}
+
+const std::vector<std::string>& Stopwords() {
+  static const auto& kStopwords = *new std::vector<std::string>{
+      "a",    "an",   "and",  "are",  "as",   "at",   "be",   "but",
+      "by",   "for",  "from", "had",  "has",  "have", "i",    "in",
+      "is",   "it",   "its",  "of",   "on",   "or",   "our",  "so",
+      "that", "the",  "their", "there", "they", "this", "to",  "was",
+      "we",   "were", "with", "you",  "your", "my",   "me",   "he",
+      "she",  "his",  "her",  "them", "then", "than", "been", "am",
+  };
+  return kStopwords;
+}
+
+bool IsStopword(std::string_view token) {
+  static const auto& kSet = *new std::unordered_set<std::string>(
+      Stopwords().begin(), Stopwords().end());
+  return kSet.count(std::string(token)) > 0;
+}
+
+std::vector<std::string> NGrams(const std::vector<std::string>& tokens,
+                                size_t n) {
+  std::vector<std::string> grams;
+  if (n == 0 || tokens.size() < n) return grams;
+  for (size_t i = 0; i + n <= tokens.size(); ++i) {
+    std::string gram = tokens[i];
+    for (size_t j = 1; j < n; ++j) {
+      gram += '_';
+      gram += tokens[i + j];
+    }
+    grams.push_back(std::move(gram));
+  }
+  return grams;
+}
+
+}  // namespace opinedb::text

@@ -1,0 +1,54 @@
+#ifndef OPINEDB_TEXT_TOKENIZER_H_
+#define OPINEDB_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace opinedb::text {
+
+/// Options controlling tokenization.
+struct TokenizerOptions {
+  /// Lower-case tokens (recommended; the whole pipeline is case-folded).
+  bool lowercase = true;
+  /// Drop tokens made purely of punctuation ("!!!" etc). Sentence-ending
+  /// punctuation is still used by SplitSentences regardless.
+  bool drop_punctuation = true;
+  /// Keep intra-word apostrophes and hyphens ("don't", "well-decorated").
+  bool keep_intraword = true;
+};
+
+/// A simple, deterministic word tokenizer for review text.
+///
+/// This is the foundation of the extraction and indexing substrates; it is
+/// intentionally rule-based and fast (no locale machinery) because every
+/// other module agrees on its output.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = TokenizerOptions())
+      : options_(options) {}
+
+  /// Splits `s` into word tokens.
+  std::vector<std::string> Tokenize(std::string_view s) const;
+
+  /// Splits `s` into sentences on '.', '!', '?' and newlines.
+  static std::vector<std::string> SplitSentences(std::string_view s);
+
+ private:
+  TokenizerOptions options_;
+};
+
+/// Returns the standard English stopword set used across the library.
+const std::vector<std::string>& Stopwords();
+
+/// True if `token` (already lower-case) is a stopword.
+bool IsStopword(std::string_view token);
+
+/// Builds contiguous n-grams of size `n` joined by '_'.
+/// E.g. {"very","clean","room"}, n=2 -> {"very_clean", "clean_room"}.
+std::vector<std::string> NGrams(const std::vector<std::string>& tokens,
+                                size_t n);
+
+}  // namespace opinedb::text
+
+#endif  // OPINEDB_TEXT_TOKENIZER_H_

@@ -1,0 +1,38 @@
+#include "text/vocab.h"
+
+namespace opinedb::text {
+
+WordId Vocab::Add(std::string_view word) { return AddCount(word, 1); }
+
+WordId Vocab::AddCount(std::string_view word, int64_t count) {
+  auto it = index_.find(std::string(word));
+  WordId id;
+  if (it == index_.end()) {
+    id = static_cast<WordId>(words_.size());
+    words_.emplace_back(word);
+    counts_.push_back(0);
+    index_.emplace(words_.back(), id);
+  } else {
+    id = it->second;
+  }
+  counts_[id] += count;
+  total_count_ += count;
+  return id;
+}
+
+WordId Vocab::Lookup(std::string_view word) const {
+  auto it = index_.find(std::string(word));
+  return it == index_.end() ? kInvalidWordId : it->second;
+}
+
+Vocab Vocab::Pruned(int64_t min_count) const {
+  Vocab pruned;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (counts_[i] >= min_count) {
+      pruned.AddCount(words_[i], counts_[i]);
+    }
+  }
+  return pruned;
+}
+
+}  // namespace opinedb::text

@@ -1,0 +1,57 @@
+#ifndef OPINEDB_TEXT_VOCAB_H_
+#define OPINEDB_TEXT_VOCAB_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace opinedb::text {
+
+/// Integer id assigned to a vocabulary word. kInvalidWordId means
+/// "not in vocabulary".
+using WordId = int32_t;
+inline constexpr WordId kInvalidWordId = -1;
+
+/// A bidirectional word <-> id mapping with corpus frequency counts.
+///
+/// Shared by the embedding trainer, the inverted index and the extractor
+/// so that every module agrees on word identities.
+class Vocab {
+ public:
+  /// Adds one observation of `word`, creating an id on first sight.
+  WordId Add(std::string_view word);
+
+  /// Adds `count` observations of `word`.
+  WordId AddCount(std::string_view word, int64_t count);
+
+  /// Returns the id of `word`, or kInvalidWordId.
+  WordId Lookup(std::string_view word) const;
+
+  /// Returns the word for `id`. `id` must be valid.
+  const std::string& word(WordId id) const { return words_[id]; }
+
+  /// Corpus frequency of `id`.
+  int64_t count(WordId id) const { return counts_[id]; }
+
+  /// Number of distinct words.
+  size_t size() const { return words_.size(); }
+
+  /// Sum of all counts (corpus token total).
+  int64_t total_count() const { return total_count_; }
+
+  /// Returns a copy with all words of count < min_count removed and ids
+  /// re-assigned densely.
+  Vocab Pruned(int64_t min_count) const;
+
+ private:
+  std::unordered_map<std::string, WordId> index_;
+  std::vector<std::string> words_;
+  std::vector<int64_t> counts_;
+  int64_t total_count_ = 0;
+};
+
+}  // namespace opinedb::text
+
+#endif  // OPINEDB_TEXT_VOCAB_H_

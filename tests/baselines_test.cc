@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "baselines/attribute_baseline.h"
+#include "baselines/gz12.h"
+#include "text/tokenizer.h"
+
+namespace opinedb::baselines {
+namespace {
+
+class AttributeBaselineTest : public ::testing::Test {
+ protected:
+  AttributeBaselineTest()
+      : baseline_({{0.9, 0.1}, {0.2, 0.8}, {0.5, 0.5}},
+                  {100.0, 50.0, 75.0}, {4.5, 3.0, 4.0}) {}
+
+  AttributeBaseline baseline_;
+  std::vector<int32_t> all_ = {0, 1, 2};
+};
+
+TEST_F(AttributeBaselineTest, ByPriceAscending) {
+  auto ranking = baseline_.ByPrice(all_, 3);
+  EXPECT_EQ(ranking, (Ranking{1, 2, 0}));
+}
+
+TEST_F(AttributeBaselineTest, ByRatingDescending) {
+  auto ranking = baseline_.ByRating(all_, 3);
+  EXPECT_EQ(ranking, (Ranking{0, 2, 1}));
+}
+
+TEST_F(AttributeBaselineTest, RespectsEligibilityAndK) {
+  auto ranking = baseline_.ByPrice({0, 2}, 1);
+  EXPECT_EQ(ranking, (Ranking{2}));
+}
+
+TEST_F(AttributeBaselineTest, BestOneAttributePicksOracleBest) {
+  // Evaluation rewards rankings that put entity 1 first: only attribute 1
+  // (scores 0.1 / 0.8 / 0.5) does that.
+  auto evaluate = [](const Ranking& ranking) {
+    return ranking.empty() || ranking[0] != 1 ? 0.0 : 1.0;
+  };
+  auto ranking = baseline_.BestOneAttribute(all_, 3, evaluate);
+  ASSERT_FALSE(ranking.empty());
+  EXPECT_EQ(ranking[0], 1);
+}
+
+TEST_F(AttributeBaselineTest, BestTwoAttributesSumsPairs) {
+  // Sum of both attributes: entity 0 -> 1.0, entity 1 -> 1.0, entity 2 ->
+  // 1.0; ties break by id, so any evaluation sees {0,1,2}.
+  auto evaluate = [](const Ranking& ranking) {
+    return static_cast<double>(ranking.size());
+  };
+  auto ranking = baseline_.BestTwoAttributes(all_, 3, evaluate);
+  EXPECT_EQ(ranking.size(), 3u);
+}
+
+TEST_F(AttributeBaselineTest, NumAttributes) {
+  EXPECT_EQ(baseline_.num_attributes(), 2u);
+}
+
+class Gz12Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    text::Tokenizer tokenizer;
+    // Entity 0: clean-focused; entity 1: mentions "clean" once but mostly
+    // negative words; entity 2: unrelated.
+    index_.AddDocument(tokenizer.Tokenize(
+        "clean room clean sheets spotless clean bathroom"));
+    index_.AddDocument(
+        tokenizer.Tokenize("clean but dirty dirty noisy rude"));
+    index_.AddDocument(tokenizer.Tokenize("pasta pizza wine menu"));
+  }
+
+  index::InvertedIndex index_;
+};
+
+TEST_F(Gz12Test, RanksByKeywordFrequency) {
+  Gz12Ranker ranker(&index_, nullptr);
+  auto ranking = ranker.Rank({"clean rooms"}, 3);
+  ASSERT_FALSE(ranking.empty());
+  EXPECT_EQ(ranking[0].doc, 0);
+}
+
+TEST_F(Gz12Test, KeywordMatchingIsSentimentBlind) {
+  // The documented weakness (paper Section 5.3): entity 1 matches "clean"
+  // even though its reviews are negative — GZ12 still scores it > 0.
+  Gz12Ranker ranker(&index_, nullptr);
+  auto ranking = ranker.Rank({"clean"}, 3);
+  bool found_negative_entity = false;
+  for (const auto& scored : ranking) {
+    if (scored.doc == 1 && scored.score > 0.0) found_negative_entity = true;
+  }
+  EXPECT_TRUE(found_negative_entity);
+}
+
+TEST_F(Gz12Test, MultiplePredicatesCombine) {
+  Gz12Ranker ranker(&index_, nullptr);
+  auto sum = ranker.Rank({"clean", "pizza"}, 3);
+  // Both entity 0 and entity 2 should surface with positive scores.
+  bool saw0 = false, saw2 = false;
+  for (const auto& scored : sum) {
+    if (scored.doc == 0 && scored.score > 0.0) saw0 = true;
+    if (scored.doc == 2 && scored.score > 0.0) saw2 = true;
+  }
+  EXPECT_TRUE(saw0);
+  EXPECT_TRUE(saw2);
+}
+
+TEST_F(Gz12Test, MaxCombinationSupported) {
+  Gz12Options options;
+  options.combine = Gz12Options::Combine::kMax;
+  Gz12Ranker ranker(&index_, nullptr, options);
+  auto ranking = ranker.Rank({"clean", "pizza"}, 3);
+  EXPECT_FALSE(ranking.empty());
+}
+
+TEST_F(Gz12Test, RespectsK) {
+  Gz12Ranker ranker(&index_, nullptr);
+  EXPECT_EQ(ranker.Rank({"clean"}, 2).size(), 2u);
+}
+
+}  // namespace
+}  // namespace opinedb::baselines

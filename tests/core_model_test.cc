@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "core/marker_induction.h"
+#include "core/marker_summary.h"
+#include "core/query.h"
+#include "core/schema.h"
+
+namespace opinedb::core {
+namespace {
+
+// -------------------------------------------------------- MarkerSummary.
+
+MarkerSummaryType CleanlinessType() {
+  MarkerSummaryType type;
+  type.name = "room_cleanliness";
+  type.markers = {"very clean", "average", "dirty", "very dirty"};
+  type.kind = SummaryKind::kLinearlyOrdered;
+  return type;
+}
+
+TEST(MarkerSummaryTypeTest, MarkerIndex) {
+  auto type = CleanlinessType();
+  EXPECT_EQ(type.MarkerIndex("average"), 1);
+  EXPECT_EQ(type.MarkerIndex("missing"), -1);
+  EXPECT_EQ(type.num_markers(), 4u);
+}
+
+TEST(MarkerSummaryTest, AddPhraseOneHot) {
+  auto type = CleanlinessType();
+  MarkerSummary summary(&type, 2);
+  summary.AddPhrase({1.0, 0.0, 0.0, 0.0}, 0.8, {1.0f, 0.0f}, 7);
+  summary.AddPhrase({1.0, 0.0, 0.0, 0.0}, 0.6, {0.0f, 1.0f}, 8);
+  summary.AddPhrase({0.0, 0.0, 1.0, 0.0}, -0.7, {0.5f, 0.5f}, 9);
+  EXPECT_DOUBLE_EQ(summary.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(summary.count(2), 1.0);
+  EXPECT_DOUBLE_EQ(summary.total_count(), 3.0);
+  EXPECT_NEAR(summary.cell(0).mean_sentiment, 0.7, 1e-12);
+  EXPECT_FLOAT_EQ(summary.cell(0).centroid[0], 0.5f);
+  EXPECT_EQ(summary.DominantMarker(), 0);
+  ASSERT_EQ(summary.cell(0).provenance.size(), 2u);
+  EXPECT_EQ(summary.cell(0).provenance[0], 7);
+}
+
+TEST(MarkerSummaryTest, FractionalContribution) {
+  auto type = CleanlinessType();
+  MarkerSummary summary(&type, 1);
+  summary.AddPhrase({0.5, 0.5, 0.0, 0.0}, 0.4, {1.0f}, 1);
+  EXPECT_DOUBLE_EQ(summary.count(0), 0.5);
+  EXPECT_DOUBLE_EQ(summary.count(1), 0.5);
+  EXPECT_DOUBLE_EQ(summary.total_count(), 1.0);
+}
+
+TEST(MarkerSummaryTest, UnmatchedTracked) {
+  auto type = CleanlinessType();
+  MarkerSummary summary(&type, 1);
+  summary.AddUnmatched();
+  summary.AddUnmatched();
+  EXPECT_DOUBLE_EQ(summary.unmatched_count(), 2.0);
+  EXPECT_EQ(summary.DominantMarker(), -1);
+}
+
+TEST(MarkerSummaryTest, ToStringListsMarkers) {
+  auto type = CleanlinessType();
+  MarkerSummary summary(&type, 1);
+  summary.AddPhrase({1, 0, 0, 0}, 0.5, {1.0f}, 0);
+  const std::string s = summary.ToString();
+  EXPECT_NE(s.find("very clean: 1.0"), std::string::npos);
+}
+
+// --------------------------------------------------------------- Schema.
+
+TEST(SchemaTest, AttributeIndex) {
+  SubjectiveSchema schema;
+  schema.attributes.resize(2);
+  schema.attributes[0].name = "a";
+  schema.attributes[1].name = "b";
+  EXPECT_EQ(schema.AttributeIndex("b"), 1);
+  EXPECT_EQ(schema.AttributeIndex("c"), -1);
+}
+
+// ----------------------------------------------------- Marker induction.
+
+TEST(MarkerInductionTest, LinearMarkersFollowSentimentOrder) {
+  sentiment::Analyzer analyzer;
+  std::vector<std::string> domain = {
+      "spotless", "very clean", "clean", "tidy",  "average",
+      "dusty",    "dirty",      "filthy", "grimy", "stained"};
+  auto type = InduceLinearMarkers("cleanliness", domain, 4, analyzer);
+  ASSERT_EQ(type.markers.size(), 4u);
+  EXPECT_EQ(type.kind, SummaryKind::kLinearlyOrdered);
+  // Sentiment must decrease along the scale.
+  for (size_t i = 0; i + 1 < type.markers.size(); ++i) {
+    EXPECT_GE(analyzer.ScorePhrase(type.markers[i]),
+              analyzer.ScorePhrase(type.markers[i + 1]));
+  }
+}
+
+TEST(MarkerInductionTest, LinearMarkersAreDistinct) {
+  sentiment::Analyzer analyzer;
+  std::vector<std::string> domain = {"clean", "clean", "clean", "dirty"};
+  auto type = InduceLinearMarkers("x", domain, 3, analyzer);
+  for (size_t i = 0; i < type.markers.size(); ++i) {
+    for (size_t j = i + 1; j < type.markers.size(); ++j) {
+      EXPECT_NE(type.markers[i], type.markers[j]);
+    }
+  }
+}
+
+TEST(MarkerInductionTest, EmptyDomainYieldsNoMarkers) {
+  sentiment::Analyzer analyzer;
+  auto type = InduceLinearMarkers("x", {}, 4, analyzer);
+  EXPECT_TRUE(type.markers.empty());
+}
+
+// ------------------------------------------------------------ SQL parse.
+
+TEST(ParseSqlTest, SimpleSubjectiveQuery) {
+  auto result = ParseSubjectiveSql(
+      "select * from Hotels where price_pn < 150 and "
+      "\"has really clean rooms\" and \"is a romantic getaway\"");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto& query = *result;
+  EXPECT_EQ(query.table, "Hotels");
+  ASSERT_EQ(query.conditions.size(), 3u);
+  EXPECT_EQ(query.conditions[0].kind, Condition::Kind::kObjective);
+  EXPECT_EQ(query.conditions[0].objective.column, "price_pn");
+  EXPECT_EQ(query.conditions[1].kind, Condition::Kind::kSubjective);
+  EXPECT_EQ(query.conditions[1].subjective, "has really clean rooms");
+  ASSERT_NE(query.where, nullptr);
+  EXPECT_EQ(query.where->kind(), fuzzy::Expr::Kind::kAnd);
+}
+
+TEST(ParseSqlTest, StringLiteralWithSingleQuotes) {
+  auto result = ParseSubjectiveSql(
+      "select * from Hotels where city = 'london'");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->conditions[0].objective.literal.AsString(), "london");
+}
+
+TEST(ParseSqlTest, OrAndParensAndNot) {
+  auto result = ParseSubjectiveSql(
+      "select * from T where (\"a\" or \"b\") and not x >= 2.5");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->conditions.size(), 3u);
+  EXPECT_EQ(result->conditions[2].objective.literal.AsDouble(), 2.5);
+  EXPECT_EQ(result->where->ToString(), "((p0 OR p1) AND NOT p2)");
+}
+
+TEST(ParseSqlTest, LimitClause) {
+  auto result = ParseSubjectiveSql("select * from T where \"x\" limit 25");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->limit, 25u);
+}
+
+TEST(ParseSqlTest, DefaultLimitIsTen) {
+  auto result = ParseSubjectiveSql("select * from T");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->limit, 10u);
+  EXPECT_EQ(result->where, nullptr);
+}
+
+TEST(ParseSqlTest, CaseInsensitiveKeywords) {
+  auto result =
+      ParseSubjectiveSql("SELECT * FROM Hotels WHERE \"clean\" LIMIT 5");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table, "Hotels");
+}
+
+TEST(ParseSqlTest, NegativeAndFloatLiterals) {
+  auto result = ParseSubjectiveSql("select * from T where x > -3");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->conditions[0].objective.literal.AsInt(), -3);
+}
+
+TEST(ParseSqlTest, Errors) {
+  EXPECT_FALSE(ParseSubjectiveSql("").ok());
+  EXPECT_FALSE(ParseSubjectiveSql("select foo from T").ok());
+  EXPECT_FALSE(ParseSubjectiveSql("select * from").ok());
+  EXPECT_FALSE(ParseSubjectiveSql("select * from T where").ok());
+  EXPECT_FALSE(ParseSubjectiveSql("select * from T where x <").ok());
+  EXPECT_FALSE(
+      ParseSubjectiveSql("select * from T where \"unterminated").ok());
+  EXPECT_FALSE(ParseSubjectiveSql("select * from T where (\"a\"").ok());
+  EXPECT_FALSE(ParseSubjectiveSql("select * from T trailing").ok());
+}
+
+TEST(ParseSqlTest, TrailingSemicolonOk) {
+  EXPECT_TRUE(ParseSubjectiveSql("select * from T;").ok());
+}
+
+}  // namespace
+}  // namespace opinedb::core

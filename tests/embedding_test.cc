@@ -1,0 +1,276 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "embedding/kdtree.h"
+#include "embedding/phrase_rep.h"
+#include "embedding/substitution_index.h"
+#include "embedding/vector_ops.h"
+#include "embedding/word2vec.h"
+
+namespace opinedb::embedding {
+namespace {
+
+TEST(VectorOpsTest, DotNormCosine) {
+  Vec a = {1.0f, 0.0f};
+  Vec b = {0.0f, 2.0f};
+  Vec c = {2.0f, 0.0f};
+  EXPECT_EQ(Dot(a, b), 0.0);
+  EXPECT_EQ(Norm(b), 2.0);
+  EXPECT_NEAR(Cosine(a, c), 1.0, 1e-9);
+  EXPECT_NEAR(Cosine(a, b), 0.0, 1e-9);
+}
+
+TEST(VectorOpsTest, CosineOfZeroVectorIsZero) {
+  Vec zero = {0.0f, 0.0f};
+  Vec a = {1.0f, 1.0f};
+  EXPECT_EQ(Cosine(zero, a), 0.0);
+}
+
+TEST(VectorOpsTest, AxPyAndScale) {
+  Vec a = {1.0f, 2.0f};
+  Vec b = {10.0f, 20.0f};
+  AxPy(0.5, b, &a);
+  EXPECT_FLOAT_EQ(a[0], 6.0f);
+  EXPECT_FLOAT_EQ(a[1], 12.0f);
+  Scale(2.0, &a);
+  EXPECT_FLOAT_EQ(a[0], 12.0f);
+}
+
+TEST(VectorOpsTest, MeanOfVectors) {
+  Vec mean = Mean({{2.0f, 0.0f}, {0.0f, 2.0f}}, 2);
+  EXPECT_FLOAT_EQ(mean[0], 1.0f);
+  EXPECT_FLOAT_EQ(mean[1], 1.0f);
+  Vec empty_mean = Mean({}, 3);
+  EXPECT_EQ(empty_mean.size(), 3u);
+  EXPECT_FLOAT_EQ(empty_mean[0], 0.0f);
+}
+
+// Synthetic corpus with two clearly separated topics: words within a
+// topic co-occur, words across topics never do, so SGNS must embed them
+// closer within topic than across.
+std::vector<std::vector<std::string>> TwoTopicCorpus() {
+  Rng rng(7);
+  const std::vector<std::string> clean_words = {"clean", "spotless", "tidy",
+                                                "fresh"};
+  const std::vector<std::string> noisy_words = {"noisy", "loud", "traffic",
+                                                "honking"};
+  std::vector<std::vector<std::string>> sentences;
+  for (int i = 0; i < 600; ++i) {
+    const auto& pool = (i % 2 == 0) ? clean_words : noisy_words;
+    std::vector<std::string> sentence;
+    for (int j = 0; j < 6; ++j) {
+      sentence.push_back(pool[rng.Below(pool.size())]);
+    }
+    sentences.push_back(std::move(sentence));
+  }
+  return sentences;
+}
+
+TEST(Word2VecTest, LearnsTopicStructure) {
+  Word2VecOptions options;
+  options.dim = 16;
+  options.epochs = 4;
+  options.seed = 3;
+  auto model = WordEmbeddings::TrainSgns(TwoTopicCorpus(), options);
+  EXPECT_GT(model.size(), 0u);
+  EXPECT_GT(model.Similarity("clean", "spotless"),
+            model.Similarity("clean", "noisy"));
+  EXPECT_GT(model.Similarity("loud", "traffic"),
+            model.Similarity("loud", "tidy"));
+}
+
+TEST(Word2VecTest, DeterministicAcrossRuns) {
+  Word2VecOptions options;
+  options.dim = 8;
+  options.epochs = 2;
+  auto corpus = TwoTopicCorpus();
+  auto a = WordEmbeddings::TrainSgns(corpus, options);
+  auto b = WordEmbeddings::TrainSgns(corpus, options);
+  const Vec* va = a.Get("clean");
+  const Vec* vb = b.Get("clean");
+  ASSERT_NE(va, nullptr);
+  ASSERT_NE(vb, nullptr);
+  for (size_t i = 0; i < va->size(); ++i) {
+    EXPECT_FLOAT_EQ((*va)[i], (*vb)[i]);
+  }
+}
+
+TEST(Word2VecTest, OovReturnsNull) {
+  Word2VecOptions options;
+  options.dim = 8;
+  options.epochs = 1;
+  auto model = WordEmbeddings::TrainSgns(TwoTopicCorpus(), options);
+  EXPECT_EQ(model.Get("unseen-word"), nullptr);
+  EXPECT_EQ(model.Similarity("unseen-word", "clean"), 0.0);
+  EXPECT_TRUE(model.MostSimilar("unseen-word", 3).empty());
+}
+
+TEST(Word2VecTest, MinCountPrunesRareWords) {
+  std::vector<std::vector<std::string>> sentences = {
+      {"common", "common", "rare"},
+      {"common", "common", "common"},
+  };
+  Word2VecOptions options;
+  options.dim = 4;
+  options.min_count = 3;
+  options.epochs = 1;
+  auto model = WordEmbeddings::TrainSgns(sentences, options);
+  EXPECT_NE(model.Get("common"), nullptr);
+  EXPECT_EQ(model.Get("rare"), nullptr);
+}
+
+TEST(Word2VecTest, MostSimilarExcludesSelf) {
+  Word2VecOptions options;
+  options.dim = 16;
+  options.epochs = 3;
+  auto model = WordEmbeddings::TrainSgns(TwoTopicCorpus(), options);
+  auto similar = model.MostSimilar("clean", 3);
+  ASSERT_EQ(similar.size(), 3u);
+  for (const auto& [word, score] : similar) EXPECT_NE(word, "clean");
+}
+
+TEST(PhraseEmbedderTest, IdfWeightsDominantWord) {
+  // Build tiny embeddings by hand: "clean" -> x-axis, "the" -> y-axis.
+  text::Vocab vocab;
+  vocab.Add("clean");
+  vocab.Add("the");
+  std::vector<Vec> vectors = {{1.0f, 0.0f}, {0.0f, 1.0f}};
+  WordEmbeddings embeddings(std::move(vocab), std::move(vectors));
+  PhraseEmbedder embedder(&embeddings, [](std::string_view w) {
+    return w == "clean" ? 2.0 : 0.1;  // "the" has low idf.
+  });
+  Vec rep = embedder.Represent("the clean");
+  EXPECT_GT(rep[0], rep[1]);
+  EXPECT_NEAR(Cosine(rep, {1.0f, 0.0f}), 1.0, 0.1);
+}
+
+TEST(PhraseEmbedderTest, UnknownPhraseIsZero) {
+  text::Vocab vocab;
+  vocab.Add("clean");
+  std::vector<Vec> vectors = {{1.0f, 0.0f}};
+  WordEmbeddings embeddings(std::move(vocab), std::move(vectors));
+  PhraseEmbedder embedder(&embeddings, nullptr);
+  EXPECT_EQ(Norm(embedder.Represent("unknown words only")), 0.0);
+  EXPECT_EQ(embedder.Similarity("unknown", "clean"), 0.0);
+}
+
+TEST(KdTreeTest, NearestMatchesBruteForce) {
+  Rng rng(11);
+  std::vector<Vec> points;
+  for (int i = 0; i < 200; ++i) {
+    Vec p(5);
+    for (auto& x : p) x = static_cast<float>(rng.Uniform(-1, 1));
+    points.push_back(p);
+  }
+  auto tree = KdTree::Build(points);
+  for (int t = 0; t < 50; ++t) {
+    Vec query(5);
+    for (auto& x : query) x = static_cast<float>(rng.Uniform(-1, 1));
+    int32_t best = -1;
+    double best_dist = 1e18;
+    for (size_t i = 0; i < points.size(); ++i) {
+      const double d = SquaredDistance(points[i], query);
+      if (d < best_dist) {
+        best_dist = d;
+        best = static_cast<int32_t>(i);
+      }
+    }
+    EXPECT_EQ(tree.Nearest(query), best);
+  }
+}
+
+TEST(KdTreeTest, KNearestSortedAndCorrectSize) {
+  Rng rng(13);
+  std::vector<Vec> points;
+  for (int i = 0; i < 100; ++i) {
+    points.push_back({static_cast<float>(rng.Uniform()),
+                      static_cast<float>(rng.Uniform())});
+  }
+  auto tree = KdTree::Build(points);
+  Vec query = {0.5f, 0.5f};
+  auto knn = tree.KNearest(query, 10);
+  ASSERT_EQ(knn.size(), 10u);
+  for (size_t i = 1; i < knn.size(); ++i) {
+    EXPECT_LE(SquaredDistance(points[knn[i - 1]], query),
+              SquaredDistance(points[knn[i]], query));
+  }
+}
+
+TEST(KdTreeTest, EmptyTree) {
+  auto tree = KdTree::Build({});
+  EXPECT_EQ(tree.Nearest({1.0f}), -1);
+  EXPECT_TRUE(tree.KNearest({1.0f}, 3).empty());
+}
+
+TEST(KdTreeTest, PruningVisitsFewerNodesThanLinear) {
+  Rng rng(5);
+  std::vector<Vec> points;
+  for (int i = 0; i < 2000; ++i) {
+    points.push_back({static_cast<float>(rng.Uniform()),
+                      static_cast<float>(rng.Uniform()),
+                      static_cast<float>(rng.Uniform())});
+  }
+  auto tree = KdTree::Build(points);
+  size_t visited = 0;
+  tree.Nearest({0.5f, 0.5f, 0.5f}, &visited);
+  EXPECT_LT(visited, points.size() / 2);
+}
+
+TEST(SubstitutionIndexTest, VerbatimHitUsesFastPath) {
+  text::Vocab vocab;
+  vocab.Add("very");
+  vocab.Add("really");
+  vocab.Add("clean");
+  vocab.Add("dirty");
+  std::vector<Vec> vectors = {
+      {1.0f, 0.0f, 0.1f}, {0.9f, 0.1f, 0.1f},  // very ~ really
+      {0.0f, 1.0f, 0.0f}, {0.0f, -1.0f, 0.0f}};
+  WordEmbeddings embeddings(std::move(vocab), std::move(vectors));
+  PhraseEmbedder embedder(&embeddings, nullptr);
+  SubstitutionIndex index({"very clean", "dirty"}, &embedder);
+
+  auto match = index.Lookup("very clean");
+  EXPECT_TRUE(match.fast_path);
+  EXPECT_EQ(index.phrase(match.phrase), "very clean");
+}
+
+TEST(SubstitutionIndexTest, OneWordSubstitutionUsesFastPath) {
+  text::Vocab vocab;
+  vocab.Add("very");
+  vocab.Add("really");
+  vocab.Add("clean");
+  vocab.Add("dirty");
+  std::vector<Vec> vectors = {
+      {1.0f, 0.0f, 0.1f}, {0.95f, 0.05f, 0.1f},
+      {0.0f, 1.0f, 0.0f}, {0.0f, -1.0f, 0.0f}};
+  WordEmbeddings embeddings(std::move(vocab), std::move(vectors));
+  PhraseEmbedder embedder(&embeddings, nullptr);
+  // "really" does not occur in the domain, but its nearest word "very"
+  // does, so "really clean" resolves by substitution.
+  SubstitutionIndex index({"very clean", "very dirty", "really", "clean"},
+                          &embedder);
+  auto match = index.Lookup("really clean");
+  EXPECT_TRUE(match.fast_path);
+  EXPECT_EQ(index.phrase(match.phrase), "very clean");
+}
+
+TEST(SubstitutionIndexTest, FallsBackToSimilaritySearch) {
+  text::Vocab vocab;
+  vocab.Add("clean");
+  vocab.Add("dirty");
+  vocab.Add("spotless");
+  std::vector<Vec> vectors = {
+      {1.0f, 0.0f}, {-1.0f, 0.0f}, {0.9f, 0.3f}};
+  WordEmbeddings embeddings(std::move(vocab), std::move(vectors));
+  PhraseEmbedder embedder(&embeddings, nullptr);
+  SubstitutionIndex index({"clean", "dirty"}, &embedder);
+  // "spotless" matches nothing lexically; the k-d tree must find "clean".
+  auto match = index.Lookup("spotless");
+  EXPECT_FALSE(match.fast_path);
+  EXPECT_EQ(index.phrase(match.phrase), "clean");
+}
+
+}  // namespace
+}  // namespace opinedb::embedding

@@ -1,0 +1,106 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+
+namespace opinedb::eval {
+namespace {
+
+using extract::kAS;
+using extract::kOP;
+using extract::Span;
+
+TEST(SpanF1Test, PerfectPrediction) {
+  std::vector<std::vector<Span>> gold = {{{0, 2, kAS}, {3, 4, kOP}}};
+  auto result = SpanF1(gold, gold);
+  EXPECT_DOUBLE_EQ(result.precision, 1.0);
+  EXPECT_DOUBLE_EQ(result.recall, 1.0);
+  EXPECT_DOUBLE_EQ(result.f1, 1.0);
+}
+
+TEST(SpanF1Test, BoundaryMismatchCountsAsWrong) {
+  std::vector<std::vector<Span>> gold = {{{0, 2, kAS}}};
+  std::vector<std::vector<Span>> predicted = {{{0, 1, kAS}}};
+  auto result = SpanF1(gold, predicted);
+  EXPECT_DOUBLE_EQ(result.f1, 0.0);
+}
+
+TEST(SpanF1Test, TagMismatchCountsAsWrong) {
+  std::vector<std::vector<Span>> gold = {{{0, 2, kAS}}};
+  std::vector<std::vector<Span>> predicted = {{{0, 2, kOP}}};
+  EXPECT_DOUBLE_EQ(SpanF1(gold, predicted).f1, 0.0);
+}
+
+TEST(SpanF1Test, PartialCredit) {
+  std::vector<std::vector<Span>> gold = {{{0, 1, kAS}, {2, 3, kOP}}};
+  std::vector<std::vector<Span>> predicted = {{{0, 1, kAS}}};
+  auto result = SpanF1(gold, predicted);
+  EXPECT_DOUBLE_EQ(result.precision, 1.0);
+  EXPECT_DOUBLE_EQ(result.recall, 0.5);
+  EXPECT_NEAR(result.f1, 2.0 / 3.0, 1e-12);
+}
+
+TEST(SpanF1Test, EmptyPredictionsZeroPrecisionDefined) {
+  std::vector<std::vector<Span>> gold = {{{0, 1, kAS}}};
+  std::vector<std::vector<Span>> predicted = {{}};
+  auto result = SpanF1(gold, predicted);
+  EXPECT_DOUBLE_EQ(result.precision, 0.0);
+  EXPECT_DOUBLE_EQ(result.recall, 0.0);
+  EXPECT_DOUBLE_EQ(result.f1, 0.0);
+}
+
+TEST(SpanF1ForTagTest, FiltersByTag) {
+  std::vector<std::vector<Span>> gold = {{{0, 1, kAS}, {2, 3, kOP}}};
+  std::vector<std::vector<Span>> predicted = {{{0, 1, kAS}, {5, 6, kOP}}};
+  EXPECT_DOUBLE_EQ(SpanF1ForTag(gold, predicted, kAS).f1, 1.0);
+  EXPECT_DOUBLE_EQ(SpanF1ForTag(gold, predicted, kOP).f1, 0.0);
+}
+
+TEST(SatScoreTest, DiscountsByRank) {
+  // Two results, each satisfying 2 predicates.
+  std::vector<std::vector<bool>> satisfied = {{true, true}, {true, true}};
+  const double expected = 2.0 / std::log2(2.0) + 2.0 / std::log2(3.0);
+  EXPECT_NEAR(SatScore(satisfied), expected, 1e-12);
+}
+
+TEST(SatScoreTest, TopRankMattersMore) {
+  std::vector<std::vector<bool>> good_first = {{true, true}, {false, false}};
+  std::vector<std::vector<bool>> good_last = {{false, false}, {true, true}};
+  EXPECT_GT(SatScore(good_first), SatScore(good_last));
+}
+
+TEST(SatScoreTest, EmptyIsZero) { EXPECT_EQ(SatScore({}), 0.0); }
+
+TEST(SatMaxTest, IdealOrderingScoresHighest) {
+  // Counts {2, 0, 1} with k=2 -> ideal picks 2 then 1.
+  const double expected = 2.0 / std::log2(2.0) + 1.0 / std::log2(3.0);
+  EXPECT_NEAR(SatMax({2, 0, 1}, 2, 2), expected, 1e-12);
+}
+
+TEST(SatMaxTest, CountsClampedToNumPredicates) {
+  EXPECT_NEAR(SatMax({5}, 1, 2), 2.0, 1e-12);
+}
+
+TEST(SatMaxTest, UpperBoundsAnyActualRanking) {
+  std::vector<int> counts = {1, 3, 0, 2, 2};
+  const double best = SatMax(counts, 3, 3);
+  // Any concrete ordering of entities scores <= SatMax.
+  std::vector<std::vector<bool>> some_order = {
+      {true, false, false}, {true, true, false}, {false, false, false}};
+  EXPECT_LE(SatScore(some_order), best);
+}
+
+TEST(StatsTest, MeanStdDevCi) {
+  std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(values), 2.5);
+  EXPECT_NEAR(StdDev(values), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_NEAR(ConfidenceInterval95(values),
+              1.96 * StdDev(values) / 2.0, 1e-12);
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(StdDev({1.0}), 0.0);
+  EXPECT_EQ(ConfidenceInterval95({1.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace opinedb::eval

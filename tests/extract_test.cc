@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/domain_spec.h"
+#include "datagen/generator.h"
+#include "extract/opinion_tagger.h"
+#include "extract/pairing.h"
+#include "extract/pipeline.h"
+#include "extract/tags.h"
+
+namespace opinedb::extract {
+namespace {
+
+TEST(SpansFromTagsTest, ExtractsMaximalRuns) {
+  // "Bed was too soft , bathroom a wee bit small"
+  std::vector<int> tags = {kAS, kO, kOP, kOP, kO, kAS, kOP, kOP, kOP, kOP};
+  auto spans = SpansFromTags(tags);
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0], (Span{0, 1, kAS}));
+  EXPECT_EQ(spans[1], (Span{2, 4, kOP}));
+  EXPECT_EQ(spans[2], (Span{5, 6, kAS}));
+  EXPECT_EQ(spans[3], (Span{6, 10, kOP}));
+}
+
+TEST(SpansFromTagsTest, AllOIsEmpty) {
+  EXPECT_TRUE(SpansFromTags({kO, kO, kO}).empty());
+  EXPECT_TRUE(SpansFromTags({}).empty());
+}
+
+TEST(SpansFromTagsTest, AdjacentDifferentTagsSplit) {
+  auto spans = SpansFromTags({kAS, kOP});
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].tag, kAS);
+  EXPECT_EQ(spans[1].tag, kOP);
+}
+
+TEST(SpanTextTest, JoinsTokens) {
+  std::vector<std::string> tokens = {"very", "clean", "room"};
+  EXPECT_EQ(SpanText(tokens, Span{0, 2, kOP}), "very clean");
+  EXPECT_EQ(SpanText(tokens, Span{1, 1, kAS}), "");
+}
+
+TEST(TaggingFeaturesTest, ProducesContextAndLexiconFeatures) {
+  auto lexicon = sentiment::Lexicon::Default();
+  auto features = TaggingFeatures({"the", "room", "was", "clean"}, lexicon);
+  ASSERT_EQ(features.size(), 4u);
+  // The "clean" token must carry a positive-lexicon feature.
+  bool has_lex_pos = false;
+  for (const auto& f : features[3]) {
+    if (f == "lex=pos") has_lex_pos = true;
+  }
+  EXPECT_TRUE(has_lex_pos);
+  // And its left-context feature names "was".
+  bool has_prev = false;
+  for (const auto& f : features[3]) {
+    if (f == "p1:w=was") has_prev = true;
+  }
+  EXPECT_TRUE(has_prev);
+}
+
+class TaggerTest : public ::testing::Test {
+ protected:
+  static std::vector<LabeledSentence> TrainingData() {
+    return datagen::GenerateLabeledSentences(datagen::HotelDomain(), 400, 1);
+  }
+};
+
+TEST_F(TaggerTest, LearnedTaggerBeatsChance) {
+  auto train = TrainingData();
+  auto test = datagen::GenerateLabeledSentences(datagen::HotelDomain(), 100,
+                                                99);
+  auto tagger = OpinionTagger::Train(train);
+  int correct = 0;
+  int total = 0;
+  for (const auto& sentence : test) {
+    auto predicted = tagger.Tag(sentence.tokens);
+    for (size_t i = 0; i < sentence.tags.size(); ++i) {
+      if (predicted[i] == sentence.tags[i]) ++correct;
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / total, 0.85);
+}
+
+TEST_F(TaggerTest, RuleTaggerTagsLexiconWords) {
+  RuleBasedTagger tagger({"room", "staff"});
+  auto tags = tagger.Tag({"the", "room", "was", "very", "clean"});
+  EXPECT_EQ(tags[0], kO);
+  EXPECT_EQ(tags[1], kAS);
+  EXPECT_EQ(tags[3], kOP);  // "very" attaches to "clean".
+  EXPECT_EQ(tags[4], kOP);
+}
+
+TEST_F(TaggerTest, RuleTaggerUnknownWordsAreO) {
+  RuleBasedTagger tagger({});
+  auto tags = tagger.Tag({"we", "arrived", "late"});
+  for (int tag : tags) EXPECT_EQ(tag, kO);
+}
+
+TEST(RuleBasedPairingTest, NearestAspectWins) {
+  // tokens: [asp A][...][op X][asp B][op Y]
+  std::vector<Span> spans = {
+      {0, 1, kAS}, {4, 5, kOP}, {5, 6, kAS}, {8, 9, kOP}};
+  auto pairs = RuleBasedPairing(spans);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].aspect, (Span{5, 6, kAS}));  // X pairs with nearer B.
+  EXPECT_EQ(pairs[1].aspect, (Span{5, 6, kAS}));  // Y pairs with B too.
+}
+
+TEST(RuleBasedPairingTest, OpinionWithoutAspectGetsEmptyAspect) {
+  std::vector<Span> spans = {{2, 3, kOP}};
+  auto pairs = RuleBasedPairing(spans);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].aspect.begin, pairs[0].aspect.end);
+}
+
+TEST(RuleBasedPairingTest, NoOpinionsNoPairs) {
+  std::vector<Span> spans = {{0, 1, kAS}};
+  EXPECT_TRUE(RuleBasedPairing(spans).empty());
+}
+
+TEST(PairingClassifierTest, LearnsDistancePreference) {
+  // Build training examples where correct links are short-distance.
+  Rng rng(5);
+  std::vector<PairingClassifier::Example> examples;
+  for (int i = 0; i < 400; ++i) {
+    const int a_pos = static_cast<int>(rng.Below(5));
+    const int gap = 1 + static_cast<int>(rng.Below(12));
+    Span aspect{a_pos, a_pos + 1, kAS};
+    Span opinion{a_pos + gap, a_pos + gap + 1, kOP};
+    PairingClassifier::Example ex;
+    ex.spans = {aspect, opinion};
+    ex.aspect = aspect;
+    ex.opinion = opinion;
+    ex.correct = gap <= 4;
+    examples.push_back(std::move(ex));
+  }
+  auto classifier = PairingClassifier::Train(examples);
+  EXPECT_GT(classifier.Accuracy(examples), 0.9);
+  // Close pair scores above far pair.
+  Span a{0, 1, kAS};
+  Span near{2, 3, kOP};
+  Span far{14, 15, kOP};
+  EXPECT_GT(classifier.Score({a, near}, a, near),
+            classifier.Score({a, far}, a, far));
+}
+
+TEST(PipelineTest, ExtractsAspectOpinionPairsWithProvenance) {
+  auto train = datagen::GenerateLabeledSentences(datagen::HotelDomain(), 500,
+                                                 2);
+  auto tagger = OpinionTagger::Train(train);
+  ExtractionPipeline pipeline(std::move(tagger));
+
+  text::ReviewCorpus corpus;
+  auto hotel = corpus.AddEntity("h");
+  auto review_id = corpus.AddReview(
+      hotel, 1, 0, "the room was very clean. the staff was rude.");
+  auto opinions = pipeline.ExtractFromReview(corpus.review(review_id));
+  ASSERT_GE(opinions.size(), 2u);
+  bool found_clean = false;
+  bool found_rude = false;
+  for (const auto& opinion : opinions) {
+    EXPECT_EQ(opinion.entity, hotel);
+    EXPECT_EQ(opinion.review, review_id);
+    if (opinion.aspect == "room" && opinion.opinion == "very clean") {
+      found_clean = true;
+      EXPECT_GT(opinion.sentiment, 0.0);
+    }
+    if (opinion.aspect == "staff" && opinion.opinion == "rude") {
+      found_rude = true;
+      EXPECT_LT(opinion.sentiment, 0.0);
+    }
+  }
+  EXPECT_TRUE(found_clean);
+  EXPECT_TRUE(found_rude);
+}
+
+TEST(PipelineTest, CorpusExtractionCoversAllReviews) {
+  auto train = datagen::GenerateLabeledSentences(datagen::HotelDomain(), 300,
+                                                 3);
+  auto tagger = OpinionTagger::Train(train);
+  ExtractionPipeline pipeline(std::move(tagger));
+  text::ReviewCorpus corpus;
+  auto h0 = corpus.AddEntity("h0");
+  auto h1 = corpus.AddEntity("h1");
+  corpus.AddReview(h0, 1, 0, "spotless room.");
+  corpus.AddReview(h1, 2, 0, "filthy carpet and rude staff.");
+  auto all = pipeline.ExtractFromCorpus(corpus);
+  bool saw_h0 = false;
+  bool saw_h1 = false;
+  for (const auto& opinion : all) {
+    if (opinion.entity == h0) saw_h0 = true;
+    if (opinion.entity == h1) saw_h1 = true;
+  }
+  EXPECT_TRUE(saw_h0);
+  EXPECT_TRUE(saw_h1);
+}
+
+}  // namespace
+}  // namespace opinedb::extract

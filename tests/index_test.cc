@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "index/inverted_index.h"
+#include "text/tokenizer.h"
+
+namespace opinedb::index {
+namespace {
+
+class IndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    text::Tokenizer tokenizer;
+    const char* docs[] = {
+        "the room was very clean and the staff was friendly",
+        "dirty room with stained carpet and rude staff",
+        "clean clean clean room spotless bathroom",
+        "the food was delicious but the bar was crowded",
+    };
+    for (const char* doc : docs) {
+      index_.AddDocument(tokenizer.Tokenize(doc));
+    }
+  }
+
+  InvertedIndex index_;
+};
+
+TEST_F(IndexTest, Counts) {
+  EXPECT_EQ(index_.num_documents(), 4u);
+  EXPECT_GT(index_.average_doc_length(), 0.0);
+  EXPECT_EQ(index_.DocumentFrequency("clean"), 2);
+  EXPECT_EQ(index_.DocumentFrequency("staff"), 2);
+  EXPECT_EQ(index_.DocumentFrequency("zzz"), 0);
+}
+
+TEST_F(IndexTest, TermFrequency) {
+  EXPECT_EQ(index_.TermFrequency(2, "clean"), 3);
+  EXPECT_EQ(index_.TermFrequency(0, "clean"), 1);
+  EXPECT_EQ(index_.TermFrequency(1, "clean"), 0);
+  EXPECT_EQ(index_.TermFrequency(0, "zzz"), 0);
+}
+
+TEST_F(IndexTest, IdfDecreasesWithFrequency) {
+  // "the" appears in more documents than "delicious".
+  EXPECT_LT(index_.Bm25Idf("the"), index_.Bm25Idf("delicious"));
+  EXPECT_GT(index_.Idf("delicious"), index_.Idf("the"));
+}
+
+TEST_F(IndexTest, TopKRanksRepeatedTermHigher) {
+  auto top = index_.TopK({"clean"}, 10);
+  ASSERT_GE(top.size(), 2u);
+  EXPECT_EQ(top[0].doc, 2);  // "clean clean clean ..."
+}
+
+TEST_F(IndexTest, TopKRespectsK) {
+  auto top = index_.TopK({"room"}, 2);
+  EXPECT_EQ(top.size(), 2u);
+}
+
+TEST_F(IndexTest, TopKOmitsZeroScores) {
+  auto top = index_.TopK({"zzz"}, 10);
+  EXPECT_TRUE(top.empty());
+}
+
+TEST_F(IndexTest, ScoreMatchesTopK) {
+  auto top = index_.TopK({"clean", "staff"}, 10);
+  for (const auto& scored : top) {
+    EXPECT_NEAR(scored.score, index_.Score(scored.doc, {"clean", "staff"}),
+                1e-9);
+  }
+}
+
+TEST_F(IndexTest, ScoresDescending) {
+  auto top = index_.TopK({"room", "clean", "staff"}, 10);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].score, top[i].score);
+  }
+}
+
+TEST_F(IndexTest, WeightedTopKAppliesWeights) {
+  // Zero out document 2; it must disappear from the "clean" ranking.
+  std::vector<double> weights = {1.0, 1.0, 0.0, 1.0};
+  auto top = index_.TopKWeighted({"clean"}, 10, weights);
+  for (const auto& scored : top) EXPECT_NE(scored.doc, 2);
+
+  // Boosting a document promotes it.
+  weights = {10.0, 1.0, 0.01, 1.0};
+  top = index_.TopKWeighted({"clean"}, 10, weights);
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0].doc, 0);
+}
+
+TEST(IndexEdgeTest, EmptyIndex) {
+  InvertedIndex index;
+  EXPECT_EQ(index.num_documents(), 0u);
+  EXPECT_EQ(index.average_doc_length(), 0.0);
+  EXPECT_TRUE(index.TopK({"x"}, 5).empty());
+}
+
+TEST(IndexEdgeTest, SingleDocument) {
+  InvertedIndex index;
+  index.AddDocument({"clean", "room"});
+  auto top = index.TopK({"clean"}, 5);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].doc, 0);
+  EXPECT_GT(top[0].score, 0.0);
+}
+
+TEST(IndexPropertyTest, Bm25MonotoneInTermFrequency) {
+  // With identical doc lengths, higher tf must yield a higher score.
+  InvertedIndex index;
+  index.AddDocument({"clean", "a", "b", "c"});
+  index.AddDocument({"clean", "clean", "b", "c"});
+  index.AddDocument({"x", "y", "z", "w"});
+  EXPECT_GT(index.Score(1, {"clean"}), index.Score(0, {"clean"}));
+}
+
+TEST(IndexPropertyTest, LengthNormalizationPenalizesLongDocs) {
+  InvertedIndex index;
+  std::vector<std::string> short_doc = {"clean", "room"};
+  std::vector<std::string> long_doc = {"clean", "room"};
+  for (int i = 0; i < 60; ++i) long_doc.push_back("filler");
+  index.AddDocument(short_doc);
+  index.AddDocument(long_doc);
+  EXPECT_GT(index.Score(0, {"clean"}), index.Score(1, {"clean"}));
+}
+
+}  // namespace
+}  // namespace opinedb::index

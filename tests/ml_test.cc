@@ -1,0 +1,246 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/kmeans.h"
+#include "ml/logistic_regression.h"
+#include "ml/naive_bayes.h"
+#include "ml/perceptron_tagger.h"
+
+namespace opinedb::ml {
+namespace {
+
+// -------------------------------------------------- LogisticRegression.
+
+std::vector<Example> LinearlySeparable(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Example> examples;
+  for (int i = 0; i < n; ++i) {
+    Example ex;
+    const double x = rng.Uniform(-1, 1);
+    const double y = rng.Uniform(-1, 1);
+    ex.features = {x, y};
+    ex.label = (x + y > 0.0) ? 1 : 0;
+    examples.push_back(std::move(ex));
+  }
+  return examples;
+}
+
+TEST(LogisticRegressionTest, LearnsSeparableData) {
+  auto train = LinearlySeparable(400, 1);
+  auto test = LinearlySeparable(200, 2);
+  auto model = LogisticRegression::Train(train, LogRegOptions());
+  EXPECT_GT(model.Accuracy(test), 0.93);
+}
+
+TEST(LogisticRegressionTest, OutputsAreProbabilities) {
+  auto model =
+      LogisticRegression::Train(LinearlySeparable(100, 3), LogRegOptions());
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const double p = model.Predict({rng.Uniform(-2, 2), rng.Uniform(-2, 2)});
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(LogisticRegressionTest, ConfidenceGrowsWithMargin) {
+  auto model =
+      LogisticRegression::Train(LinearlySeparable(400, 5), LogRegOptions());
+  EXPECT_GT(model.Predict({1.0, 1.0}), model.Predict({0.1, 0.1}));
+  EXPECT_LT(model.Predict({-1.0, -1.0}), model.Predict({-0.1, -0.1}));
+}
+
+TEST(LogisticRegressionTest, EmptyTrainingIsNeutral) {
+  auto model = LogisticRegression::Train({}, LogRegOptions());
+  EXPECT_EQ(model.Predict({}), 0.5);
+}
+
+TEST(LogisticRegressionTest, DeterministicTraining) {
+  auto data = LinearlySeparable(100, 6);
+  auto a = LogisticRegression::Train(data, LogRegOptions());
+  auto b = LogisticRegression::Train(data, LogRegOptions());
+  EXPECT_EQ(a.weights(), b.weights());
+  EXPECT_EQ(a.bias(), b.bias());
+}
+
+// -------------------------------------------------------------- KMeans.
+
+TEST(KMeansTest, SeparatesTwoBlobs) {
+  Rng rng(7);
+  std::vector<embedding::Vec> points;
+  for (int i = 0; i < 50; ++i) {
+    points.push_back({static_cast<float>(rng.Gaussian(0.0, 0.1)),
+                      static_cast<float>(rng.Gaussian(0.0, 0.1))});
+  }
+  for (int i = 0; i < 50; ++i) {
+    points.push_back({static_cast<float>(rng.Gaussian(5.0, 0.1)),
+                      static_cast<float>(rng.Gaussian(5.0, 0.1))});
+  }
+  auto result = KMeans(points, 2);
+  ASSERT_EQ(result.centroids.size(), 2u);
+  // All points of each blob share an assignment.
+  for (int i = 1; i < 50; ++i) {
+    EXPECT_EQ(result.assignment[i], result.assignment[0]);
+  }
+  for (int i = 51; i < 100; ++i) {
+    EXPECT_EQ(result.assignment[i], result.assignment[50]);
+  }
+  EXPECT_NE(result.assignment[0], result.assignment[50]);
+}
+
+TEST(KMeansTest, MedoidsAreValidIndices) {
+  Rng rng(9);
+  std::vector<embedding::Vec> points;
+  for (int i = 0; i < 30; ++i) {
+    points.push_back({static_cast<float>(rng.Uniform()),
+                      static_cast<float>(rng.Uniform())});
+  }
+  auto result = KMeans(points, 4);
+  for (int32_t medoid : result.medoids) {
+    ASSERT_GE(medoid, 0);
+    ASSERT_LT(medoid, 30);
+  }
+}
+
+TEST(KMeansTest, KLargerThanPoints) {
+  std::vector<embedding::Vec> points = {{0.0f}, {1.0f}};
+  auto result = KMeans(points, 10);
+  EXPECT_LE(result.centroids.size(), 2u);
+}
+
+TEST(KMeansTest, EmptyInput) {
+  auto result = KMeans({}, 3);
+  EXPECT_TRUE(result.centroids.empty());
+}
+
+TEST(KMeansTest, InertiaIsSumOfSquaredDistances) {
+  std::vector<embedding::Vec> points = {{0.0f}, {0.2f}, {10.0f}, {10.2f}};
+  auto result = KMeans(points, 2);
+  EXPECT_NEAR(result.inertia, 0.02 * 2, 1e-6);
+}
+
+// ---------------------------------------------------------- NaiveBayes.
+
+TEST(NaiveBayesTest, ClassifiesByTokenEvidence) {
+  std::vector<TextExample> train = {
+      {{"clean", "room"}, 0},     {{"spotless", "room"}, 0},
+      {{"tidy", "sheets"}, 0},    {{"rude", "staff"}, 1},
+      {{"friendly", "staff"}, 1}, {{"helpful", "reception"}, 1},
+  };
+  auto model = NaiveBayesClassifier::Train(train, 2);
+  EXPECT_EQ(model.Classify({"clean", "sheets"}), 0);
+  EXPECT_EQ(model.Classify({"rude", "reception"}), 1);
+  EXPECT_EQ(model.Accuracy(train), 1.0);
+}
+
+TEST(NaiveBayesTest, UnknownTokensFallBackToPrior) {
+  std::vector<TextExample> train = {
+      {{"a"}, 0}, {{"a"}, 0}, {{"a"}, 0}, {{"b"}, 1},
+  };
+  auto model = NaiveBayesClassifier::Train(train, 2);
+  // Class 0 has a 3x prior.
+  EXPECT_EQ(model.Classify({"zzz"}), 0);
+}
+
+TEST(NaiveBayesTest, ScoresHaveOneEntryPerLabel) {
+  std::vector<TextExample> train = {{{"x"}, 0}, {{"y"}, 1}, {{"z"}, 2}};
+  auto model = NaiveBayesClassifier::Train(train, 3);
+  EXPECT_EQ(model.Scores({"x"}).size(), 3u);
+}
+
+TEST(NaiveBayesTest, SmoothingHandlesUnseenTokenPerClass) {
+  std::vector<TextExample> train = {{{"clean"}, 0}, {{"dirty"}, 1}};
+  auto model = NaiveBayesClassifier::Train(train, 2);
+  // "clean dirty" has evidence for both; must not crash and must return a
+  // valid label.
+  const int label = model.Classify({"clean", "dirty", "unknown"});
+  EXPECT_TRUE(label == 0 || label == 1);
+}
+
+// ---------------------------------------------------- PerceptronTagger.
+
+// Toy tagging task: words "red"/"blue" are tag 1, digits are tag 2,
+// everything else tag 0 — with a transition quirk: tag 2 always follows
+// tag 1 in the training data.
+std::vector<TaggedSequence> ToyTaggingData(int n, uint64_t seed) {
+  Rng rng(seed);
+  const std::vector<std::string> fillers = {"the", "a", "walk", "house"};
+  std::vector<TaggedSequence> data;
+  for (int i = 0; i < n; ++i) {
+    TaggedSequence seq;
+    const int len = 3 + static_cast<int>(rng.Below(5));
+    for (int j = 0; j < len; ++j) {
+      std::string word;
+      int tag;
+      const double r = rng.Uniform();
+      if (r < 0.3) {
+        word = rng.Bernoulli(0.5) ? "red" : "blue";
+        tag = 1;
+      } else if (r < 0.5) {
+        word = std::to_string(rng.Below(10));
+        tag = 2;
+      } else {
+        word = fillers[rng.Below(fillers.size())];
+        tag = 0;
+      }
+      seq.features.push_back({"w=" + word});
+      seq.tags.push_back(tag);
+    }
+    data.push_back(std::move(seq));
+  }
+  return data;
+}
+
+TEST(PerceptronTaggerTest, LearnsEmissionPatterns) {
+  auto train = ToyTaggingData(300, 1);
+  auto test = ToyTaggingData(100, 2);
+  auto tagger = PerceptronTagger::Train(train, 3, {});
+  EXPECT_GT(tagger.TokenAccuracy(test), 0.95);
+}
+
+TEST(PerceptronTaggerTest, PredictEmptySequence) {
+  auto tagger = PerceptronTagger::Train(ToyTaggingData(10, 3), 3, {});
+  EXPECT_TRUE(tagger.Predict({}).empty());
+}
+
+TEST(PerceptronTaggerTest, PredictLengthMatchesInput) {
+  auto tagger = PerceptronTagger::Train(ToyTaggingData(50, 4), 3, {});
+  std::vector<std::vector<std::string>> features = {
+      {"w=red"}, {"w=the"}, {"w=7"}};
+  EXPECT_EQ(tagger.Predict(features).size(), 3u);
+}
+
+TEST(PerceptronTaggerTest, DeterministicTraining) {
+  auto data = ToyTaggingData(100, 5);
+  auto a = PerceptronTagger::Train(data, 3, {});
+  auto b = PerceptronTagger::Train(data, 3, {});
+  std::vector<std::vector<std::string>> features = {
+      {"w=red"}, {"w=3"}, {"w=walk"}, {"w=blue"}};
+  EXPECT_EQ(a.Predict(features), b.Predict(features));
+}
+
+TEST(PerceptronTaggerTest, TransitionsHelpAmbiguousTokens) {
+  // "x" is ambiguous: tag 1 after "start1", tag 2 after "start2". Only
+  // the transition structure disambiguates.
+  std::vector<TaggedSequence> data;
+  for (int i = 0; i < 60; ++i) {
+    TaggedSequence a;
+    a.features = {{"w=start1"}, {"w=x"}};
+    a.tags = {1, 1};
+    data.push_back(a);
+    TaggedSequence b;
+    b.features = {{"w=start2"}, {"w=x"}};
+    b.tags = {2, 2};
+    data.push_back(b);
+  }
+  auto tagger = PerceptronTagger::Train(data, 3, {});
+  EXPECT_EQ(tagger.Predict({{"w=start1"}, {"w=x"}}),
+            (std::vector<int>{1, 1}));
+  EXPECT_EQ(tagger.Predict({{"w=start2"}, {"w=x"}}),
+            (std::vector<int>{2, 2}));
+}
+
+}  // namespace
+}  // namespace opinedb::ml

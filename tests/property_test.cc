@@ -1,0 +1,259 @@
+// Parameterized property-style sweeps over the substrates: invariants
+// that must hold across a range of configurations, not just the defaults.
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "datagen/domain_spec.h"
+#include "datagen/generator.h"
+#include "datagen/queries.h"
+#include "embedding/word2vec.h"
+#include "index/inverted_index.h"
+#include "ml/kmeans.h"
+#include "ml/logistic_regression.h"
+#include "text/tokenizer.h"
+
+namespace opinedb {
+namespace {
+
+// ------------------------------------------------- Tokenizer invariants.
+
+class TokenizerPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TokenizerPropertyTest, TokensAreLowercaseNonEmptyWordChars) {
+  Rng rng(GetParam());
+  text::Tokenizer tokenizer;
+  // Random byte soup must never produce empty or non-normalized tokens.
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string input;
+    const size_t length = rng.Below(60);
+    for (size_t i = 0; i < length; ++i) {
+      input.push_back(static_cast<char>(rng.Int(32, 126)));
+    }
+    for (const auto& token : tokenizer.Tokenize(input)) {
+      ASSERT_FALSE(token.empty());
+      for (char c : token) {
+        const bool word = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9');
+        const bool intraword = c == '\'' || c == '-';
+        ASSERT_TRUE(word || intraword)
+            << "token '" << token << "' from input '" << input << "'";
+      }
+      ASSERT_FALSE(token.back() == '-' || token.back() == '\'');
+    }
+  }
+}
+
+TEST_P(TokenizerPropertyTest, TokenizationIsIdempotentOnJoinedOutput) {
+  Rng rng(GetParam() + 100);
+  text::Tokenizer tokenizer;
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string input;
+    const size_t length = rng.Below(80);
+    for (size_t i = 0; i < length; ++i) {
+      input.push_back(static_cast<char>(rng.Int(32, 126)));
+    }
+    auto first = tokenizer.Tokenize(input);
+    auto second = tokenizer.Tokenize(Join(first, " "));
+    EXPECT_EQ(first, second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenizerPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------- BM25 parameters.
+
+class Bm25ParamTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(Bm25ParamTest, ScoresNonNegativeAndTfMonotone) {
+  const auto [k1, b] = GetParam();
+  index::Bm25Params params;
+  params.k1 = k1;
+  params.b = b;
+  index::InvertedIndex index(params);
+  index.AddDocument({"clean", "room", "x", "y"});
+  index.AddDocument({"clean", "clean", "room", "y"});
+  index.AddDocument({"a", "b", "c", "d"});
+  EXPECT_GE(index.Score(2, {"clean"}), 0.0);
+  EXPECT_GT(index.Score(1, {"clean"}), index.Score(0, {"clean"}));
+  auto top = index.TopK({"clean"}, 3);
+  ASSERT_GE(top.size(), 2u);
+  EXPECT_EQ(top[0].doc, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, Bm25ParamTest,
+    ::testing::Values(std::make_pair(0.5, 0.0), std::make_pair(1.2, 0.75),
+                      std::make_pair(2.0, 1.0), std::make_pair(1.2, 0.0)));
+
+// ----------------------------------------------------- word2vec sweep.
+
+class Word2VecDimTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(Word2VecDimTest, TopicSeparationHoldsAcrossDimensions) {
+  Rng rng(11);
+  std::vector<std::vector<std::string>> sentences;
+  const std::vector<std::string> clean = {"clean", "spotless", "tidy"};
+  const std::vector<std::string> loud = {"noisy", "loud", "blaring"};
+  for (int i = 0; i < 400; ++i) {
+    const auto& pool = (i % 2 == 0) ? clean : loud;
+    std::vector<std::string> sentence;
+    for (int j = 0; j < 5; ++j) {
+      sentence.push_back(pool[rng.Below(pool.size())]);
+    }
+    sentences.push_back(std::move(sentence));
+  }
+  embedding::Word2VecOptions options;
+  options.dim = GetParam();
+  options.epochs = 8;
+  auto model = embedding::WordEmbeddings::TrainSgns(sentences, options);
+  EXPECT_GT(model.Similarity("clean", "spotless"),
+            model.Similarity("clean", "noisy"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, Word2VecDimTest,
+                         ::testing::Values(8, 16, 32, 64));
+
+// --------------------------------------------------------- LR stability.
+
+class LogRegSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LogRegSeedTest, AccuracyStableAcrossSeeds) {
+  Rng rng(GetParam());
+  std::vector<ml::Example> train, test;
+  for (int i = 0; i < 500; ++i) {
+    ml::Example ex;
+    const double x = rng.Uniform(-1, 1);
+    const double y = rng.Uniform(-1, 1);
+    ex.features = {x, y, rng.Uniform()};  // Third feature is noise.
+    ex.label = (2.0 * x - y > 0.0) ? 1 : 0;
+    (i % 5 == 0 ? test : train).push_back(std::move(ex));
+  }
+  ml::LogRegOptions options;
+  options.seed = GetParam() * 31 + 7;
+  auto model = ml::LogisticRegression::Train(train, options);
+  EXPECT_GT(model.Accuracy(test), 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LogRegSeedTest,
+                         ::testing::Values(1, 7, 21, 42, 1234));
+
+// -------------------------------------------------------- k-means in k.
+
+class KMeansKTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KMeansKTest, InertiaNonIncreasingInK) {
+  Rng rng(5);
+  std::vector<embedding::Vec> points;
+  for (int i = 0; i < 120; ++i) {
+    points.push_back({static_cast<float>(rng.Uniform()),
+                      static_cast<float>(rng.Uniform())});
+  }
+  const size_t k = GetParam();
+  const auto smaller = ml::KMeans(points, k);
+  const auto larger = ml::KMeans(points, k + 2);
+  // More clusters can only reduce (or keep) the optimal inertia;
+  // Lloyd's is a local optimizer, so allow a small tolerance.
+  EXPECT_LE(larger.inertia, smaller.inertia * 1.10);
+  // Assignments reference valid clusters.
+  for (int32_t assignment : smaller.assignment) {
+    EXPECT_GE(assignment, 0);
+    EXPECT_LT(assignment, static_cast<int32_t>(smaller.centroids.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KMeansKTest, ::testing::Values(2, 3, 5, 8));
+
+// ------------------------------------------- generator scale invariants.
+
+class GeneratorScaleTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GeneratorScaleTest, DomainsWellFormedAtEveryScale) {
+  datagen::GeneratorOptions options;
+  options.num_entities = GetParam();
+  options.min_reviews_per_entity = 3;
+  options.max_reviews_per_entity = 6;
+  options.seed = 17;
+  auto domain = datagen::GenerateDomain(datagen::RestaurantDomain(),
+                                        options);
+  EXPECT_EQ(domain.entities.size(), GetParam());
+  EXPECT_EQ(domain.corpus.num_entities(), GetParam());
+  EXPECT_EQ(domain.objective_table.num_rows(), GetParam());
+  for (const auto& entity : domain.entities) {
+    EXPECT_EQ(entity.quality.size(), domain.spec.attributes.size());
+    for (double q : entity.quality) {
+      EXPECT_GE(q, 0.0);
+      EXPECT_LE(q, 1.0);
+    }
+    EXPECT_GE(entity.rating, 1.0);
+    EXPECT_LE(entity.rating, 5.0);
+  }
+  for (const auto& review : domain.corpus.reviews()) {
+    EXPECT_FALSE(review.body.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GeneratorScaleTest,
+                         ::testing::Values(1, 5, 25, 80));
+
+// ------------------------------------------- quality skew is monotone.
+
+class QualitySkewTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(QualitySkewTest, SkewRaisesMeanQuality) {
+  datagen::GeneratorOptions uniform;
+  uniform.num_entities = 60;
+  uniform.min_reviews_per_entity = 1;
+  uniform.max_reviews_per_entity = 1;
+  uniform.seed = 23;
+  datagen::GeneratorOptions skewed = uniform;
+  skewed.quality_skew = GetParam();
+  auto a = datagen::GenerateDomain(datagen::HotelDomain(), uniform);
+  auto b = datagen::GenerateDomain(datagen::HotelDomain(), skewed);
+  auto mean_quality = [](const datagen::SyntheticDomain& domain) {
+    double sum = 0.0;
+    size_t n = 0;
+    for (const auto& entity : domain.entities) {
+      for (double q : entity.quality) {
+        sum += q;
+        ++n;
+      }
+    }
+    return sum / static_cast<double>(n);
+  };
+  EXPECT_GT(mean_quality(b), mean_quality(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, QualitySkewTest,
+                         ::testing::Values(1.3, 1.7, 2.5));
+
+// ------------------------------------- predicate pools across domains.
+
+class PoolDomainTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PoolDomainTest, PoolsAreValidForEveryDomain) {
+  const std::string name = GetParam();
+  auto spec = name == "hotel" ? datagen::HotelDomain()
+                              : datagen::RestaurantDomain();
+  auto pool = datagen::BuildPredicatePool(spec, 120, 3);
+  EXPECT_EQ(pool.size(), 120u);
+  for (const auto& predicate : pool) {
+    EXPECT_FALSE(predicate.text.empty());
+    for (int attr : predicate.quality_attributes) {
+      EXPECT_GE(attr, 0);
+      EXPECT_LT(attr, static_cast<int>(spec.attributes.size()));
+    }
+    EXPECT_GT(predicate.threshold, 0.0);
+    EXPECT_LT(predicate.threshold, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Domains, PoolDomainTest,
+                         ::testing::Values("hotel", "restaurant"));
+
+}  // namespace
+}  // namespace opinedb

@@ -1,0 +1,133 @@
+// End-to-end coverage of the second domain (restaurants): the engine is
+// domain-agnostic, so everything that works for hotels must work here —
+// including the Yelp-style generator knobs (long, positively-skewed
+// reviews) and categorical-attribute querying.
+#include <gtest/gtest.h>
+
+#include "datagen/domain_spec.h"
+#include "eval/experiment.h"
+
+namespace opinedb {
+namespace {
+
+class RestaurantIntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    eval::BuildOptions options;
+    options.generator.num_entities = 35;
+    options.generator.min_reviews_per_entity = 8;
+    options.generator.max_reviews_per_entity = 16;
+    options.generator.min_sentences_per_review = 5;
+    options.generator.max_sentences_per_review = 9;
+    options.generator.quality_skew = 1.7;
+    options.generator.seed = 77;
+    options.seed = 77;
+    options.extractor_training_sentences = 500;
+    options.predicate_pool_size = 80;
+    options.membership_training_tuples = 600;
+    artifacts_ = new eval::DomainArtifacts(
+        eval::BuildArtifacts(datagen::RestaurantDomain(), options));
+  }
+
+  static void TearDownTestSuite() {
+    delete artifacts_;
+    artifacts_ = nullptr;
+  }
+
+  const core::OpineDb& db() const { return *artifacts_->db; }
+  const datagen::SyntheticDomain& domain() const {
+    return artifacts_->domain;
+  }
+
+  static eval::DomainArtifacts* artifacts_;
+};
+
+eval::DomainArtifacts* RestaurantIntegrationTest::artifacts_ = nullptr;
+
+TEST_F(RestaurantIntegrationTest, BuildSucceeds) {
+  EXPECT_EQ(db().corpus().num_entities(), 35u);
+  EXPECT_GT(db().tables().extractions.size(), 1000u);
+  EXPECT_TRUE(db().has_membership_model());
+}
+
+TEST_F(RestaurantIntegrationTest, QualitySkewYieldsPositiveCorpus) {
+  // The Yelp-style skew makes mean latent quality clearly above 0.5.
+  double mean = 0.0;
+  size_t n = 0;
+  for (const auto& entity : domain().entities) {
+    for (double q : entity.quality) {
+      mean += q;
+      ++n;
+    }
+  }
+  EXPECT_GT(mean / static_cast<double>(n), 0.55);
+}
+
+TEST_F(RestaurantIntegrationTest, CuisineFilterPlusSubjective) {
+  auto result = db().Execute(
+      "select * from restaurants where cuisine = 'italian' and "
+      "\"delicious food\" limit 35");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->results.empty());
+  for (const auto& r : result->results) {
+    EXPECT_EQ(domain().entities[r.entity].cuisine, "italian");
+  }
+}
+
+TEST_F(RestaurantIntegrationTest, FoodPredicateTracksLatentQuality) {
+  const int attr = db().schema().AttributeIndex("food_quality");
+  ASSERT_GE(attr, 0);
+  auto result = db().Execute(
+      "select * from restaurants where \"delicious food\" limit 8");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->results.size(), 8u);
+  double top_mean = 0.0;
+  for (const auto& r : result->results) {
+    top_mean += domain().entities[r.entity].quality[attr];
+  }
+  top_mean /= 8.0;
+  double all_mean = 0.0;
+  for (const auto& entity : domain().entities) {
+    all_mean += entity.quality[attr];
+  }
+  all_mean /= static_cast<double>(domain().entities.size());
+  EXPECT_GT(top_mean, all_mean);
+}
+
+TEST_F(RestaurantIntegrationTest, CategoricalAmbienceIsQueryable) {
+  // "ambience" is a categorical attribute; direct marker queries work.
+  const int attr = db().schema().AttributeIndex("ambience");
+  ASSERT_GE(attr, 0);
+  EXPECT_EQ(db().schema().attributes[attr].summary_type.kind,
+            core::SummaryKind::kCategorical);
+  auto result = db().Execute(
+      "select * from restaurants where \"romantic atmosphere\" limit 5");
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->results.empty());
+}
+
+TEST_F(RestaurantIntegrationTest, ConceptInterpretedViaTriggers) {
+  const auto interpretation =
+      db().interpreter().Interpret("private dinner vibe");
+  ASSERT_FALSE(interpretation.atoms.empty());
+  const int ambience = db().schema().AttributeIndex("ambience");
+  const int noise = db().schema().AttributeIndex("noise_level");
+  bool hit = false;
+  for (const auto& atom : interpretation.atoms) {
+    if (atom.attribute == ambience || atom.attribute == noise) hit = true;
+  }
+  EXPECT_TRUE(hit);
+}
+
+TEST_F(RestaurantIntegrationTest, FallbackQueryStillAnswers) {
+  auto result = db().Execute(
+      "select * from restaurants where \"good for birdwatchers\" limit 5");
+  ASSERT_TRUE(result.ok());
+  // Degrees may be tiny but the ranking must be well-formed.
+  for (size_t i = 1; i < result->results.size(); ++i) {
+    EXPECT_LE(result->results[i].score, result->results[i - 1].score);
+  }
+}
+
+}  // namespace
+}  // namespace opinedb

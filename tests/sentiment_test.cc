@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "sentiment/analyzer.h"
+
+namespace opinedb::sentiment {
+namespace {
+
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  Analyzer analyzer_;
+};
+
+TEST_F(AnalyzerTest, PositiveWords) {
+  EXPECT_GT(analyzer_.ScorePhrase("clean"), 0.0);
+  EXPECT_GT(analyzer_.ScorePhrase("excellent"), 0.0);
+  EXPECT_GT(analyzer_.ScorePhrase("spotless room"), 0.0);
+}
+
+TEST_F(AnalyzerTest, NegativeWords) {
+  EXPECT_LT(analyzer_.ScorePhrase("dirty"), 0.0);
+  EXPECT_LT(analyzer_.ScorePhrase("filthy carpet"), 0.0);
+  EXPECT_LT(analyzer_.ScorePhrase("rude staff"), 0.0);
+}
+
+TEST_F(AnalyzerTest, NeutralOrUnknownIsZero) {
+  EXPECT_EQ(analyzer_.ScorePhrase("the room"), 0.0);
+  EXPECT_EQ(analyzer_.ScorePhrase(""), 0.0);
+  EXPECT_EQ(analyzer_.ScorePhrase("xyzzy frobnicate"), 0.0);
+}
+
+TEST_F(AnalyzerTest, StrongWordsBeatWeakWords) {
+  EXPECT_GT(analyzer_.ScorePhrase("spotless"),
+            analyzer_.ScorePhrase("tidy"));
+  EXPECT_LT(analyzer_.ScorePhrase("filthy"),
+            analyzer_.ScorePhrase("dusty"));
+}
+
+TEST_F(AnalyzerTest, NegationFlipsPolarity) {
+  EXPECT_LT(analyzer_.ScorePhrase("not clean"), 0.0);
+  EXPECT_GT(analyzer_.ScorePhrase("not dirty"), 0.0);
+}
+
+TEST_F(AnalyzerTest, IntensifierAmplifies) {
+  EXPECT_GT(analyzer_.ScorePhrase("extremely clean"),
+            analyzer_.ScorePhrase("clean"));
+  EXPECT_LT(analyzer_.ScorePhrase("extremely dirty"),
+            analyzer_.ScorePhrase("dirty"));
+}
+
+TEST_F(AnalyzerTest, DiminisherDampens) {
+  EXPECT_LT(analyzer_.ScorePhrase("slightly clean"),
+            analyzer_.ScorePhrase("clean"));
+  EXPECT_GT(analyzer_.ScorePhrase("slightly dirty"),
+            analyzer_.ScorePhrase("dirty"));
+}
+
+TEST_F(AnalyzerTest, ScoreBounded) {
+  EXPECT_LE(analyzer_.ScorePhrase("extremely incredibly perfect"), 1.0);
+  EXPECT_GE(analyzer_.ScorePhrase("extremely utterly filthy"), -1.0);
+}
+
+TEST_F(AnalyzerTest, DocumentAveragesSentences) {
+  const double doc = analyzer_.ScoreDocument(
+      "The room was clean. The staff was rude.");
+  const double pos = analyzer_.ScorePhrase("the room was clean");
+  const double neg = analyzer_.ScorePhrase("the staff was rude");
+  EXPECT_NEAR(doc, (pos + neg) / 2.0, 1e-9);
+}
+
+TEST_F(AnalyzerTest, EmptyDocumentIsZero) {
+  EXPECT_EQ(analyzer_.ScoreDocument(""), 0.0);
+}
+
+TEST(LexiconTest, DefaultHasBroadCoverage) {
+  Lexicon lexicon = Lexicon::Default();
+  EXPECT_GT(lexicon.size(), 150u);
+  EXPECT_TRUE(lexicon.Contains("clean"));
+  EXPECT_TRUE(lexicon.Contains("luxurious"));
+  EXPECT_FALSE(lexicon.Contains("table"));
+}
+
+TEST(LexiconTest, SetClampsToRange) {
+  Lexicon lexicon;
+  lexicon.Set("super-great", 5.0);
+  EXPECT_EQ(lexicon.valence("super-great"), 1.0);
+  lexicon.Set("mega-bad", -7.0);
+  EXPECT_EQ(lexicon.valence("mega-bad"), -1.0);
+}
+
+TEST(LexiconTest, OverwriteEntry) {
+  Lexicon lexicon;
+  lexicon.Set("word", 0.5);
+  lexicon.Set("word", -0.5);
+  EXPECT_EQ(lexicon.valence("word"), -0.5);
+  EXPECT_EQ(lexicon.size(), 1u);
+}
+
+TEST(ModifierTest, NegationsAndIntensifiers) {
+  EXPECT_TRUE(IsNegation("not"));
+  EXPECT_TRUE(IsNegation("never"));
+  EXPECT_FALSE(IsNegation("very"));
+  EXPECT_GT(IntensityOf("very"), 1.0);
+  EXPECT_LT(IntensityOf("slightly"), 1.0);
+  EXPECT_EQ(IntensityOf("room"), 1.0);
+}
+
+TEST(AnalyzerPolarityOrderTest, LexiconGradesTrackValence) {
+  // Linear-scale phrases must sort correctly by analyzer score — marker
+  // induction for linearly-ordered domains depends on this invariant.
+  Analyzer analyzer;
+  const char* ordered[] = {"spotless", "clean", "average", "dusty",
+                           "dirty", "filthy"};
+  for (size_t i = 0; i + 1 < std::size(ordered); ++i) {
+    EXPECT_GT(analyzer.ScorePhrase(ordered[i]),
+              analyzer.ScorePhrase(ordered[i + 1]))
+        << ordered[i] << " vs " << ordered[i + 1];
+  }
+}
+
+}  // namespace
+}  // namespace opinedb::sentiment

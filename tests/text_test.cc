@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "text/corpus.h"
+#include "text/tokenizer.h"
+#include "text/vocab.h"
+
+namespace opinedb::text {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize("The Room was CLEAN");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "the");
+  EXPECT_EQ(tokens[3], "clean");
+}
+
+TEST(TokenizerTest, DropsPunctuationByDefault) {
+  Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize("clean, tidy!! (really)");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "clean");
+  EXPECT_EQ(tokens[1], "tidy");
+  EXPECT_EQ(tokens[2], "really");
+}
+
+TEST(TokenizerTest, KeepsIntrawordApostropheAndHyphen) {
+  Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize("don't use worn-out sheets");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "don't");
+  EXPECT_EQ(tokens[2], "worn-out");
+}
+
+TEST(TokenizerTest, TrailingHyphenStripped) {
+  Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize("clean- room");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "clean");
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  Tokenizer tokenizer;
+  EXPECT_TRUE(tokenizer.Tokenize("").empty());
+  EXPECT_TRUE(tokenizer.Tokenize("  ,,, !!").empty());
+}
+
+TEST(TokenizerTest, KeepPunctuationOption) {
+  TokenizerOptions options;
+  options.drop_punctuation = false;
+  Tokenizer tokenizer(options);
+  auto tokens = tokenizer.Tokenize("clean, room");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1], ",");
+}
+
+TEST(TokenizerTest, SplitSentences) {
+  auto sentences =
+      Tokenizer::SplitSentences("The room was clean. Staff were rude! Ok?");
+  ASSERT_EQ(sentences.size(), 3u);
+  EXPECT_EQ(sentences[0], "The room was clean");
+  EXPECT_EQ(sentences[1], " Staff were rude");
+}
+
+TEST(TokenizerTest, SplitSentencesSkipsEmpty) {
+  auto sentences = Tokenizer::SplitSentences("... one sentence.. ");
+  ASSERT_EQ(sentences.size(), 1u);
+}
+
+TEST(StopwordsTest, CommonWordsAreStopwords) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("was"));
+  EXPECT_FALSE(IsStopword("clean"));
+  EXPECT_FALSE(IsStopword("hotel"));
+}
+
+TEST(NGramsTest, Bigrams) {
+  auto grams = NGrams({"very", "clean", "room"}, 2);
+  ASSERT_EQ(grams.size(), 2u);
+  EXPECT_EQ(grams[0], "very_clean");
+  EXPECT_EQ(grams[1], "clean_room");
+}
+
+TEST(NGramsTest, DegenerateCases) {
+  EXPECT_TRUE(NGrams({"a"}, 2).empty());
+  EXPECT_TRUE(NGrams({"a", "b"}, 0).empty());
+  EXPECT_EQ(NGrams({"a", "b"}, 2).size(), 1u);
+}
+
+TEST(VocabTest, AddAndLookup) {
+  Vocab vocab;
+  WordId a = vocab.Add("clean");
+  WordId b = vocab.Add("dirty");
+  WordId a2 = vocab.Add("clean");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(vocab.count(a), 2);
+  EXPECT_EQ(vocab.count(b), 1);
+  EXPECT_EQ(vocab.size(), 2u);
+  EXPECT_EQ(vocab.total_count(), 3);
+  EXPECT_EQ(vocab.Lookup("clean"), a);
+  EXPECT_EQ(vocab.Lookup("missing"), kInvalidWordId);
+  EXPECT_EQ(vocab.word(a), "clean");
+}
+
+TEST(VocabTest, PrunedDropsRareWords) {
+  Vocab vocab;
+  for (int i = 0; i < 5; ++i) vocab.Add("common");
+  vocab.Add("rare");
+  Vocab pruned = vocab.Pruned(2);
+  EXPECT_EQ(pruned.size(), 1u);
+  EXPECT_NE(pruned.Lookup("common"), kInvalidWordId);
+  EXPECT_EQ(pruned.Lookup("rare"), kInvalidWordId);
+}
+
+TEST(CorpusTest, EntitiesAndReviews) {
+  ReviewCorpus corpus;
+  EntityId hotel_a = corpus.AddEntity("hotel_a");
+  EntityId hotel_b = corpus.AddEntity("hotel_b");
+  ReviewId r0 = corpus.AddReview(hotel_a, 7, 100, "clean room");
+  ReviewId r1 = corpus.AddReview(hotel_b, 7, 200, "dirty room");
+  ReviewId r2 = corpus.AddReview(hotel_a, 3, 300, "rude staff");
+  EXPECT_EQ(corpus.num_entities(), 2u);
+  EXPECT_EQ(corpus.num_reviews(), 3u);
+  EXPECT_EQ(corpus.entity_name(hotel_a), "hotel_a");
+  EXPECT_EQ(corpus.review(r1).body, "dirty room");
+  ASSERT_EQ(corpus.entity_reviews(hotel_a).size(), 2u);
+  EXPECT_EQ(corpus.entity_reviews(hotel_a)[0], r0);
+  EXPECT_EQ(corpus.entity_reviews(hotel_a)[1], r2);
+  EXPECT_EQ(corpus.reviewer_review_count(7), 2);
+  EXPECT_EQ(corpus.reviewer_review_count(3), 1);
+  EXPECT_EQ(corpus.reviewer_review_count(99), 0);
+}
+
+}  // namespace
+}  // namespace opinedb::text
