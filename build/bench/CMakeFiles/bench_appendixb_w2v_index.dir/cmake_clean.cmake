@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendixb_w2v_index.dir/bench_appendixb_w2v_index.cc.o"
+  "CMakeFiles/bench_appendixb_w2v_index.dir/bench_appendixb_w2v_index.cc.o.d"
+  "bench_appendixb_w2v_index"
+  "bench_appendixb_w2v_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendixb_w2v_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendixc_pairing.dir/bench_appendixc_pairing.cc.o"
+  "CMakeFiles/bench_appendixc_pairing.dir/bench_appendixc_pairing.cc.o.d"
+  "bench_appendixc_pairing"
+  "bench_appendixc_pairing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendixc_pairing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

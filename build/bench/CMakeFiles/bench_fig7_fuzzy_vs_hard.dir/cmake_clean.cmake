@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_fuzzy_vs_hard.dir/bench_fig7_fuzzy_vs_hard.cc.o"
+  "CMakeFiles/bench_fig7_fuzzy_vs_hard.dir/bench_fig7_fuzzy_vs_hard.cc.o.d"
+  "bench_fig7_fuzzy_vs_hard"
+  "bench_fig7_fuzzy_vs_hard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_fuzzy_vs_hard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

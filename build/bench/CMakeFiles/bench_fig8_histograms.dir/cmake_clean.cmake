@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_histograms.dir/bench_fig8_histograms.cc.o"
+  "CMakeFiles/bench_fig8_histograms.dir/bench_fig8_histograms.cc.o.d"
+  "bench_fig8_histograms"
+  "bench_fig8_histograms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_histograms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_extractor.dir/bench_table6_extractor.cc.o"
+  "CMakeFiles/bench_table6_extractor.dir/bench_table6_extractor.cc.o.d"
+  "bench_table6_extractor"
+  "bench_table6_extractor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_extractor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

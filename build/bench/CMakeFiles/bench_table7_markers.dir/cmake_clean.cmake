@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_markers.dir/bench_table7_markers.cc.o"
+  "CMakeFiles/bench_table7_markers.dir/bench_table7_markers.cc.o.d"
+  "bench_table7_markers"
+  "bench_table7_markers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_markers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

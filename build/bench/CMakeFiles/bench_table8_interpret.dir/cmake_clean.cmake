@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_interpret.dir/bench_table8_interpret.cc.o"
+  "CMakeFiles/bench_table8_interpret.dir/bench_table8_interpret.cc.o.d"
+  "bench_table8_interpret"
+  "bench_table8_interpret.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_interpret.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opinedb_shell.dir/opinedb_shell.cpp.o"
+  "CMakeFiles/opinedb_shell.dir/opinedb_shell.cpp.o.d"
+  "opinedb_shell"
+  "opinedb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opinedb_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restaurant_search.dir/restaurant_search.cpp.o"
+  "CMakeFiles/restaurant_search.dir/restaurant_search.cpp.o.d"
+  "restaurant_search"
+  "restaurant_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restaurant_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voyageur.dir/voyageur.cpp.o"
+  "CMakeFiles/voyageur.dir/voyageur.cpp.o.d"
+  "voyageur"
+  "voyageur.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voyageur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

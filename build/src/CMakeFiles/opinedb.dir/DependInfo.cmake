@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/attribute_baseline.cc" "src/CMakeFiles/opinedb.dir/baselines/attribute_baseline.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/baselines/attribute_baseline.cc.o.d"
+  "/root/repo/src/baselines/gz12.cc" "src/CMakeFiles/opinedb.dir/baselines/gz12.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/baselines/gz12.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/opinedb.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/opinedb.dir/common/status.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/opinedb.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/common/string_util.cc.o.d"
+  "/root/repo/src/core/aggregator.cc" "src/CMakeFiles/opinedb.dir/core/aggregator.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/core/aggregator.cc.o.d"
+  "/root/repo/src/core/attribute_classifier.cc" "src/CMakeFiles/opinedb.dir/core/attribute_classifier.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/core/attribute_classifier.cc.o.d"
+  "/root/repo/src/core/degree_cache.cc" "src/CMakeFiles/opinedb.dir/core/degree_cache.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/core/degree_cache.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/opinedb.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/interpreter.cc" "src/CMakeFiles/opinedb.dir/core/interpreter.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/core/interpreter.cc.o.d"
+  "/root/repo/src/core/marker_induction.cc" "src/CMakeFiles/opinedb.dir/core/marker_induction.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/core/marker_induction.cc.o.d"
+  "/root/repo/src/core/marker_summary.cc" "src/CMakeFiles/opinedb.dir/core/marker_summary.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/core/marker_summary.cc.o.d"
+  "/root/repo/src/core/membership.cc" "src/CMakeFiles/opinedb.dir/core/membership.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/core/membership.cc.o.d"
+  "/root/repo/src/core/personalize.cc" "src/CMakeFiles/opinedb.dir/core/personalize.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/core/personalize.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/CMakeFiles/opinedb.dir/core/query.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/core/query.cc.o.d"
+  "/root/repo/src/core/schema.cc" "src/CMakeFiles/opinedb.dir/core/schema.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/core/schema.cc.o.d"
+  "/root/repo/src/core/serialize.cc" "src/CMakeFiles/opinedb.dir/core/serialize.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/core/serialize.cc.o.d"
+  "/root/repo/src/datagen/domain_spec.cc" "src/CMakeFiles/opinedb.dir/datagen/domain_spec.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/datagen/domain_spec.cc.o.d"
+  "/root/repo/src/datagen/generator.cc" "src/CMakeFiles/opinedb.dir/datagen/generator.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/datagen/generator.cc.o.d"
+  "/root/repo/src/datagen/queries.cc" "src/CMakeFiles/opinedb.dir/datagen/queries.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/datagen/queries.cc.o.d"
+  "/root/repo/src/datagen/survey.cc" "src/CMakeFiles/opinedb.dir/datagen/survey.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/datagen/survey.cc.o.d"
+  "/root/repo/src/embedding/io.cc" "src/CMakeFiles/opinedb.dir/embedding/io.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/embedding/io.cc.o.d"
+  "/root/repo/src/embedding/kdtree.cc" "src/CMakeFiles/opinedb.dir/embedding/kdtree.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/embedding/kdtree.cc.o.d"
+  "/root/repo/src/embedding/phrase_rep.cc" "src/CMakeFiles/opinedb.dir/embedding/phrase_rep.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/embedding/phrase_rep.cc.o.d"
+  "/root/repo/src/embedding/substitution_index.cc" "src/CMakeFiles/opinedb.dir/embedding/substitution_index.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/embedding/substitution_index.cc.o.d"
+  "/root/repo/src/embedding/vector_ops.cc" "src/CMakeFiles/opinedb.dir/embedding/vector_ops.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/embedding/vector_ops.cc.o.d"
+  "/root/repo/src/embedding/word2vec.cc" "src/CMakeFiles/opinedb.dir/embedding/word2vec.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/embedding/word2vec.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/CMakeFiles/opinedb.dir/eval/experiment.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/opinedb.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/extract/opinion_tagger.cc" "src/CMakeFiles/opinedb.dir/extract/opinion_tagger.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/extract/opinion_tagger.cc.o.d"
+  "/root/repo/src/extract/pairing.cc" "src/CMakeFiles/opinedb.dir/extract/pairing.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/extract/pairing.cc.o.d"
+  "/root/repo/src/extract/pipeline.cc" "src/CMakeFiles/opinedb.dir/extract/pipeline.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/extract/pipeline.cc.o.d"
+  "/root/repo/src/extract/tags.cc" "src/CMakeFiles/opinedb.dir/extract/tags.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/extract/tags.cc.o.d"
+  "/root/repo/src/fuzzy/logic.cc" "src/CMakeFiles/opinedb.dir/fuzzy/logic.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/fuzzy/logic.cc.o.d"
+  "/root/repo/src/fuzzy/threshold_algorithm.cc" "src/CMakeFiles/opinedb.dir/fuzzy/threshold_algorithm.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/fuzzy/threshold_algorithm.cc.o.d"
+  "/root/repo/src/index/inverted_index.cc" "src/CMakeFiles/opinedb.dir/index/inverted_index.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/index/inverted_index.cc.o.d"
+  "/root/repo/src/ml/kmeans.cc" "src/CMakeFiles/opinedb.dir/ml/kmeans.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/ml/kmeans.cc.o.d"
+  "/root/repo/src/ml/logistic_regression.cc" "src/CMakeFiles/opinedb.dir/ml/logistic_regression.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/ml/logistic_regression.cc.o.d"
+  "/root/repo/src/ml/naive_bayes.cc" "src/CMakeFiles/opinedb.dir/ml/naive_bayes.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/ml/naive_bayes.cc.o.d"
+  "/root/repo/src/ml/perceptron_tagger.cc" "src/CMakeFiles/opinedb.dir/ml/perceptron_tagger.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/ml/perceptron_tagger.cc.o.d"
+  "/root/repo/src/sentiment/analyzer.cc" "src/CMakeFiles/opinedb.dir/sentiment/analyzer.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/sentiment/analyzer.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/opinedb.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/storage/table.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/CMakeFiles/opinedb.dir/storage/value.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/storage/value.cc.o.d"
+  "/root/repo/src/text/corpus.cc" "src/CMakeFiles/opinedb.dir/text/corpus.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/text/corpus.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/opinedb.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/text/vocab.cc" "src/CMakeFiles/opinedb.dir/text/vocab.cc.o" "gcc" "src/CMakeFiles/opinedb.dir/text/vocab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/opinedb_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/opinedb_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/opinedb_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/opinedb_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/core_components_test.cc" "tests/CMakeFiles/opinedb_tests.dir/core_components_test.cc.o" "gcc" "tests/CMakeFiles/opinedb_tests.dir/core_components_test.cc.o.d"
+  "/root/repo/tests/core_model_test.cc" "tests/CMakeFiles/opinedb_tests.dir/core_model_test.cc.o" "gcc" "tests/CMakeFiles/opinedb_tests.dir/core_model_test.cc.o.d"
+  "/root/repo/tests/datagen_test.cc" "tests/CMakeFiles/opinedb_tests.dir/datagen_test.cc.o" "gcc" "tests/CMakeFiles/opinedb_tests.dir/datagen_test.cc.o.d"
+  "/root/repo/tests/embedding_test.cc" "tests/CMakeFiles/opinedb_tests.dir/embedding_test.cc.o" "gcc" "tests/CMakeFiles/opinedb_tests.dir/embedding_test.cc.o.d"
+  "/root/repo/tests/engine_integration_test.cc" "tests/CMakeFiles/opinedb_tests.dir/engine_integration_test.cc.o" "gcc" "tests/CMakeFiles/opinedb_tests.dir/engine_integration_test.cc.o.d"
+  "/root/repo/tests/eval_test.cc" "tests/CMakeFiles/opinedb_tests.dir/eval_test.cc.o" "gcc" "tests/CMakeFiles/opinedb_tests.dir/eval_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/opinedb_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/opinedb_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/extract_test.cc" "tests/CMakeFiles/opinedb_tests.dir/extract_test.cc.o" "gcc" "tests/CMakeFiles/opinedb_tests.dir/extract_test.cc.o.d"
+  "/root/repo/tests/fuzzy_test.cc" "tests/CMakeFiles/opinedb_tests.dir/fuzzy_test.cc.o" "gcc" "tests/CMakeFiles/opinedb_tests.dir/fuzzy_test.cc.o.d"
+  "/root/repo/tests/index_test.cc" "tests/CMakeFiles/opinedb_tests.dir/index_test.cc.o" "gcc" "tests/CMakeFiles/opinedb_tests.dir/index_test.cc.o.d"
+  "/root/repo/tests/ml_test.cc" "tests/CMakeFiles/opinedb_tests.dir/ml_test.cc.o" "gcc" "tests/CMakeFiles/opinedb_tests.dir/ml_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/opinedb_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/opinedb_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/restaurant_integration_test.cc" "tests/CMakeFiles/opinedb_tests.dir/restaurant_integration_test.cc.o" "gcc" "tests/CMakeFiles/opinedb_tests.dir/restaurant_integration_test.cc.o.d"
+  "/root/repo/tests/sentiment_test.cc" "tests/CMakeFiles/opinedb_tests.dir/sentiment_test.cc.o" "gcc" "tests/CMakeFiles/opinedb_tests.dir/sentiment_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/opinedb_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/opinedb_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/text_test.cc" "tests/CMakeFiles/opinedb_tests.dir/text_test.cc.o" "gcc" "tests/CMakeFiles/opinedb_tests.dir/text_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/opinedb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
