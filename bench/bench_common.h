@@ -6,6 +6,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "datagen/domain_spec.h"
 #include "eval/experiment.h"
@@ -58,6 +60,22 @@ inline int QueriesPerCell(int fallback = 60) {
   const char* env = std::getenv("OPINEDB_QUERIES");
   if (env != nullptr) return std::atoi(env);
   return fallback;
+}
+
+/// Renders a numeric vector as a JSON array ("[1.5, 2.25]") for the
+/// BENCH_*.json result files.
+template <typename T>
+inline std::string JsonArray(const std::vector<T>& values) {
+  std::string out = "[";
+  char buffer[64];
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    std::snprintf(buffer, sizeof(buffer), "%g",
+                  static_cast<double>(values[i]));
+    out += buffer;
+  }
+  out += "]";
+  return out;
 }
 
 }  // namespace opinedb::bench

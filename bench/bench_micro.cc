@@ -1,10 +1,22 @@
 // Micro-benchmarks (google-benchmark) for the core kernels: BM25 top-k,
 // fuzzy evaluation (both t-norm variants — the DESIGN.md ablation),
 // Fagin's TA vs full scan, k-d tree search, logistic-regression
-// inference, tokenization and marker-summary aggregation.
+// inference, tokenization and marker-summary aggregation. After the
+// google-benchmark run, a threads={1,2,4,8} sweep of PrecomputeMarkers
+// and ExecuteQuery on the seed hotel dataset writes BENCH_parallel.json
+// (skip with OPINEDB_SKIP_PARALLEL_SWEEP=1).
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "common/rng.h"
+#include "common/timer.h"
+#include "core/degree_cache.h"
 #include "core/marker_summary.h"
 #include "embedding/kdtree.h"
 #include "fuzzy/logic.h"
@@ -146,7 +158,112 @@ void BM_MarkerSummaryAddPhrase(benchmark::State& state) {
 }
 BENCHMARK(BM_MarkerSummaryAddPhrase);
 
+// ------------------------------------------- Parallel execution sweep.
+
+/// Times one invocation of `fn` in milliseconds.
+template <typename Fn>
+double TimeMs(const Fn& fn) {
+  Timer timer;
+  fn();
+  return timer.ElapsedMillis();
+}
+
+/// Best-of-`repeats` wall time (minimum is the standard noise-resistant
+/// estimator for throughput benchmarks).
+template <typename Fn>
+double BestOfMs(int repeats, const Fn& fn) {
+  double best = TimeMs(fn);
+  for (int r = 1; r < repeats; ++r) best = std::min(best, TimeMs(fn));
+  return best;
+}
+
+void RunParallelSweep() {
+  const std::vector<size_t> threads = {1, 2, 4, 8};
+  printf("\nParallel sweep: PrecomputeMarkers + ExecuteQuery on the seed "
+         "hotel dataset (threads = 1, 2, 4, 8)...\n");
+  auto artifacts =
+      eval::BuildArtifacts(datagen::HotelDomain(), bench::HotelBuildOptions());
+  core::OpineDb& db = *artifacts.db;
+  const std::vector<std::string> queries = {
+      "select * from hotels where \"clean room\" limit 10",
+      "select * from hotels where \"clean room\" and \"friendly staff\" "
+      "limit 10",
+      "select * from hotels where \"comfortable bed\" or \"quiet street\" "
+      "limit 10",
+  };
+  const int repeats = bench::Repeats();
+
+  std::vector<double> precompute_ms;
+  std::vector<double> execute_ms;
+  for (size_t t : threads) {
+    db.SetNumThreads(t);
+    precompute_ms.push_back(BestOfMs(repeats, [&] {
+      core::DegreeCache cache(&db);
+      cache.PrecomputeMarkers();
+    }));
+    execute_ms.push_back(BestOfMs(repeats, [&] {
+      for (const auto& sql : queries) {
+        auto result = db.Execute(sql);
+        if (!result.ok()) {
+          fprintf(stderr, "query failed: %s\n",
+                  result.status().ToString().c_str());
+          std::exit(1);
+        }
+      }
+    }));
+    printf("  threads=%zu  PrecomputeMarkers %8.2f ms   ExecuteQuery(x%zu) "
+           "%8.2f ms\n",
+           t, precompute_ms.back(), queries.size(), execute_ms.back());
+  }
+  db.SetNumThreads(1);
+
+  std::vector<double> precompute_speedup;
+  std::vector<double> execute_speedup;
+  for (size_t i = 0; i < threads.size(); ++i) {
+    precompute_speedup.push_back(precompute_ms[0] / precompute_ms[i]);
+    execute_speedup.push_back(execute_ms[0] / execute_ms[i]);
+  }
+
+  FILE* out = fopen("BENCH_parallel.json", "w");
+  if (out == nullptr) {
+    fprintf(stderr, "cannot write BENCH_parallel.json\n");
+    std::exit(1);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  fprintf(out, "{\n");
+  fprintf(out, "  \"bench\": \"parallel_sweep\",\n");
+  fprintf(out, "  \"dataset\": \"hotel_seed\",\n");
+  fprintf(out, "  \"hardware_concurrency\": %u,\n", hw);
+  fprintf(out, "  \"repeats\": %d,\n", repeats);
+  fprintf(out, "  \"threads\": %s,\n", bench::JsonArray(threads).c_str());
+  fprintf(out, "  \"precompute_markers_ms\": %s,\n",
+          bench::JsonArray(precompute_ms).c_str());
+  fprintf(out, "  \"execute_query_ms\": %s,\n",
+          bench::JsonArray(execute_ms).c_str());
+  fprintf(out, "  \"precompute_markers_speedup\": %s,\n",
+          bench::JsonArray(precompute_speedup).c_str());
+  fprintf(out, "  \"execute_query_speedup\": %s,\n",
+          bench::JsonArray(execute_speedup).c_str());
+  fprintf(out, "  \"speedup_precompute_4t\": %g,\n", precompute_speedup[2]);
+  fprintf(out, "  \"speedup_execute_4t\": %g\n", execute_speedup[2]);
+  fprintf(out, "}\n");
+  fclose(out);
+  printf("  wrote BENCH_parallel.json (4-thread speedups: "
+         "PrecomputeMarkers %.2fx, ExecuteQuery %.2fx)\n",
+         precompute_speedup[2], execute_speedup[2]);
+}
+
 }  // namespace
 }  // namespace opinedb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  const char* skip = std::getenv("OPINEDB_SKIP_PARALLEL_SWEEP");
+  if (skip == nullptr || skip[0] == '0') {
+    opinedb::RunParallelSweep();
+  }
+  return 0;
+}

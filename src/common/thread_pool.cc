@@ -1,0 +1,133 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace opinedb {
+
+namespace {
+
+/// Set while a pool worker is executing a task; a ParallelFor issued
+/// from such a context runs inline instead of waiting on the queue.
+thread_local bool t_inside_pool_worker = false;
+
+}  // namespace
+
+struct ThreadPool::LoopState {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t chunk_size = 1;
+  size_t num_chunks = 0;
+  const std::function<void(size_t, size_t)>* body = nullptr;
+  std::atomic<size_t> next_chunk{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t done_chunks = 0;  // Guarded by mu.
+  std::exception_ptr error;  // Guarded by mu; first failure wins.
+};
+
+size_t ThreadPool::ResolveThreads(size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t total = std::max<size_t>(1, ResolveThreads(num_threads));
+  workers_.reserve(total - 1);
+  for (size_t i = 0; i + 1 < total; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerMain() {
+  t_inside_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ and drained.
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::RunChunks(const std::shared_ptr<LoopState>& state) {
+  for (;;) {
+    const size_t c = state->next_chunk.fetch_add(1);
+    if (c >= state->num_chunks) return;
+    const size_t b = state->begin + c * state->chunk_size;
+    const size_t e = std::min(state->end, b + state->chunk_size);
+    try {
+      (*state->body)(b, e);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (!state->error) state->error = std::current_exception();
+    }
+    bool all_done = false;
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      all_done = ++state->done_chunks == state->num_chunks;
+    }
+    if (all_done) state->done_cv.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t, size_t)>& body,
+                             size_t min_grain) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  min_grain = std::max<size_t>(1, min_grain);
+  // Inline when there is nothing to fan out to, the range is below the
+  // grain, or we are already on a worker (workers must never block on
+  // other tasks — that is what makes nested loops deadlock-free).
+  if (workers_.empty() || n <= min_grain || t_inside_pool_worker) {
+    body(begin, end);
+    return;
+  }
+  // Chunk boundaries are a pure function of (n, pool size, min_grain):
+  // oversubscribe mildly for load balance, never below the grain.
+  const size_t max_chunks = (n + min_grain - 1) / min_grain;
+  const size_t target = std::min<size_t>(4 * num_threads(), max_chunks);
+  auto state = std::make_shared<LoopState>();
+  state->begin = begin;
+  state->end = end;
+  state->num_chunks = std::max<size_t>(1, target);
+  state->chunk_size = (n + state->num_chunks - 1) / state->num_chunks;
+  // Rounding can leave trailing empty chunks; recompute the exact count.
+  state->num_chunks = (n + state->chunk_size - 1) / state->chunk_size;
+  state->body = &body;
+
+  const size_t helpers =
+      std::min(workers_.size(), state->num_chunks - 1);
+  if (helpers > 0) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t i = 0; i < helpers; ++i) {
+        tasks_.push([state] { RunChunks(state); });
+      }
+    }
+    work_cv_.notify_all();
+  }
+  RunChunks(state);  // The caller works too.
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(
+      lock, [&] { return state->done_chunks == state->num_chunks; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace opinedb

@@ -1,0 +1,72 @@
+#ifndef OPINEDB_COMMON_THREAD_POOL_H_
+#define OPINEDB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace opinedb {
+
+/// A fixed pool of worker threads driving ParallelFor loops.
+///
+/// Determinism contract: ParallelFor partitions [begin, end) into
+/// contiguous chunks whose boundaries depend only on the range and the
+/// pool size — never on scheduling. Bodies receive disjoint index ranges,
+/// so loops whose iterations write only to their own indices produce
+/// bit-identical results at any thread count. Reductions that need a
+/// fixed order should accumulate per chunk and merge serially in chunk
+/// order afterwards.
+///
+/// The calling thread participates in its own loop, so a pool built with
+/// `num_threads` runs at most `num_threads` concurrent strands
+/// (`num_threads - 1` workers plus the caller). ParallelFor may be
+/// invoked concurrently from several threads; workers never block on
+/// other tasks, so nested or concurrent loops cannot deadlock — a
+/// ParallelFor issued from inside a worker runs inline (serially) on
+/// that worker instead of re-entering the queue.
+class ThreadPool {
+ public:
+  /// `num_threads` counts the caller: ThreadPool(4) spawns 3 workers.
+  /// 0 is resolved through ResolveThreads (hardware concurrency).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Concurrent strands available, caller included (>= 1).
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Maps an options knob to a concrete thread count: 0 = hardware
+  /// concurrency (at least 1), anything else is taken as-is.
+  static size_t ResolveThreads(size_t requested);
+
+  /// Runs `body(chunk_begin, chunk_end)` over a partition of
+  /// [begin, end) and blocks until every chunk finished. Chunks of fewer
+  /// than `min_grain` iterations are not split further. Exceptions thrown
+  /// by `body` are rethrown on the calling thread (first one wins).
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t, size_t)>& body,
+                   size_t min_grain = 1);
+
+ private:
+  struct LoopState;
+
+  void WorkerMain();
+  static void RunChunks(const std::shared_ptr<LoopState>& state);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+}  // namespace opinedb
+
+#endif  // OPINEDB_COMMON_THREAD_POOL_H_

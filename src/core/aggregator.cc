@@ -93,7 +93,7 @@ bool PassesFilter(const text::Review& review,
 SubjectiveTables Aggregator::Build(
     const text::ReviewCorpus& corpus,
     std::vector<extract::ExtractedOpinion> extractions,
-    const AggregationOptions& options) const {
+    const AggregationOptions& options, ThreadPool* pool) const {
   SubjectiveTables tables;
   const size_t num_attrs = schema_->num_attributes();
   const size_t num_entities = corpus.num_entities();
@@ -106,35 +106,71 @@ SubjectiveTables Aggregator::Build(
     }
   }
   tables.extractions = std::move(extractions);
-  tables.extraction_attribute.assign(tables.extractions.size(), -1);
-  tables.extraction_marker.assign(tables.extractions.size(), -1);
-  tables.extraction_margin.assign(tables.extractions.size(), 0.0);
-  for (size_t i = 0; i < tables.extractions.size(); ++i) {
-    const auto& opinion = tables.extractions[i];
-    const auto& review = corpus.review(opinion.review);
-    if (!PassesFilter(review, corpus, options)) continue;
-    const auto [a, margin] =
-        classifier_->ClassifyWithMargin(opinion.aspect, opinion.opinion);
-    tables.extraction_attribute[i] = a;
-    tables.extraction_margin[i] = margin;
-    if (a < 0 || static_cast<size_t>(a) >= num_attrs) continue;
-    const auto weights = MarkerWeights(a, opinion.phrase, options);
-    MarkerSummary& summary = tables.summaries[a][opinion.entity];
+  const size_t num_extractions = tables.extractions.size();
+  tables.extraction_attribute.assign(num_extractions, -1);
+  tables.extraction_marker.assign(num_extractions, -1);
+  tables.extraction_margin.assign(num_extractions, 0.0);
+
+  // Phase 1 (parallel): everything per-extraction and read-only — the
+  // review filter, attribute classification, marker matching and the
+  // phrase embedding. Each iteration writes only its own slots.
+  struct Prepared {
+    bool matched = false;
+    bool unmatched_in_domain = false;  // Classified but below threshold.
     int best_marker = -1;
-    double best_weight = 0.0;
-    for (size_t m = 0; m < weights.size(); ++m) {
-      if (weights[m] > best_weight) {
-        best_weight = weights[m];
-        best_marker = static_cast<int>(m);
+    std::vector<double> weights;
+    embedding::Vec phrase_vec;
+  };
+  std::vector<Prepared> prepared(num_extractions);
+  auto prepare_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const auto& opinion = tables.extractions[i];
+      const auto& review = corpus.review(opinion.review);
+      if (!PassesFilter(review, corpus, options)) continue;
+      const auto [a, margin] =
+          classifier_->ClassifyWithMargin(opinion.aspect, opinion.opinion);
+      tables.extraction_attribute[i] = a;
+      tables.extraction_margin[i] = margin;
+      if (a < 0 || static_cast<size_t>(a) >= num_attrs) continue;
+      Prepared& prep = prepared[i];
+      prep.weights = MarkerWeights(a, opinion.phrase, options);
+      int best_marker = -1;
+      double best_weight = 0.0;
+      for (size_t m = 0; m < prep.weights.size(); ++m) {
+        if (prep.weights[m] > best_weight) {
+          best_weight = prep.weights[m];
+          best_marker = static_cast<int>(m);
+        }
       }
+      if (best_marker < 0) {
+        prep.unmatched_in_domain = true;
+        continue;
+      }
+      prep.matched = true;
+      prep.best_marker = best_marker;
+      prep.phrase_vec = embedder_->Represent(opinion.phrase);
     }
-    if (best_marker < 0) {
-      summary.AddUnmatched();
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(0, num_extractions, prepare_range, /*min_grain=*/16);
+  } else {
+    prepare_range(0, num_extractions);
+  }
+
+  // Phase 2 (serial): fold onto the summaries in extraction order — the
+  // same mutation sequence as the serial build, hence bit-identical.
+  for (size_t i = 0; i < num_extractions; ++i) {
+    const Prepared& prep = prepared[i];
+    const auto& opinion = tables.extractions[i];
+    const int a = tables.extraction_attribute[i];
+    if (prep.unmatched_in_domain) {
+      tables.summaries[a][opinion.entity].AddUnmatched();
       continue;
     }
-    tables.extraction_marker[i] = best_marker;
-    summary.AddPhrase(weights, opinion.sentiment,
-                      embedder_->Represent(opinion.phrase), opinion.review);
+    if (!prep.matched) continue;
+    tables.extraction_marker[i] = prep.best_marker;
+    tables.summaries[a][opinion.entity].AddPhrase(
+        prep.weights, opinion.sentiment, prep.phrase_vec, opinion.review);
   }
   return tables;
 }

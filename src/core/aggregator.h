@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/attribute_classifier.h"
 #include "core/marker_summary.h"
 #include "core/schema.h"
@@ -59,9 +60,14 @@ class Aggregator {
              const sentiment::Analyzer* analyzer);
 
   /// Builds summaries for all entities of `corpus` from `extractions`.
+  /// With a pool, the per-extraction classification, marker matching and
+  /// phrase embedding fan out across workers; the summary fold stays
+  /// serial in extraction order, so the result is bit-identical to the
+  /// serial build.
   SubjectiveTables Build(const text::ReviewCorpus& corpus,
                          std::vector<extract::ExtractedOpinion> extractions,
-                         const AggregationOptions& options) const;
+                         const AggregationOptions& options,
+                         ThreadPool* pool = nullptr) const;
 
   /// Incrementally folds one opinion into existing summaries
   /// (Section 4.2.2: "the marker summaries can be incrementally

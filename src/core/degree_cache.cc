@@ -1,11 +1,18 @@
 #include "core/degree_cache.h"
 
+#include <functional>
+#include <mutex>
+#include <unordered_set>
+
 namespace opinedb::core {
 
-const std::vector<double>& DegreeCache::Degrees(
-    const std::string& predicate) {
-  auto it = cache_.find(predicate);
-  if (it != cache_.end()) return it->second;
+const DegreeCache::Shard& DegreeCache::ShardFor(
+    const std::string& predicate) const {
+  return shards_[std::hash<std::string>{}(predicate) % kNumShards];
+}
+
+std::vector<double> DegreeCache::ComputeDegrees(
+    const std::string& predicate) const {
   const size_t n = db_->corpus().num_entities();
   std::vector<double> degrees(n);
   // One interpretation for the predicate, shared across entities (the
@@ -13,42 +20,85 @@ const std::vector<double>& DegreeCache::Degrees(
   const auto interpretation = db_->interpreter().Interpret(predicate);
   const embedding::Vec rep = db_->phrase_embedder().Represent(predicate);
   const double senti = db_->analyzer().ScorePhrase(predicate);
-  for (size_t e = 0; e < n; ++e) {
-    const auto entity = static_cast<text::EntityId>(e);
-    if (interpretation.method == InterpretMethod::kTextFallback ||
-        interpretation.atoms.empty()) {
-      degrees[e] = db_->TextFallbackDegree(predicate, entity);
-      continue;
-    }
-    double acc = 0.0;
-    bool first = true;
-    for (const auto& atom : interpretation.atoms) {
-      const double d = db_->AtomDegreeOfTruth(atom, entity, rep, senti);
-      if (first) {
-        acc = d;
-        first = false;
-      } else if (interpretation.conjunctive) {
-        acc = fuzzy::And(db_->options().variant, acc, d);
-      } else {
-        acc = fuzzy::Or(db_->options().variant, acc, d);
+  auto score_range = [&](size_t begin, size_t end) {
+    for (size_t e = begin; e < end; ++e) {
+      const auto entity = static_cast<text::EntityId>(e);
+      if (interpretation.method == InterpretMethod::kTextFallback ||
+          interpretation.atoms.empty()) {
+        degrees[e] = db_->TextFallbackDegree(predicate, entity);
+        continue;
       }
+      double acc = 0.0;
+      bool first = true;
+      for (const auto& atom : interpretation.atoms) {
+        const double d = db_->AtomDegreeOfTruth(atom, entity, rep, senti);
+        if (first) {
+          acc = d;
+          first = false;
+        } else if (interpretation.conjunctive) {
+          acc = fuzzy::And(db_->options().variant, acc, d);
+        } else {
+          acc = fuzzy::Or(db_->options().variant, acc, d);
+        }
+      }
+      degrees[e] = acc;
     }
-    degrees[e] = acc;
+  };
+  // Each entity writes only its own slot, so the parallel loop is
+  // bit-identical to serial.
+  if (ThreadPool* pool = db_->pool()) {
+    pool->ParallelFor(0, n, score_range, /*min_grain=*/8);
+  } else {
+    score_range(0, n);
   }
-  return cache_.emplace(predicate, std::move(degrees)).first->second;
+  return degrees;
+}
+
+const std::vector<double>& DegreeCache::Degrees(
+    const std::string& predicate) {
+  Shard& shard = ShardFor(predicate);
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.map.find(predicate);
+    if (it != shard.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  auto degrees = ComputeDegrees(predicate);  // Expensive; no locks held.
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  auto [it, inserted] = shard.map.emplace(predicate, std::move(degrees));
+  if (inserted) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Lost an insert race; the resident value is bit-identical.
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return it->second;
 }
 
 size_t DegreeCache::PrecomputeMarkers() {
-  size_t materialized = 0;
+  // Collect the unique markers not yet cached, in schema order, then fan
+  // the (expensive) per-marker computations out across the pool. Degrees
+  // is thread-safe, and a nested per-entity ParallelFor inside a worker
+  // degrades to inline execution, so this parallelizes across markers.
+  std::vector<const std::string*> pending;
+  std::unordered_set<std::string_view> seen;
   for (const auto& attribute : db_->schema().attributes) {
     for (const auto& marker : attribute.summary_type.markers) {
-      if (!Contains(marker)) {
-        Degrees(marker);
-        ++materialized;
-      }
+      if (Contains(marker) || !seen.insert(marker).second) continue;
+      pending.push_back(&marker);
     }
   }
-  return materialized;
+  auto materialize = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) Degrees(*pending[i]);
+  };
+  if (ThreadPool* pool = db_->pool()) {
+    pool->ParallelFor(0, pending.size(), materialize);
+  } else {
+    materialize(0, pending.size());
+  }
+  return pending.size();
 }
 
 std::vector<fuzzy::RankedEntity> DegreeCache::TopKConjunction(
@@ -71,6 +121,28 @@ std::vector<fuzzy::RankedEntity> DegreeCache::TopKConjunctionFullScan(
     lists.push_back(Degrees(predicate));
   }
   return fuzzy::FullScanTopK(lists, k, db_->options().variant);
+}
+
+bool DegreeCache::Contains(const std::string& predicate) const {
+  const Shard& shard = ShardFor(predicate);
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  return shard.map.count(predicate) > 0;
+}
+
+size_t DegreeCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+void DegreeCache::Clear() {
+  for (auto& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    shard.map.clear();
+  }
 }
 
 }  // namespace opinedb::core

@@ -1,6 +1,9 @@
 #ifndef OPINEDB_CORE_DEGREE_CACHE_H_
 #define OPINEDB_CORE_DEGREE_CACHE_H_
 
+#include <array>
+#include <atomic>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -19,17 +22,34 @@ namespace opinedb::core {
 /// of truth over all entities. Cached lists also unlock Fagin's
 /// Threshold Algorithm for conjunctive top-k without scoring every
 /// entity.
+///
+/// Thread safety: every method except Clear() may be called from any
+/// number of threads concurrently. The cache is sharded by predicate
+/// hash; lookups take a shard's shared lock, insertions its exclusive
+/// lock, and degrees are computed outside all locks (losing an insert
+/// race is harmless — the computation is deterministic, so both values
+/// are bit-identical). References returned by Degrees() stay valid until
+/// Clear(): the shard maps are node-based and entries are never erased.
+/// Clear() requires external synchronization (no concurrent readers and
+/// no outstanding references).
 class DegreeCache {
  public:
+  /// Cumulative cache traffic, for observability.
+  struct CacheStats {
+    size_t hits = 0;
+    size_t misses = 0;
+  };
+
   explicit DegreeCache(const OpineDb* db) : db_(db) {}
 
-  /// Per-entity degrees for `predicate`; computed once, then served from
-  /// the cache.
+  /// Per-entity degrees for `predicate`; computed once (in parallel over
+  /// entities when the engine has a pool), then served from the cache.
   const std::vector<double>& Degrees(const std::string& predicate);
 
   /// Pre-computes the degrees for every marker phrase of every
   /// subjective attribute (the "variations in the linguistic domain"
-  /// precomputation); returns the number of lists materialized.
+  /// precomputation); returns the number of lists materialized. Markers
+  /// fan out across the engine's worker pool.
   size_t PrecomputeMarkers();
 
   /// Conjunctive fuzzy top-k over cached degree lists using the
@@ -42,15 +62,38 @@ class DegreeCache {
   std::vector<fuzzy::RankedEntity> TopKConjunctionFullScan(
       const std::vector<std::string>& predicates, size_t k);
 
-  bool Contains(const std::string& predicate) const {
-    return cache_.count(predicate) > 0;
+  bool Contains(const std::string& predicate) const;
+  size_t size() const;
+  /// Drops every cached list. NOT safe concurrently with other methods;
+  /// invalidates all references previously returned by Degrees().
+  void Clear();
+  /// Hit/miss counters (monotone; Clear() does not reset them).
+  CacheStats stats() const {
+    return {hits_.load(std::memory_order_relaxed),
+            misses_.load(std::memory_order_relaxed)};
   }
-  size_t size() const { return cache_.size(); }
-  void Clear() { cache_.clear(); }
 
  private:
+  static constexpr size_t kNumShards = 16;
+
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<std::string, std::vector<double>> map;
+  };
+
+  const Shard& ShardFor(const std::string& predicate) const;
+  Shard& ShardFor(const std::string& predicate) {
+    return const_cast<Shard&>(
+        static_cast<const DegreeCache*>(this)->ShardFor(predicate));
+  }
+
+  /// Computes the dense degree list for one predicate (no locks held).
+  std::vector<double> ComputeDegrees(const std::string& predicate) const;
+
   const OpineDb* db_;
-  std::unordered_map<std::string, std::vector<double>> cache_;
+  std::array<Shard, kNumShards> shards_;
+  std::atomic<size_t> hits_{0};
+  std::atomic<size_t> misses_{0};
 };
 
 }  // namespace opinedb::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/timer.h"
+#include "core/degree_cache.h"
 #include "core/marker_induction.h"
 #include "text/tokenizer.h"
 
@@ -22,6 +24,9 @@ std::unique_ptr<OpineDb> OpineDb::Build(
   db.corpus_ = std::move(corpus);
   db.schema_ = std::move(schema);
   db.options_ = options;
+  if (ThreadPool::ResolveThreads(options.num_threads) > 1) {
+    db.pool_ = std::make_unique<ThreadPool>(options.num_threads);
+  }
 
   // 1. Tokenize reviews; build the review index (one document per
   //    review), the entity index (all reviews of an entity concatenated,
@@ -63,8 +68,8 @@ std::unique_ptr<OpineDb> OpineDb::Build(
   db.classifier_ = AttributeClassifier::Train(db.schema_, db.embeddings_,
                                               options.seed_expansions);
 
-  // 4. Extraction.
-  auto extractions = pipeline.ExtractFromCorpus(db.corpus_);
+  // 4. Extraction (reviews fan out across the pool).
+  auto extractions = pipeline.ExtractFromCorpus(db.corpus_, db.pool_.get());
 
   // 5. Populate linguistic domains and induce markers where the designer
   //    left them unspecified.
@@ -102,7 +107,7 @@ std::unique_ptr<OpineDb> OpineDb::Build(
   db.aggregator_ = std::make_unique<Aggregator>(
       &db.schema_, &db.classifier_, db.embedder_.get(), &db.analyzer_);
   db.tables_ = db.aggregator_->Build(db.corpus_, std::move(extractions),
-                                     options.aggregation);
+                                     options.aggregation, db.pool_.get());
 
   db.RebuildDerivedState();
   return owned;
@@ -145,8 +150,18 @@ void OpineDb::TrainMembership(
 void OpineDb::Reaggregate(const AggregationOptions& aggregation) {
   options_.aggregation = aggregation;
   auto extractions = std::move(tables_.extractions);
-  tables_ = aggregator_->Build(corpus_, std::move(extractions), aggregation);
+  tables_ = aggregator_->Build(corpus_, std::move(extractions), aggregation,
+                               pool_.get());
   RebuildDerivedState();
+}
+
+void OpineDb::SetNumThreads(size_t num_threads) {
+  options_.num_threads = num_threads;
+  if (ThreadPool::ResolveThreads(num_threads) > 1) {
+    pool_ = std::make_unique<ThreadPool>(num_threads);
+  } else {
+    pool_.reset();
+  }
 }
 
 double OpineDb::HeuristicDegree(const std::vector<double>& features) const {
@@ -225,69 +240,125 @@ Result<QueryResult> OpineDb::Execute(const std::string& sql) const {
 }
 
 Result<QueryResult> OpineDb::ExecuteQuery(const SubjectiveQuery& query) const {
+  Timer total;
+  Timer phase;
   QueryResult output;
+  output.stats.threads_used = pool_ != nullptr ? pool_->num_threads() : 1;
   auto table_result = catalog_.GetTable(query.table);
   if (!table_result.ok()) return table_result.status();
   const storage::Table* table = *table_result;
 
-  // Interpret every subjective condition once, up front.
-  output.interpretations.resize(query.conditions.size());
-  std::vector<embedding::Vec> reps(query.conditions.size());
-  std::vector<double> sentis(query.conditions.size(), 0.0);
-  for (size_t c = 0; c < query.conditions.size(); ++c) {
+  // Interpret every subjective condition once, up front (serial: a
+  // handful of conditions against thousands of entities).
+  const size_t num_conditions = query.conditions.size();
+  output.interpretations.resize(num_conditions);
+  std::vector<embedding::Vec> reps(num_conditions);
+  std::vector<double> sentis(num_conditions, 0.0);
+  for (size_t c = 0; c < num_conditions; ++c) {
     const Condition& condition = query.conditions[c];
     if (condition.kind != Condition::Kind::kSubjective) continue;
     output.interpretations[c] = interpreter_->Interpret(condition.subjective);
     reps[c] = embedder_->Represent(condition.subjective);
     sentis[c] = analyzer_.ScorePhrase(condition.subjective);
   }
+  output.stats.interpret_ms = phase.ElapsedMillis();
 
+  // Per-condition dense degree lists (Section 3.3: score every entity
+  // for every predicate). Entities fan out across the pool; each entity
+  // writes only its own slot, so the result is bit-identical to serial.
+  phase.Reset();
   const size_t num_entities = corpus_.num_entities();
+  std::vector<std::vector<double>> computed(num_conditions);
+  std::vector<const std::vector<double>*> degrees(num_conditions, nullptr);
+  for (size_t c = 0; c < num_conditions; ++c) {
+    const Condition& condition = query.conditions[c];
+    if (condition.kind == Condition::Kind::kObjective) {
+      // Objective predicates are table lookups: evaluated serially, with
+      // the first failure (lowest condition, then lowest entity) wins.
+      computed[c].resize(num_entities);
+      for (size_t e = 0; e < num_entities; ++e) {
+        auto pass = condition.objective.Evaluate(*table, e);
+        if (!pass.ok()) return pass.status();
+        computed[c][e] = *pass ? 1.0 : 0.0;
+      }
+      degrees[c] = &computed[c];
+      continue;
+    }
+    if (degree_cache_ != nullptr) {
+      // The cache computes misses through the same per-entity code path,
+      // so cached and freshly-computed lists are bit-identical.
+      if (degree_cache_->Contains(condition.subjective)) {
+        ++output.stats.cache_hits;
+      } else {
+        ++output.stats.cache_misses;
+      }
+      degrees[c] = &degree_cache_->Degrees(condition.subjective);
+      continue;
+    }
+    ++output.stats.cache_misses;
+    computed[c].resize(num_entities);
+    auto& list = computed[c];
+    const auto& interpretation = output.interpretations[c];
+    auto score_range = [&](size_t begin, size_t end) {
+      for (size_t e = begin; e < end; ++e) {
+        const auto entity = static_cast<text::EntityId>(e);
+        if (interpretation.method == InterpretMethod::kTextFallback ||
+            interpretation.atoms.empty()) {
+          list[e] = TextFallbackDegree(condition.subjective, entity);
+          continue;
+        }
+        double acc = 0.0;
+        bool first = true;
+        for (const auto& atom : interpretation.atoms) {
+          const double d = AtomDegreeOfTruth(atom, entity, reps[c], sentis[c]);
+          if (first) {
+            acc = d;
+            first = false;
+          } else if (interpretation.conjunctive) {
+            acc = fuzzy::And(options_.variant, acc, d);
+          } else {
+            acc = fuzzy::Or(options_.variant, acc, d);
+          }
+        }
+        list[e] = acc;
+      }
+    };
+    if (pool_ != nullptr) {
+      pool_->ParallelFor(0, num_entities, score_range, /*min_grain=*/8);
+    } else {
+      score_range(0, num_entities);
+    }
+    degrees[c] = &computed[c];
+  }
+  output.stats.entities_scored = num_entities;
+  output.stats.scoring_ms = phase.ElapsedMillis();
+
+  // Combine the WHERE tree per entity (parallel, slot-per-entity), then
+  // filter, rank and truncate serially.
+  phase.Reset();
+  std::vector<double> scores(num_entities, 1.0);
+  if (query.where != nullptr) {
+    auto combine_range = [&](size_t begin, size_t end) {
+      for (size_t e = begin; e < end; ++e) {
+        scores[e] = query.where->Evaluate(
+            options_.variant, [&](size_t c) { return (*degrees[c])[e]; });
+      }
+    };
+    if (pool_ != nullptr) {
+      pool_->ParallelFor(0, num_entities, combine_range, /*min_grain=*/64);
+    } else {
+      combine_range(0, num_entities);
+    }
+  }
   std::vector<RankedResult> ranked;
   ranked.reserve(num_entities);
-  Status eval_error;
   for (size_t e = 0; e < num_entities; ++e) {
+    if (scores[e] <= 0.0) continue;  // Failed hard objective predicates.
     const auto entity = static_cast<text::EntityId>(e);
-    auto leaf = [&](size_t c) -> double {
-      const Condition& condition = query.conditions[c];
-      if (condition.kind == Condition::Kind::kObjective) {
-        auto pass = condition.objective.Evaluate(*table, e);
-        if (!pass.ok()) {
-          eval_error = pass.status();
-          return 0.0;
-        }
-        return *pass ? 1.0 : 0.0;
-      }
-      const auto& interpretation = output.interpretations[c];
-      if (interpretation.method == InterpretMethod::kTextFallback ||
-          interpretation.atoms.empty()) {
-        return TextFallbackDegree(condition.subjective, entity);
-      }
-      double acc = 0.0;
-      bool first = true;
-      for (const auto& atom : interpretation.atoms) {
-        const double d = AtomDegreeOfTruth(atom, entity, reps[c], sentis[c]);
-        if (first) {
-          acc = d;
-          first = false;
-        } else if (interpretation.conjunctive) {
-          acc = fuzzy::And(options_.variant, acc, d);
-        } else {
-          acc = fuzzy::Or(options_.variant, acc, d);
-        }
-      }
-      return acc;
-    };
-    double score = 1.0;
-    if (query.where != nullptr) {
-      score = query.where->Evaluate(options_.variant, leaf);
-      if (!eval_error.ok()) return eval_error;
-    }
-    if (score <= 0.0) continue;  // Failed hard objective predicates.
     RankedResult result;
     result.entity = entity;
     result.entity_name = corpus_.entity_name(entity);
-    result.score = score;
+    result.score = scores[e];
     ranked.push_back(std::move(result));
   }
   std::sort(ranked.begin(), ranked.end(),
@@ -297,6 +368,8 @@ Result<QueryResult> OpineDb::ExecuteQuery(const SubjectiveQuery& query) const {
             });
   if (ranked.size() > query.limit) ranked.resize(query.limit);
   output.results = std::move(ranked);
+  output.stats.rank_ms = phase.ElapsedMillis();
+  output.stats.total_ms = total.ElapsedMillis();
   return output;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/aggregator.h"
 #include "core/attribute_classifier.h"
 #include "core/interpreter.h"
@@ -44,6 +45,32 @@ struct EngineOptions {
   size_t induced_markers = 4;
   /// Seed-expansion width for the attribute classifier.
   size_t seed_expansions = 3;
+  /// Worker threads for the parallel execution layer: 0 = hardware
+  /// concurrency, 1 = the serial path (no pool). Parallel results are
+  /// bit-identical to serial — see DESIGN.md "Concurrency model".
+  size_t num_threads = 0;
+};
+
+/// Observability for one query execution (threads, work, cache traffic
+/// and per-phase wall time), threaded through QueryResult so parallel
+/// speedups are measurable from the outside.
+struct ExecutionStats {
+  /// Concurrent strands used (1 = serial path).
+  size_t threads_used = 1;
+  /// Entities scored (the size of the parallel fan-out).
+  size_t entities_scored = 0;
+  /// Subjective degree lists served by the attached DegreeCache.
+  size_t cache_hits = 0;
+  /// Subjective degree lists computed from scratch this query.
+  size_t cache_misses = 0;
+  /// Predicate interpretation + query embedding (serial prologue).
+  double interpret_ms = 0.0;
+  /// Per-entity degree-of-truth computation (the parallel phase).
+  double scoring_ms = 0.0;
+  /// WHERE-tree combination, filtering and ranking (serial epilogue).
+  double rank_ms = 0.0;
+  /// End-to-end wall time of ExecuteQuery.
+  double total_ms = 0.0;
 };
 
 /// One ranked answer.
@@ -61,7 +88,11 @@ struct QueryResult {
   /// For each condition index, the interpretation used (objective
   /// conditions get a default-constructed entry).
   std::vector<PredicateInterpretation> interpretations;
+  /// How the query ran (threads, cache traffic, per-phase wall time).
+  ExecutionStats stats;
 };
+
+class DegreeCache;
 
 /// OpineDB: the subjective database engine (Fig. 4).
 ///
@@ -115,6 +146,16 @@ class OpineDb {
   /// "only reviewers with >= 10 reviews"); replaces the current tables.
   void Reaggregate(const AggregationOptions& aggregation);
 
+  /// Resizes the worker pool (0 = hardware concurrency, 1 = serial).
+  /// Results are bit-identical at any thread count. Not safe to call
+  /// while queries are in flight on other threads.
+  void SetNumThreads(size_t num_threads);
+
+  /// Attaches a degree-of-truth cache consulted (and warmed) by
+  /// ExecuteQuery for subjective conditions; pass nullptr to detach. The
+  /// cache must outlive the attachment and be built over this engine.
+  void AttachDegreeCache(DegreeCache* cache) { degree_cache_ = cache; }
+
   // ----------------------------------------------------------- access.
   const text::ReviewCorpus& corpus() const { return corpus_; }
   const SubjectiveSchema& schema() const { return schema_; }
@@ -151,6 +192,10 @@ class OpineDb {
   /// Mutable options (for ablations like toggling use_markers).
   EngineOptions* mutable_options() { return &options_; }
 
+  /// The worker pool (nullptr on the serial path). Shared with
+  /// DegreeCache for parallel precomputation.
+  ThreadPool* pool() const { return pool_.get(); }
+
   // OpineDb holds internal cross-references (the aggregator, interpreter
   // and phrase embedder point at sibling members), so it is pinned in
   // memory: neither copyable nor movable. Build() returns a unique_ptr.
@@ -179,6 +224,11 @@ class OpineDb {
   std::optional<MembershipModel> membership_;
   storage::Catalog catalog_;
   std::string objective_table_;
+  /// Fixed worker pool for the parallel execution layer; nullptr when
+  /// options_.num_threads resolves to 1 (the serial path).
+  std::unique_ptr<ThreadPool> pool_;
+  /// Optional degree cache consulted by ExecuteQuery (not owned).
+  DegreeCache* degree_cache_ = nullptr;
   /// extraction_lists_[a][e]: pointers into tables_.extractions.
   std::vector<std::vector<std::vector<const extract::ExtractedOpinion*>>>
       extraction_lists_;

@@ -1,5 +1,7 @@
 #include "extract/pipeline.h"
 
+#include "common/thread_pool.h"
+
 namespace opinedb::extract {
 
 std::vector<ExtractedOpinion> ExtractionPipeline::ExtractFromReview(
@@ -30,10 +32,21 @@ std::vector<ExtractedOpinion> ExtractionPipeline::ExtractFromReview(
 }
 
 std::vector<ExtractedOpinion> ExtractionPipeline::ExtractFromCorpus(
-    const text::ReviewCorpus& corpus) const {
+    const text::ReviewCorpus& corpus, ThreadPool* pool) const {
+  const auto& reviews = corpus.reviews();
+  std::vector<std::vector<ExtractedOpinion>> per_review(reviews.size());
+  auto extract_range = [&](size_t begin, size_t end) {
+    for (size_t r = begin; r < end; ++r) {
+      per_review[r] = ExtractFromReview(reviews[r]);
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(0, reviews.size(), extract_range, /*min_grain=*/4);
+  } else {
+    extract_range(0, reviews.size());
+  }
   std::vector<ExtractedOpinion> all;
-  for (const auto& review : corpus.reviews()) {
-    auto opinions = ExtractFromReview(review);
+  for (auto& opinions : per_review) {
     all.insert(all.end(), std::make_move_iterator(opinions.begin()),
                std::make_move_iterator(opinions.end()));
   }

@@ -10,6 +10,10 @@
 #include "text/corpus.h"
 #include "text/tokenizer.h"
 
+namespace opinedb {
+class ThreadPool;
+}
+
 namespace opinedb::extract {
 
 /// One extracted opinion with full provenance (Section 4.2.2: "any result
@@ -40,9 +44,11 @@ class ExtractionPipeline {
   std::vector<ExtractedOpinion> ExtractFromReview(
       const text::Review& review) const;
 
-  /// Extracts from every review in a corpus.
+  /// Extracts from every review in a corpus. With a pool, reviews fan
+  /// out across workers; results are concatenated in review order, so
+  /// the output is identical to the serial scan.
   std::vector<ExtractedOpinion> ExtractFromCorpus(
-      const text::ReviewCorpus& corpus) const;
+      const text::ReviewCorpus& corpus, ThreadPool* pool = nullptr) const;
 
  private:
   OpinionTagger tagger_;

@@ -1,0 +1,167 @@
+// Unit coverage for DegreeCache's Threshold-Algorithm path: property-style
+// agreement between TopKConjunction and TopKConjunctionFullScan on
+// randomized predicate subsets (seeded RNG), plus TaStats access-count
+// sanity and cache hit/miss accounting.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/degree_cache.h"
+#include "datagen/domain_spec.h"
+#include "eval/experiment.h"
+
+namespace opinedb {
+namespace {
+
+class DegreeCacheTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    eval::BuildOptions options;
+    options.generator.num_entities = 30;
+    options.generator.min_reviews_per_entity = 10;
+    options.generator.max_reviews_per_entity = 20;
+    options.generator.seed = 21;
+    options.seed = 21;
+    options.extractor_training_sentences = 400;
+    options.predicate_pool_size = 60;
+    options.membership_training_tuples = 500;
+    artifacts_ = new eval::DomainArtifacts(
+        eval::BuildArtifacts(datagen::HotelDomain(), options));
+  }
+
+  static void TearDownTestSuite() {
+    delete artifacts_;
+    artifacts_ = nullptr;
+  }
+
+  const core::OpineDb& db() const { return *artifacts_->db; }
+
+  /// The predicate universe: every marker plus a slice of the generated
+  /// query-predicate pool (free-text predicates exercise the fallback
+  /// and word2vec interpretation paths).
+  std::vector<std::string> PredicateUniverse() const {
+    std::vector<std::string> universe;
+    for (const auto& attribute : db().schema().attributes) {
+      for (const auto& marker : attribute.summary_type.markers) {
+        universe.push_back(marker);
+      }
+    }
+    const auto& pool = artifacts_->pool;
+    for (size_t i = 0; i < pool.size() && i < 20; ++i) {
+      universe.push_back(pool[i].text);
+    }
+    std::sort(universe.begin(), universe.end());
+    universe.erase(std::unique(universe.begin(), universe.end()),
+                   universe.end());
+    return universe;
+  }
+
+  static eval::DomainArtifacts* artifacts_;
+};
+
+eval::DomainArtifacts* DegreeCacheTest::artifacts_ = nullptr;
+
+TEST_F(DegreeCacheTest, TopKAgreesWithFullScanOnRandomizedPredicates) {
+  core::DegreeCache cache(&db());
+  const auto universe = PredicateUniverse();
+  ASSERT_GE(universe.size(), 4u);
+  Rng rng(20260806);
+  constexpr int kTrials = 40;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const size_t width = 1 + rng.Below(4);  // 1..4 predicates.
+    std::vector<std::string> predicates;
+    for (size_t index : rng.SampleIndices(universe.size(), width)) {
+      predicates.push_back(universe[index]);
+    }
+    const size_t k = 1 + rng.Below(db().corpus().num_entities());
+    auto ta = cache.TopKConjunction(predicates, k);
+    auto scan = cache.TopKConjunctionFullScan(predicates, k);
+    ASSERT_EQ(ta.size(), scan.size()) << "trial " << trial;
+    for (size_t i = 0; i < ta.size(); ++i) {
+      EXPECT_EQ(ta[i].entity, scan[i].entity)
+          << "trial " << trial << " rank " << i;
+      EXPECT_EQ(ta[i].score, scan[i].score)
+          << "trial " << trial << " rank " << i;
+    }
+    // Scores are sorted best-first with ids breaking ties.
+    for (size_t i = 1; i < ta.size(); ++i) {
+      EXPECT_GE(ta[i - 1].score, ta[i].score);
+      if (ta[i - 1].score == ta[i].score) {
+        EXPECT_LT(ta[i - 1].entity, ta[i].entity);
+      }
+    }
+  }
+}
+
+TEST_F(DegreeCacheTest, TaStatsAccessCountsAreSane) {
+  core::DegreeCache cache(&db());
+  const auto universe = PredicateUniverse();
+  ASSERT_GE(universe.size(), 3u);
+  const std::vector<std::string> predicates = {universe[0], universe[1],
+                                               universe[2]};
+  const size_t n = db().corpus().num_entities();
+  const size_t k = 5;
+
+  fuzzy::TaStats stats;
+  auto top = cache.TopKConjunction(predicates, k, &stats);
+  EXPECT_LE(top.size(), k);
+  EXPECT_GT(stats.rounds, 0u);
+  EXPECT_GT(stats.sorted_accesses, 0u);
+  // One round pops at most one entry per list; sorted accesses can never
+  // exceed the total volume of the lists.
+  EXPECT_LE(stats.rounds, n);
+  EXPECT_LE(stats.sorted_accesses, predicates.size() * n);
+  // Each sorted access triggers at most (lists - 1) random accesses to
+  // complete the aggregate for the popped entity.
+  EXPECT_LE(stats.random_accesses,
+            stats.sorted_accesses * (predicates.size() - 1));
+
+  // A second run over the same cached lists is deterministic.
+  fuzzy::TaStats again;
+  auto top2 = cache.TopKConjunction(predicates, k, &again);
+  EXPECT_EQ(again.rounds, stats.rounds);
+  EXPECT_EQ(again.sorted_accesses, stats.sorted_accesses);
+  EXPECT_EQ(again.random_accesses, stats.random_accesses);
+  ASSERT_EQ(top.size(), top2.size());
+  for (size_t i = 0; i < top.size(); ++i) {
+    EXPECT_EQ(top[i].entity, top2[i].entity);
+    EXPECT_EQ(top[i].score, top2[i].score);
+  }
+}
+
+TEST_F(DegreeCacheTest, HitMissCountersTrackTraffic) {
+  core::DegreeCache cache(&db());
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  cache.Degrees("clean room");
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  cache.Degrees("clean room");
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  // Clear drops the lists but keeps the monotone counters.
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  cache.Degrees("clean room");
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST_F(DegreeCacheTest, StableReferencesAcrossLaterInserts) {
+  core::DegreeCache cache(&db());
+  const auto& first = cache.Degrees("clean room");
+  const std::vector<double> snapshot = first;
+  // Pile on enough inserts to force rehashes inside the shards.
+  for (const auto& predicate : PredicateUniverse()) {
+    cache.Degrees(predicate);
+  }
+  ASSERT_EQ(first.size(), snapshot.size());
+  for (size_t e = 0; e < snapshot.size(); ++e) {
+    EXPECT_EQ(first[e], snapshot[e]);
+  }
+}
+
+}  // namespace
+}  // namespace opinedb
