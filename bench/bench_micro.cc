@@ -1,11 +1,16 @@
 // Micro-benchmarks (google-benchmark) for the core kernels: BM25 top-k,
 // fuzzy evaluation (both t-norm variants — the DESIGN.md ablation),
 // Fagin's TA vs full scan, k-d tree search, logistic-regression
-// inference, tokenization and marker-summary aggregation. After the
-// google-benchmark run, a threads={1,2,4,8} sweep of PrecomputeMarkers
-// and ExecuteQuery on the seed hotel dataset writes BENCH_parallel.json
-// (skip with OPINEDB_SKIP_PARALLEL_SWEEP=1).
+// inference, tokenization, marker-summary aggregation and the
+// observability primitives. After the google-benchmark run, a
+// threads={1,2,4,8} sweep of PrecomputeMarkers and ExecuteQuery on the
+// seed hotel dataset writes BENCH_parallel.json (skip with
+// OPINEDB_SKIP_PARALLEL_SWEEP=1), and a trace_level={off,stats,full}
+// sweep of the same query list writes BENCH_obs.json — the
+// metrics-overhead numbers DESIGN.md "Observability" quotes (skip with
+// OPINEDB_SKIP_OBS_SWEEP=1).
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <string>
 #include <thread>
@@ -23,6 +28,8 @@
 #include "fuzzy/threshold_algorithm.h"
 #include "index/inverted_index.h"
 #include "ml/logistic_regression.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/tokenizer.h"
 
 namespace opinedb {
@@ -158,6 +165,57 @@ void BM_MarkerSummaryAddPhrase(benchmark::State& state) {
 }
 BENCHMARK(BM_MarkerSummaryAddPhrase);
 
+// --------------------------------------- Observability primitives.
+
+void BM_MetricCountDisabled(benchmark::State& state) {
+  obs::SetMetricsEnabled(false);
+  // The trace_level=off cost of an instrumentation site: one relaxed
+  // atomic load plus a predictable branch.
+  for (auto _ : state) {
+    OPINEDB_METRIC_COUNT("bench.count_disabled", 1);
+  }
+}
+BENCHMARK(BM_MetricCountDisabled);
+
+void BM_MetricCountEnabled(benchmark::State& state) {
+  obs::SetMetricsEnabled(true);
+  for (auto _ : state) {
+    OPINEDB_METRIC_COUNT("bench.count_enabled", 1);
+  }
+  obs::SetMetricsEnabled(false);
+}
+BENCHMARK(BM_MetricCountEnabled);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::SetMetricsEnabled(true);
+  double v = 0.0;
+  for (auto _ : state) {
+    OPINEDB_METRIC_LATENCY_MS("bench.hist_enabled", v);
+    v = v < 900.0 ? v + 0.1 : 0.0;
+  }
+  obs::SetMetricsEnabled(false);
+}
+BENCHMARK(BM_HistogramObserve);
+
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  // No ambient TraceBuffer: span construction is one thread_local read.
+  for (auto _ : state) {
+    obs::TraceSpan span("bench.span_disabled");
+    benchmark::DoNotOptimize(span.active());
+  }
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+void BM_TraceSpanRecorded(benchmark::State& state) {
+  obs::TraceBuffer buffer(256);
+  obs::TraceScope scope(&buffer);
+  for (auto _ : state) {
+    obs::TraceSpan span("bench.span_recorded");
+    span.AddAttribute("k", static_cast<uint64_t>(1));
+  }
+}
+BENCHMARK(BM_TraceSpanRecorded);
+
 // ------------------------------------------- Parallel execution sweep.
 
 /// Times one invocation of `fn` in milliseconds.
@@ -253,6 +311,104 @@ void RunParallelSweep() {
          precompute_speedup[2], execute_speedup[2]);
 }
 
+// ----------------------------------------- Observability overhead sweep.
+
+void RunObsOverheadSweep() {
+  printf("\nObservability sweep: ExecuteQuery on the seed hotel dataset "
+         "at trace_level = off, stats, full...\n");
+  auto artifacts =
+      eval::BuildArtifacts(datagen::HotelDomain(), bench::HotelBuildOptions());
+  core::OpineDb& db = *artifacts.db;
+  db.SetNumThreads(1);  // Serial: cleanest per-query-cost comparison.
+  const std::vector<std::string> queries = {
+      "select * from hotels where \"clean room\" limit 10",
+      "select * from hotels where \"clean room\" and \"friendly staff\" "
+      "limit 10",
+      "select * from hotels where \"comfortable bed\" or \"quiet street\" "
+      "limit 10",
+  };
+  const int repeats = std::max(bench::Repeats(), 5);
+  auto sweep = [&] {
+    for (const auto& sql : queries) {
+      auto result = db.Execute(sql);
+      if (!result.ok()) {
+        fprintf(stderr, "query failed: %s\n",
+                result.status().ToString().c_str());
+        std::exit(1);
+      }
+    }
+  };
+
+  // Off is measured twice: their relative difference is the run-to-run
+  // noise floor, which bounds how much the off-level instrumentation
+  // sites (one relaxed atomic load + branch each) can possibly cost.
+  db.SetTraceLevel(obs::TraceLevel::kOff);
+  const double off_ms = BestOfMs(repeats, sweep);
+  const double off_rerun_ms = BestOfMs(repeats, sweep);
+  db.SetTraceLevel(obs::TraceLevel::kStats);
+  const double stats_ms = BestOfMs(repeats, sweep);
+  db.SetTraceLevel(obs::TraceLevel::kFull);
+  const double full_ms = BestOfMs(repeats, sweep);
+  db.SetTraceLevel(obs::TraceLevel::kOff);
+
+  const double off_best = std::min(off_ms, off_rerun_ms);
+  auto pct_vs_off = [off_best](double ms) {
+    return (ms - off_best) / off_best * 100.0;
+  };
+  const double off_noise_pct =
+      std::fabs(off_ms - off_rerun_ms) / off_best * 100.0;
+  const double stats_pct = pct_vs_off(stats_ms);
+  const double full_pct = pct_vs_off(full_ms);
+
+  // Per-site cost of a disabled instrumentation point, in nanoseconds.
+  constexpr int kOps = 2'000'000;
+  obs::SetMetricsEnabled(false);
+  const double disabled_count_ns = TimeMs([&] {
+    for (int i = 0; i < kOps; ++i) {
+      OPINEDB_METRIC_COUNT("obs_sweep.disabled", 1);
+    }
+  }) * 1e6 / kOps;
+  const double disabled_span_ns = TimeMs([&] {
+    for (int i = 0; i < kOps; ++i) {
+      obs::TraceSpan span("obs_sweep.disabled");
+      benchmark::DoNotOptimize(span.active());
+    }
+  }) * 1e6 / kOps;
+
+  printf("  off   %8.2f ms (re-run %8.2f ms, noise %.2f%%)\n", off_ms,
+         off_rerun_ms, off_noise_pct);
+  printf("  stats %8.2f ms (%+.2f%% vs off)\n", stats_ms, stats_pct);
+  printf("  full  %8.2f ms (%+.2f%% vs off)\n", full_ms, full_pct);
+  printf("  disabled site: count %.1f ns, span %.1f ns\n",
+         disabled_count_ns, disabled_span_ns);
+
+  FILE* out = fopen("BENCH_obs.json", "w");
+  if (out == nullptr) {
+    fprintf(stderr, "cannot write BENCH_obs.json\n");
+    std::exit(1);
+  }
+  fprintf(out, "{\n");
+  fprintf(out, "  \"bench\": \"obs_overhead_sweep\",\n");
+  fprintf(out, "  \"dataset\": \"hotel_seed\",\n");
+  fprintf(out, "  \"hardware_concurrency\": %u,\n",
+          std::thread::hardware_concurrency());
+  fprintf(out, "  \"repeats\": %d,\n", repeats);
+  fprintf(out, "  \"queries_per_sweep\": %zu,\n", queries.size());
+  fprintf(out, "  \"execute_query_ms_off\": %g,\n", off_ms);
+  fprintf(out, "  \"execute_query_ms_off_rerun\": %g,\n", off_rerun_ms);
+  fprintf(out, "  \"execute_query_ms_stats\": %g,\n", stats_ms);
+  fprintf(out, "  \"execute_query_ms_full\": %g,\n", full_ms);
+  fprintf(out, "  \"trace_off_noise_floor_pct\": %g,\n", off_noise_pct);
+  fprintf(out, "  \"overhead_stats_pct\": %g,\n", stats_pct);
+  fprintf(out, "  \"overhead_full_pct\": %g,\n", full_pct);
+  fprintf(out, "  \"disabled_metric_count_ns\": %g,\n", disabled_count_ns);
+  fprintf(out, "  \"disabled_trace_span_ns\": %g\n", disabled_span_ns);
+  fprintf(out, "}\n");
+  fclose(out);
+  printf("  wrote BENCH_obs.json (stats %+.2f%%, full %+.2f%% vs off)\n",
+         stats_pct, full_pct);
+}
+
 }  // namespace
 }  // namespace opinedb
 
@@ -264,6 +420,10 @@ int main(int argc, char** argv) {
   const char* skip = std::getenv("OPINEDB_SKIP_PARALLEL_SWEEP");
   if (skip == nullptr || skip[0] == '0') {
     opinedb::RunParallelSweep();
+  }
+  const char* skip_obs = std::getenv("OPINEDB_SKIP_OBS_SWEEP");
+  if (skip_obs == nullptr || skip_obs[0] == '0') {
+    opinedb::RunObsOverheadSweep();
   }
   return 0;
 }

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace opinedb {
 
@@ -99,6 +103,11 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
     body(begin, end);
     return;
   }
+  obs::TraceSpan span("pool.parallel_for");
+  span.AddAttribute("range", static_cast<uint64_t>(n));
+  const bool timed = obs::MetricsEnabled();
+  std::chrono::steady_clock::time_point t0;
+  if (timed) t0 = std::chrono::steady_clock::now();
   // Chunk boundaries are a pure function of (n, pool size, min_grain):
   // oversubscribe mildly for load balance, never below the grain.
   const size_t max_chunks = (n + min_grain - 1) / min_grain;
@@ -114,12 +123,17 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
 
   const size_t helpers =
       std::min(workers_.size(), state->num_chunks - 1);
+  span.AddAttribute("chunks", static_cast<uint64_t>(state->num_chunks));
+  span.AddAttribute("helpers", static_cast<uint64_t>(helpers));
   if (helpers > 0) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       for (size_t i = 0; i < helpers; ++i) {
         tasks_.push([state] { RunChunks(state); });
       }
+      OPINEDB_METRIC_COUNT("pool.tasks_enqueued", helpers);
+      OPINEDB_METRIC_GAUGE_SET("pool.queue_depth",
+                               static_cast<double>(tasks_.size()));
     }
     work_cv_.notify_all();
   }
@@ -127,6 +141,12 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   std::unique_lock<std::mutex> lock(state->mu);
   state->done_cv.wait(
       lock, [&] { return state->done_chunks == state->num_chunks; });
+  if (timed) {
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    OPINEDB_METRIC_LATENCY_MS("pool.parallel_for_ms", ms);
+  }
   if (state->error) std::rethrow_exception(state->error);
 }
 

@@ -4,6 +4,9 @@
 #include <mutex>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace opinedb::core {
 
 const DegreeCache::Shard& DegreeCache::ShardFor(
@@ -14,6 +17,9 @@ const DegreeCache::Shard& DegreeCache::ShardFor(
 std::vector<double> DegreeCache::ComputeDegrees(
     const std::string& predicate) const {
   const size_t n = db_->corpus().num_entities();
+  obs::TraceSpan span("degree_cache.compute");
+  span.AddAttribute("predicate", predicate);
+  span.AddAttribute("entities", static_cast<uint64_t>(n));
   std::vector<double> degrees(n);
   // One interpretation for the predicate, shared across entities (the
   // same work ExecuteQuery does per query, amortized here forever).
@@ -62,6 +68,7 @@ const std::vector<double>& DegreeCache::Degrees(
     auto it = shard.map.find(predicate);
     if (it != shard.map.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      OPINEDB_METRIC_COUNT("degree_cache.hits", 1);
       return it->second;
     }
   }
@@ -70,14 +77,17 @@ const std::vector<double>& DegreeCache::Degrees(
   auto [it, inserted] = shard.map.emplace(predicate, std::move(degrees));
   if (inserted) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    OPINEDB_METRIC_COUNT("degree_cache.misses", 1);
   } else {
     // Lost an insert race; the resident value is bit-identical.
     hits_.fetch_add(1, std::memory_order_relaxed);
+    OPINEDB_METRIC_COUNT("degree_cache.hits", 1);
   }
   return it->second;
 }
 
 size_t DegreeCache::PrecomputeMarkers() {
+  obs::TraceSpan span("degree_cache.precompute_markers");
   // Collect the unique markers not yet cached, in schema order, then fan
   // the (expensive) per-marker computations out across the pool. Degrees
   // is thread-safe, and a nested per-entity ParallelFor inside a worker
@@ -98,6 +108,8 @@ size_t DegreeCache::PrecomputeMarkers() {
   } else {
     materialize(0, pending.size());
   }
+  span.AddAttribute("markers", static_cast<uint64_t>(pending.size()));
+  OPINEDB_METRIC_COUNT("degree_cache.markers_precomputed", pending.size());
   return pending.size();
 }
 

@@ -6,6 +6,7 @@
 #include "common/timer.h"
 #include "core/degree_cache.h"
 #include "core/marker_induction.h"
+#include "obs/metrics.h"
 #include "text/tokenizer.h"
 
 namespace opinedb::core {
@@ -24,6 +25,11 @@ std::unique_ptr<OpineDb> OpineDb::Build(
   db.corpus_ = std::move(corpus);
   db.schema_ = std::move(schema);
   db.options_ = options;
+  if (options.trace_level >= obs::TraceLevel::kStats) {
+    // Only ever *enable* here: another engine in the process may have
+    // turned metrics on already. SetTraceLevel sets both directions.
+    obs::SetMetricsEnabled(true);
+  }
   if (ThreadPool::ResolveThreads(options.num_threads) > 1) {
     db.pool_ = std::make_unique<ThreadPool>(options.num_threads);
   }
@@ -164,6 +170,11 @@ void OpineDb::SetNumThreads(size_t num_threads) {
   }
 }
 
+void OpineDb::SetTraceLevel(obs::TraceLevel level) {
+  options_.trace_level = level;
+  obs::SetMetricsEnabled(level >= obs::TraceLevel::kStats);
+}
+
 double OpineDb::HeuristicDegree(const std::vector<double>& features) const {
   // Closed-form fallback when no membership model has been trained:
   // similarity-weighted mass plus sentiment agreement, squashed, and
@@ -243,7 +254,24 @@ Result<QueryResult> OpineDb::ExecuteQuery(const SubjectiveQuery& query) const {
   Timer total;
   Timer phase;
   QueryResult output;
+  // Full tracing installs a per-query ring buffer as the calling
+  // thread's ambient trace context; every TraceSpan below (and inside
+  // the interpreter / degree cache / TA on this thread) records into it.
+  // Worker threads never see the context, so spans cannot perturb the
+  // parallel-vs-serial bit-identity contract.
+  std::optional<obs::TraceScope> trace_scope;
+  if (options_.trace_level == obs::TraceLevel::kFull) {
+    output.trace =
+        std::make_shared<obs::TraceBuffer>(options_.trace_capacity);
+    trace_scope.emplace(output.trace.get());
+  }
+  obs::TraceSpan query_span("execute_query");
+  query_span.AddAttribute("table", query.table);
+  query_span.AddAttribute("conditions",
+                          static_cast<uint64_t>(query.conditions.size()));
   output.stats.threads_used = pool_ != nullptr ? pool_->num_threads() : 1;
+  query_span.AddAttribute("threads",
+                          static_cast<uint64_t>(output.stats.threads_used));
   auto table_result = catalog_.GetTable(query.table);
   if (!table_result.ok()) return table_result.status();
   const storage::Table* table = *table_result;
@@ -254,12 +282,16 @@ Result<QueryResult> OpineDb::ExecuteQuery(const SubjectiveQuery& query) const {
   output.interpretations.resize(num_conditions);
   std::vector<embedding::Vec> reps(num_conditions);
   std::vector<double> sentis(num_conditions, 0.0);
-  for (size_t c = 0; c < num_conditions; ++c) {
-    const Condition& condition = query.conditions[c];
-    if (condition.kind != Condition::Kind::kSubjective) continue;
-    output.interpretations[c] = interpreter_->Interpret(condition.subjective);
-    reps[c] = embedder_->Represent(condition.subjective);
-    sentis[c] = analyzer_.ScorePhrase(condition.subjective);
+  {
+    OPINEDB_SPAN("interpret");
+    for (size_t c = 0; c < num_conditions; ++c) {
+      const Condition& condition = query.conditions[c];
+      if (condition.kind != Condition::Kind::kSubjective) continue;
+      output.interpretations[c] =
+          interpreter_->Interpret(condition.subjective);
+      reps[c] = embedder_->Represent(condition.subjective);
+      sentis[c] = analyzer_.ScorePhrase(condition.subjective);
+    }
   }
   output.stats.interpret_ms = phase.ElapsedMillis();
 
@@ -270,9 +302,13 @@ Result<QueryResult> OpineDb::ExecuteQuery(const SubjectiveQuery& query) const {
   const size_t num_entities = corpus_.num_entities();
   std::vector<std::vector<double>> computed(num_conditions);
   std::vector<const std::vector<double>*> degrees(num_conditions, nullptr);
+  obs::TraceSpan score_span("score");
   for (size_t c = 0; c < num_conditions; ++c) {
     const Condition& condition = query.conditions[c];
+    obs::TraceSpan condition_span("score.condition");
+    condition_span.AddAttribute("index", static_cast<uint64_t>(c));
     if (condition.kind == Condition::Kind::kObjective) {
+      condition_span.AddAttribute("source", "objective");
       // Objective predicates are table lookups: evaluated serially, with
       // the first failure (lowest condition, then lowest entity) wins.
       computed[c].resize(num_entities);
@@ -284,18 +320,22 @@ Result<QueryResult> OpineDb::ExecuteQuery(const SubjectiveQuery& query) const {
       degrees[c] = &computed[c];
       continue;
     }
+    condition_span.AddAttribute("predicate", condition.subjective);
     if (degree_cache_ != nullptr) {
       // The cache computes misses through the same per-entity code path,
       // so cached and freshly-computed lists are bit-identical.
       if (degree_cache_->Contains(condition.subjective)) {
         ++output.stats.cache_hits;
+        condition_span.AddAttribute("source", "cache_hit");
       } else {
         ++output.stats.cache_misses;
+        condition_span.AddAttribute("source", "cache_miss");
       }
       degrees[c] = &degree_cache_->Degrees(condition.subjective);
       continue;
     }
     ++output.stats.cache_misses;
+    condition_span.AddAttribute("source", "computed");
     computed[c].resize(num_entities);
     auto& list = computed[c];
     const auto& interpretation = output.interpretations[c];
@@ -330,12 +370,14 @@ Result<QueryResult> OpineDb::ExecuteQuery(const SubjectiveQuery& query) const {
     }
     degrees[c] = &computed[c];
   }
+  score_span.End();
   output.stats.entities_scored = num_entities;
   output.stats.scoring_ms = phase.ElapsedMillis();
 
   // Combine the WHERE tree per entity (parallel, slot-per-entity), then
   // filter, rank and truncate serially.
   phase.Reset();
+  obs::TraceSpan rank_span("combine_rank");
   std::vector<double> scores(num_entities, 1.0);
   if (query.where != nullptr) {
     auto combine_range = [&](size_t begin, size_t end) {
@@ -367,9 +409,25 @@ Result<QueryResult> OpineDb::ExecuteQuery(const SubjectiveQuery& query) const {
               return a.entity < b.entity;
             });
   if (ranked.size() > query.limit) ranked.resize(query.limit);
+  rank_span.AddAttribute("results", static_cast<uint64_t>(ranked.size()));
+  rank_span.End();
   output.results = std::move(ranked);
   output.stats.rank_ms = phase.ElapsedMillis();
   output.stats.total_ms = total.ElapsedMillis();
+  // Publish the per-query façade numbers to the process registry (the
+  // registry-backed equivalents of ExecutionStats).
+  if (options_.trace_level >= obs::TraceLevel::kStats) {
+    OPINEDB_METRIC_COUNT("engine.queries", 1);
+    OPINEDB_METRIC_COUNT("engine.entities_scored",
+                         output.stats.entities_scored);
+    OPINEDB_METRIC_COUNT("engine.cache_hits", output.stats.cache_hits);
+    OPINEDB_METRIC_COUNT("engine.cache_misses", output.stats.cache_misses);
+    OPINEDB_METRIC_LATENCY_MS("engine.interpret_ms",
+                              output.stats.interpret_ms);
+    OPINEDB_METRIC_LATENCY_MS("engine.scoring_ms", output.stats.scoring_ms);
+    OPINEDB_METRIC_LATENCY_MS("engine.rank_ms", output.stats.rank_ms);
+    OPINEDB_METRIC_LATENCY_MS("engine.total_ms", output.stats.total_ms);
+  }
   return output;
 }
 

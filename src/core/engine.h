@@ -19,6 +19,7 @@
 #include "extract/pipeline.h"
 #include "fuzzy/logic.h"
 #include "index/inverted_index.h"
+#include "obs/trace.h"
 #include "sentiment/analyzer.h"
 #include "storage/table.h"
 #include "text/corpus.h"
@@ -49,11 +50,24 @@ struct EngineOptions {
   /// concurrency, 1 = the serial path (no pool). Parallel results are
   /// bit-identical to serial — see DESIGN.md "Concurrency model".
   size_t num_threads = 0;
+  /// Observability level (see DESIGN.md "Observability"): kOff costs one
+  /// branch per instrumentation site, kStats records into the process
+  /// MetricsRegistry, kFull additionally captures per-query trace spans
+  /// into QueryResult::trace. Tracing never perturbs results: parallel
+  /// executions stay bit-identical to serial at every level.
+  obs::TraceLevel trace_level = obs::TraceLevel::kOff;
+  /// Ring-buffer capacity (spans per query) at trace_level == kFull;
+  /// overflow keeps the newest spans.
+  size_t trace_capacity = 256;
 };
 
-/// Observability for one query execution (threads, work, cache traffic
-/// and per-phase wall time), threaded through QueryResult so parallel
-/// speedups are measurable from the outside.
+/// Per-query observability façade (threads, work, cache traffic and
+/// per-phase wall time), threaded through QueryResult so parallel
+/// speedups are measurable from the outside. These fields are the
+/// query-local view of the same quantities the engine publishes to the
+/// process-wide obs::MetricsRegistry (counters `engine.*`, histograms
+/// `engine.*_ms`) when EngineOptions::trace_level >= kStats; the struct
+/// is kept for source compatibility with pre-observability callers.
 struct ExecutionStats {
   /// Concurrent strands used (1 = serial path).
   size_t threads_used = 1;
@@ -90,6 +104,9 @@ struct QueryResult {
   std::vector<PredicateInterpretation> interpretations;
   /// How the query ran (threads, cache traffic, per-phase wall time).
   ExecutionStats stats;
+  /// Per-query span ring buffer (null unless trace_level == kFull).
+  /// Render with trace->RenderTree() or trace->ToJson().
+  std::shared_ptr<obs::TraceBuffer> trace;
 };
 
 class DegreeCache;
@@ -150,6 +167,13 @@ class OpineDb {
   /// Results are bit-identical at any thread count. Not safe to call
   /// while queries are in flight on other threads.
   void SetNumThreads(size_t num_threads);
+
+  /// Changes the observability level. Also flips the process-wide
+  /// metrics switch (obs::SetMetricsEnabled) so library-internal
+  /// instrumentation (index, fuzzy TA, thread pool, membership) follows
+  /// this engine's level — with several engines per process the most
+  /// recent call wins.
+  void SetTraceLevel(obs::TraceLevel level);
 
   /// Attaches a degree-of-truth cache consulted (and warmed) by
   /// ExecuteQuery for subjective conditions; pass nullptr to detach. The

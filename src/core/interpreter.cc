@@ -4,6 +4,10 @@
 #include <cmath>
 #include <map>
 #include <set>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace opinedb::core {
 
@@ -82,6 +86,9 @@ void Interpreter::BuildVariationTable() {
 
 PredicateInterpretation Interpreter::InterpretWord2VecOnly(
     const std::string& predicate) const {
+  obs::TraceSpan span("interpret.word2vec");
+  span.AddAttribute("variations", static_cast<uint64_t>(variations_.size()));
+  OPINEDB_METRIC_COUNT("interpreter.w2v_scans", 1);
   PredicateInterpretation result;
   result.method = InterpretMethod::kWord2Vec;
   const embedding::Vec rep = embedder_->Represent(predicate);
@@ -116,18 +123,25 @@ PredicateInterpretation Interpreter::InterpretWord2VecOnly(
                      : static_cast<double>(known) /
                            static_cast<double>(content);
     result.confidence = best * coverage;
+    span.AddAttribute("best_similarity", best);
+    span.AddAttribute("coverage", coverage);
   }
+  span.AddAttribute("confidence", result.confidence);
   return result;
 }
 
 PredicateInterpretation Interpreter::InterpretCooccurrenceOnly(
     const std::string& predicate) const {
+  obs::TraceSpan span("interpret.cooccurrence");
+  OPINEDB_METRIC_COUNT("interpreter.cooccur_scans", 1);
   PredicateInterpretation result;
   result.method = InterpretMethod::kCooccurrence;
   const auto query_tokens = tokenizer_.Tokenize(predicate);
   // Top-k positive reviews by BM25(d, q) * senti(d) (paper Eq. 3).
   const auto top = review_index_->TopKWeighted(
       query_tokens, options_.cooccur_top_k, *review_sentiment_);
+  span.AddAttribute("bm25_candidates", static_cast<uint64_t>(top.size()));
+  OPINEDB_METRIC_COUNT("interpreter.bm25_candidates", top.size());
   if (top.empty()) return result;
 
   // Support gate: the predicate must actually occur in the mined
@@ -151,7 +165,10 @@ PredicateInterpretation Interpreter::InterpretCooccurrenceOnly(
         ++containing;
       }
     }
-    if (containing < (top.size() + 1) / 2) return result;  // Unsupported.
+    if (containing < (top.size() + 1) / 2) {
+      span.AddAttribute("supported", false);
+      return result;  // Unsupported.
+    }
   }
 
   // Tally attribute frequencies and per-attribute marker frequencies over
@@ -218,35 +235,68 @@ PredicateInterpretation Interpreter::InterpretCooccurrenceOnly(
         static_cast<double>(both) / attrs_per_review.size() >=
         options_.conjunction_fraction;
   }
+  span.AddAttribute("confidence", result.confidence);
+  span.AddAttribute("atoms", static_cast<uint64_t>(result.atoms.size()));
+  span.AddAttribute("conjunctive", result.conjunctive);
   return result;
 }
 
 PredicateInterpretation Interpreter::Interpret(
     const std::string& predicate) const {
+  // One span per cascade run, annotated with every Fig. 5 threshold
+  // decision; the per-stage children record their own internals.
+  obs::TraceSpan span("interpret.predicate");
+  span.AddAttribute("predicate", predicate);
+  OPINEDB_METRIC_COUNT("interpreter.calls", 1);
+  PredicateInterpretation result;
+
   // Stage 1: word2vec direct match. High confidence wins outright.
   PredicateInterpretation w2v = InterpretWord2VecOnly(predicate);
   const bool w2v_ok =
       !w2v.atoms.empty() && w2v.confidence >= options_.w2v_threshold;
-  if (w2v_ok && w2v.confidence >= options_.w2v_high_confidence) return w2v;
-
-  // Stage 2: co-occurrence mining. In the mid-confidence band a strongly
-  // supported correlation overrides the lexical match ("ideal for
-  // business travelers" matches service words lexically but co-occurs
-  // with location praise).
-  PredicateInterpretation cooc = InterpretCooccurrenceOnly(predicate);
-  const bool cooc_ok =
-      !cooc.atoms.empty() && cooc.confidence >= options_.cooccur_threshold;
-  if (w2v_ok) {
-    const bool strong_cooccur =
-        cooc_ok && cooc.confidence >= 8.0 * options_.cooccur_threshold;
-    return strong_cooccur ? cooc : w2v;
+  span.AddAttribute("w2v_confidence", w2v.confidence);
+  span.AddAttribute("w2v_threshold", options_.w2v_threshold);
+  span.AddAttribute("w2v_high_confidence", options_.w2v_high_confidence);
+  if (w2v_ok && w2v.confidence >= options_.w2v_high_confidence) {
+    result = std::move(w2v);
+  } else {
+    // Stage 2: co-occurrence mining. In the mid-confidence band a
+    // strongly supported correlation overrides the lexical match ("ideal
+    // for business travelers" matches service words lexically but
+    // co-occurs with location praise).
+    PredicateInterpretation cooc = InterpretCooccurrenceOnly(predicate);
+    const bool cooc_ok =
+        !cooc.atoms.empty() && cooc.confidence >= options_.cooccur_threshold;
+    span.AddAttribute("cooccur_confidence", cooc.confidence);
+    span.AddAttribute("cooccur_threshold", options_.cooccur_threshold);
+    if (w2v_ok) {
+      const bool strong_cooccur =
+          cooc_ok && cooc.confidence >= 8.0 * options_.cooccur_threshold;
+      span.AddAttribute("cooccur_override", strong_cooccur);
+      result = strong_cooccur ? std::move(cooc) : std::move(w2v);
+    } else if (cooc_ok) {
+      result = std::move(cooc);
+    } else {
+      // Stage 3: leave it to text retrieval.
+      result = PredicateInterpretation();
+      result.method = InterpretMethod::kTextFallback;
+    }
   }
-  if (cooc_ok) return cooc;
 
-  // Stage 3: leave it to text retrieval.
-  PredicateInterpretation fallback;
-  fallback.method = InterpretMethod::kTextFallback;
-  return fallback;
+  const char* stage = "text_fallback";
+  if (result.method == InterpretMethod::kWord2Vec) {
+    stage = "word2vec";
+    OPINEDB_METRIC_COUNT("interpreter.stage_word2vec", 1);
+  } else if (result.method == InterpretMethod::kCooccurrence) {
+    stage = "cooccurrence";
+    OPINEDB_METRIC_COUNT("interpreter.stage_cooccurrence", 1);
+  } else {
+    OPINEDB_METRIC_COUNT("interpreter.stage_text_fallback", 1);
+  }
+  span.AddAttribute("stage", stage);
+  span.AddAttribute("atoms", static_cast<uint64_t>(result.atoms.size()));
+  span.AddAttribute("conjunctive", result.conjunctive);
+  return result;
 }
 
 }  // namespace opinedb::core

@@ -3,12 +3,17 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace opinedb::core {
 
 std::vector<double> MembershipFeatures(const MarkerSummary& summary,
                                        int marker,
                                        const embedding::Vec& query_rep,
                                        double query_sentiment) {
+  // Per-entity hot path (runs inside ParallelFor): counters only, no
+  // spans — a span per entity would flood the per-query ring buffer.
+  OPINEDB_METRIC_COUNT("membership.marker_featurizations", 1);
   std::vector<double> f(kMembershipFeatureDim, 0.0);
   const double total = summary.total_count();
   f[0] = std::log1p(total);
@@ -48,6 +53,8 @@ std::vector<double> MembershipFeaturesNoMarkers(
     const std::vector<const extract::ExtractedOpinion*>& phrases,
     const embedding::PhraseEmbedder& embedder,
     const embedding::Vec& query_rep, double query_sentiment) {
+  OPINEDB_METRIC_COUNT("membership.scan_featurizations", 1);
+  OPINEDB_METRIC_COUNT("membership.phrases_embedded", phrases.size());
   std::vector<double> f(kMembershipFeatureDim, 0.0);
   const double total = static_cast<double>(phrases.size());
   f[0] = std::log1p(total);

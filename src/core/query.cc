@@ -1,12 +1,44 @@
 #include "core/query.h"
 
 #include <cctype>
+#include <charconv>
+#include <system_error>
 
 #include "common/string_util.h"
 
 namespace opinedb::core {
 
 namespace {
+
+/// Numeric literal parsing via std::from_chars: unlike std::stod /
+/// std::stoll these never throw — out-of-range and trailing-junk inputs
+/// (the lexer happily tokenizes "1.2.3" or a 40-digit run) become clean
+/// ParseErrors instead of std::out_of_range escaping the parser.
+Result<double> ParseDoubleLiteral(const std::string& text) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::ParseError("numeric literal out of range: " + text);
+  }
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::ParseError("malformed numeric literal: " + text);
+  }
+  return value;
+}
+
+Result<int64_t> ParseIntLiteral(const std::string& text) {
+  int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::ParseError("integer literal out of range: " + text);
+  }
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::ParseError("malformed integer literal: " + text);
+  }
+  return value;
+}
 
 /// Token kinds for the SQL lexer.
 enum class TokKind {
@@ -145,7 +177,12 @@ class Parser {
       if (Peek().kind != TokKind::kNumber) {
         return Status::ParseError("expected number after LIMIT");
       }
-      query_->limit = static_cast<size_t>(std::stod(Next().text));
+      auto limit = ParseIntLiteral(Next().text);
+      if (!limit.ok()) return limit.status();
+      if (*limit < 0) {
+        return Status::ParseError("LIMIT must be non-negative");
+      }
+      query_->limit = static_cast<size_t>(*limit);
     }
     if (Peek().kind != TokKind::kEnd) {
       return Status::ParseError("unexpected trailing token: " + Peek().text);
@@ -234,9 +271,13 @@ class Parser {
       if (Peek().kind == TokKind::kNumber) {
         const std::string num = Next().text;
         if (num.find('.') != std::string::npos) {
-          literal = storage::Value(std::stod(num));
+          auto value = ParseDoubleLiteral(num);
+          if (!value.ok()) return value.status();
+          literal = storage::Value(*value);
         } else {
-          literal = storage::Value(static_cast<int64_t>(std::stoll(num)));
+          auto value = ParseIntLiteral(num);
+          if (!value.ok()) return value.status();
+          literal = storage::Value(*value);
         }
       } else if (Peek().kind == TokKind::kString) {
         literal = storage::Value(Next().text);

@@ -11,6 +11,15 @@ constexpr char kSchemaMagic[] = "opinedb-schema";
 constexpr char kSummariesMagic[] = "opinedb-summaries";
 constexpr int kVersion = 1;
 
+/// Plausibility bounds on deserialized sizes. A corrupt or truncated
+/// stream must produce a ParseError, not a multi-gigabyte allocation:
+/// every count below is read from untrusted bytes and used to size a
+/// container, so each gets a ceiling far above anything a real file
+/// contains (markers and phrases are short; embedding dims are small).
+constexpr size_t kMaxStringLength = 1u << 20;     // 1 MiB per string.
+constexpr size_t kMaxCentroidDim = 1u << 16;      // 65536 dims.
+constexpr size_t kMaxProvenance = 1u << 26;       // 67M review ids.
+
 /// Netstring-style string encoding: "<length>:<bytes>" — robust to
 /// spaces inside markers and phrases.
 void WriteString(const std::string& s, std::ostream* out) {
@@ -22,6 +31,10 @@ Result<std::string> ReadString(std::istream* in) {
   char colon = 0;
   if (!(*in >> length) || !in->get(colon) || colon != ':') {
     return Status::ParseError("bad string header");
+  }
+  if (length > kMaxStringLength) {
+    return Status::ParseError("implausible string length " +
+                              std::to_string(length));
   }
   std::string s(length, '\0');
   if (!in->read(s.data(), static_cast<std::streamsize>(length))) {
@@ -150,6 +163,10 @@ Status SaveSummaries(const SubjectiveTables& tables, std::ostream* out) {
       }
     }
   }
+  // End-of-stream sentinel: the numeric tail of a truncated text stream
+  // would otherwise still parse (e.g. "123" cut to "12"); losing the
+  // sentinel makes any truncation detectable.
+  *out << "end\n";
   if (!out->good()) return Status::Internal("write failed");
   return Status::OK();
 }
@@ -185,6 +202,10 @@ Result<SubjectiveTables> LoadSummaries(const SubjectiveSchema& schema,
       if (!(*in >> markers >> unmatched >> dim)) {
         return Status::ParseError("bad summary header");
       }
+      if (dim > kMaxCentroidDim) {
+        return Status::ParseError("implausible centroid dimension " +
+                                  std::to_string(dim));
+      }
       if (markers != schema.attributes[a].summary_type.num_markers()) {
         return Status::InvalidArgument("marker count mismatch in " +
                                        schema.attributes[a].name);
@@ -205,6 +226,10 @@ Result<SubjectiveTables> LoadSummaries(const SubjectiveSchema& schema,
         if (!(*in >> provenance)) {
           return Status::ParseError("bad provenance count");
         }
+        if (provenance > kMaxProvenance) {
+          return Status::ParseError("implausible provenance count " +
+                                    std::to_string(provenance));
+        }
         cell.provenance.resize(provenance);
         for (size_t r = 0; r < provenance; ++r) {
           if (!(*in >> cell.provenance[r])) {
@@ -216,6 +241,10 @@ Result<SubjectiveTables> LoadSummaries(const SubjectiveSchema& schema,
       summary.SetUnmatchedCount(unmatched);
       tables.summaries[a].push_back(std::move(summary));
     }
+  }
+  std::string sentinel;
+  if (!(*in >> sentinel) || sentinel != "end") {
+    return Status::ParseError("truncated summaries stream (missing sentinel)");
   }
   return tables;
 }

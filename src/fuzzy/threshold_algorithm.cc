@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace opinedb::fuzzy {
 
 namespace {
@@ -40,6 +43,16 @@ std::vector<RankedEntity> ThresholdAlgorithmTopK(
   if (lists.empty() || lists[0].empty() || k == 0) return result;
   const size_t num_entities = lists[0].size();
   const size_t num_lists = lists.size();
+  // When observability wants the access counts but the caller didn't,
+  // collect them locally; otherwise keep the nullptr fast path.
+  obs::TraceSpan span("fuzzy.ta");
+  TaStats local_stats;
+  if (stats == nullptr && (span.active() || obs::MetricsEnabled())) {
+    stats = &local_stats;
+  }
+  span.AddAttribute("lists", static_cast<uint64_t>(num_lists));
+  span.AddAttribute("entities", static_cast<uint64_t>(num_entities));
+  span.AddAttribute("k", static_cast<uint64_t>(k));
 
   // Sorted access order per list.
   std::vector<std::vector<int32_t>> order(num_lists);
@@ -59,6 +72,7 @@ std::vector<RankedEntity> ThresholdAlgorithmTopK(
 
   std::unordered_set<int32_t> seen;
   std::vector<RankedEntity> top;
+  bool early_terminated = false;
   for (size_t depth = 0; depth < num_entities; ++depth) {
     if (stats != nullptr) ++stats->rounds;
     // One sorted access per list at this depth.
@@ -76,8 +90,24 @@ std::vector<RankedEntity> ThresholdAlgorithmTopK(
     for (size_t j = 1; j < num_lists; ++j) {
       threshold = And(variant, threshold, lists[j][order[j][depth]]);
     }
-    if (top.size() >= k && top.back().score >= threshold) break;
+    if (top.size() >= k && top.back().score >= threshold) {
+      early_terminated = true;
+      break;
+    }
   }
+  if (stats != nullptr) {
+    span.AddAttribute("rounds", static_cast<uint64_t>(stats->rounds));
+    span.AddAttribute("sorted_accesses",
+                      static_cast<uint64_t>(stats->sorted_accesses));
+    span.AddAttribute("random_accesses",
+                      static_cast<uint64_t>(stats->random_accesses));
+    OPINEDB_METRIC_COUNT("fuzzy.ta_rounds", stats->rounds);
+    OPINEDB_METRIC_COUNT("fuzzy.ta_sorted_accesses", stats->sorted_accesses);
+    OPINEDB_METRIC_COUNT("fuzzy.ta_random_accesses",
+                         stats->random_accesses);
+  }
+  span.AddAttribute("early_terminated", early_terminated);
+  OPINEDB_METRIC_COUNT("fuzzy.ta_calls", 1);
   return top;
 }
 

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace opinedb::index {
 
 DocId InvertedIndex::AddDocument(const std::vector<std::string>& tokens) {
@@ -75,14 +78,19 @@ double InvertedIndex::Score(DocId doc,
 std::vector<ScoredDoc> InvertedIndex::RankAll(
     const std::vector<std::string>& query, size_t k,
     const std::vector<double>* weights) const {
+  obs::TraceSpan span("index.rank_all");
+  span.AddAttribute("terms", static_cast<uint64_t>(query.size()));
+  span.AddAttribute("k", static_cast<uint64_t>(k));
   std::unordered_map<DocId, double> accum;
   const double avg_len = average_doc_length();
+  uint64_t postings_scanned = 0;
   // Deduplicate query terms while preserving multiplicity semantics of
   // BM25 (repeated query terms contribute repeatedly, as in Okapi).
   for (const auto& term : query) {
     auto it = postings_.find(term);
     if (it == postings_.end()) continue;
     const double idf = Bm25Idf(term);
+    postings_scanned += it->second.size();
     for (const Posting& posting : it->second) {
       const double len = static_cast<double>(doc_lengths_[posting.doc]);
       const double num = posting.tf * (params_.k1 + 1.0);
@@ -104,6 +112,10 @@ std::vector<ScoredDoc> InvertedIndex::RankAll(
               return a.doc < b.doc;
             });
   if (scored.size() > k) scored.resize(k);
+  span.AddAttribute("postings_scanned", postings_scanned);
+  span.AddAttribute("candidates", static_cast<uint64_t>(accum.size()));
+  OPINEDB_METRIC_COUNT("index.rank_all_calls", 1);
+  OPINEDB_METRIC_COUNT("index.postings_scanned", postings_scanned);
   return scored;
 }
 

@@ -1,0 +1,252 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace opinedb::obs {
+
+namespace {
+
+/// Ambient per-thread trace state. Worker-pool threads never have a
+/// buffer installed, so spans constructed there are inert.
+thread_local TraceBuffer* t_buffer = nullptr;
+thread_local uint32_t t_current_span = 0;
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  return buffer;
+}
+
+void AppendJsonString(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          *out += buffer;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+TraceLevel ParseTraceLevel(std::string_view name) {
+  if (name == "stats") return TraceLevel::kStats;
+  if (name == "full") return TraceLevel::kFull;
+  return TraceLevel::kOff;
+}
+
+const char* TraceLevelName(TraceLevel level) {
+  switch (level) {
+    case TraceLevel::kStats:
+      return "stats";
+    case TraceLevel::kFull:
+      return "full";
+    case TraceLevel::kOff:
+      break;
+  }
+  return "off";
+}
+
+std::string_view SpanRecord::Attribute(std::string_view key) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+TraceBuffer::TraceBuffer(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+uint32_t TraceBuffer::NextSpanId() {
+  return next_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TraceBuffer::Push(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record.seq = next_seq_++;
+  const size_t slot = record.seq % capacity_;
+  if (slot < ring_.size()) {
+    ring_[slot] = std::move(record);  // Evicts the oldest resident span.
+  } else {
+    ring_.push_back(std::move(record));
+  }
+}
+
+std::vector<SpanRecord> TraceBuffer::Snapshot() const {
+  std::vector<SpanRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = ring_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+uint64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ > capacity_ ? next_seq_ - capacity_ : 0;
+}
+
+std::string TraceBuffer::RenderTree() const {
+  const auto spans = Snapshot();
+  // Children in recording order under each parent; orphans (evicted
+  // parents) become roots so the tree always renders every span.
+  std::vector<size_t> roots;
+  std::vector<std::vector<size_t>> children(spans.size());
+  std::vector<int> index_of_id;
+  for (const auto& span : spans) {
+    if (span.id >= index_of_id.size()) index_of_id.resize(span.id + 1, -1);
+  }
+  for (size_t i = 0; i < spans.size(); ++i) index_of_id[spans[i].id] = i;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const uint32_t parent = spans[i].parent_id;
+    if (parent != 0 && parent < index_of_id.size() &&
+        index_of_id[parent] >= 0) {
+      children[index_of_id[parent]].push_back(i);
+    } else {
+      roots.push_back(i);
+    }
+  }
+  std::string out;
+  // Iterative DFS; starts render before their children even though the
+  // ring stores ends-first.
+  struct Frame {
+    size_t index;
+    size_t depth;
+  };
+  std::vector<Frame> stack;
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it) {
+    stack.push_back({*it, 0});
+  }
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    const SpanRecord& span = spans[frame.index];
+    out.append(2 * frame.depth, ' ');
+    out += span.name;
+    char timing[64];
+    std::snprintf(timing, sizeof(timing), " %10.3f ms", span.duration_ms);
+    out += timing;
+    for (const auto& [key, value] : span.attributes) {
+      out += "  " + key + "=" + value;
+    }
+    out += '\n';
+    const auto& kids = children[frame.index];
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back({*it, frame.depth + 1});
+    }
+  }
+  return out;
+}
+
+std::string TraceBuffer::ToJson() const {
+  const auto spans = Snapshot();
+  std::string out = "[";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& span = spans[i];
+    if (i > 0) out += ',';
+    out += "\n  {\"id\": " + std::to_string(span.id);
+    out += ", \"parent_id\": " + std::to_string(span.parent_id);
+    out += ", \"seq\": " + std::to_string(span.seq);
+    out += ", \"name\": ";
+    AppendJsonString(span.name, &out);
+    out += ", \"start_ms\": " + FormatDouble(span.start_ms);
+    out += ", \"duration_ms\": " + FormatDouble(span.duration_ms);
+    out += ", \"attributes\": {";
+    for (size_t a = 0; a < span.attributes.size(); ++a) {
+      if (a > 0) out += ", ";
+      AppendJsonString(span.attributes[a].first, &out);
+      out += ": ";
+      AppendJsonString(span.attributes[a].second, &out);
+    }
+    out += "}}";
+  }
+  out += spans.empty() ? "]" : "\n]";
+  return out;
+}
+
+TraceScope::TraceScope(TraceBuffer* buffer)
+    : previous_buffer_(t_buffer), previous_span_(t_current_span) {
+  t_buffer = buffer;
+  t_current_span = 0;
+}
+
+TraceScope::~TraceScope() {
+  t_buffer = previous_buffer_;
+  t_current_span = previous_span_;
+}
+
+TraceBuffer* TraceScope::Current() { return t_buffer; }
+
+TraceSpan::TraceSpan(std::string_view name) : buffer_(t_buffer) {
+  if (buffer_ == nullptr) return;  // Tracing off: one branch, no work.
+  record_.id = buffer_->NextSpanId();
+  record_.parent_id = t_current_span;
+  record_.name = std::string(name);
+  start_ = std::chrono::steady_clock::now();
+  record_.start_ms =
+      std::chrono::duration<double, std::milli>(start_ - buffer_->epoch())
+          .count();
+  saved_parent_ = t_current_span;
+  t_current_span = record_.id;
+}
+
+TraceSpan::~TraceSpan() { End(); }
+
+void TraceSpan::End() {
+  if (buffer_ == nullptr) return;
+  record_.duration_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count();
+  t_current_span = saved_parent_;
+  buffer_->Push(std::move(record_));
+  buffer_ = nullptr;
+}
+
+void TraceSpan::AddAttribute(std::string_view key, std::string_view value) {
+  if (buffer_ == nullptr) return;
+  record_.attributes.emplace_back(std::string(key), std::string(value));
+}
+
+void TraceSpan::AddAttribute(std::string_view key, double value) {
+  if (buffer_ == nullptr) return;
+  record_.attributes.emplace_back(std::string(key), FormatDouble(value));
+}
+
+void TraceSpan::AddAttribute(std::string_view key, uint64_t value) {
+  if (buffer_ == nullptr) return;
+  record_.attributes.emplace_back(std::string(key), std::to_string(value));
+}
+
+void TraceSpan::AddAttribute(std::string_view key, bool value) {
+  if (buffer_ == nullptr) return;
+  record_.attributes.emplace_back(std::string(key),
+                                  value ? "true" : "false");
+}
+
+}  // namespace opinedb::obs

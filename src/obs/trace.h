@@ -1,0 +1,164 @@
+#ifndef OPINEDB_OBS_TRACE_H_
+#define OPINEDB_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace opinedb::obs {
+
+/// How much observability a query execution pays for:
+///   kOff   — one predictable branch per instrumentation site;
+///   kStats — MetricsRegistry counters/gauges/histograms;
+///   kFull  — kStats plus per-query trace spans (ring buffer).
+enum class TraceLevel {
+  kOff = 0,
+  kStats = 1,
+  kFull = 2,
+};
+
+/// Parses "off" / "stats" / "full" (anything else → kOff); the inverse of
+/// TraceLevelName. Handy for env-var / CLI plumbing.
+TraceLevel ParseTraceLevel(std::string_view name);
+const char* TraceLevelName(TraceLevel level);
+
+/// One finished span. Spans are recorded on End (RAII destructor), so a
+/// parent's record lands after its children's; `seq` restores the
+/// recording order and `parent_id` the hierarchy.
+struct SpanRecord {
+  /// 1-based id unique within the owning TraceBuffer; 0 = "no span".
+  uint32_t id = 0;
+  /// Id of the enclosing span (0 for roots).
+  uint32_t parent_id = 0;
+  /// Monotone per-buffer sequence of the *end* event; the ring buffer
+  /// evicts the smallest seq first, so overflow keeps the newest spans.
+  uint64_t seq = 0;
+  std::string name;
+  /// Start offset relative to the buffer's epoch.
+  double start_ms = 0.0;
+  double duration_ms = 0.0;
+  /// Ordered (key, value) attributes, e.g. {"stage", "word2vec"}.
+  std::vector<std::pair<std::string, std::string>> attributes;
+
+  /// First attribute value for `key`, or "" if absent.
+  std::string_view Attribute(std::string_view key) const;
+};
+
+/// A per-query ring buffer of finished spans.
+///
+/// Thread safety: BeginSpan/Push/Snapshot may be called from any thread
+/// (a mutex guards the ring). Span creation is phase-level, not
+/// per-entity, so the lock is uncontended in practice; worker threads
+/// inside ParallelFor see no ambient trace context and record nothing,
+/// which also keeps tracing out of the bit-identity contract (see
+/// tests/concurrency_test.cc).
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(size_t capacity = 256);
+
+  /// Allocates a span id (ids never repeat within a buffer).
+  uint32_t NextSpanId();
+
+  /// Records one finished span; evicts the oldest record when full.
+  void Push(SpanRecord record);
+
+  /// Spans currently resident, oldest first (by seq).
+  std::vector<SpanRecord> Snapshot() const;
+
+  size_t capacity() const { return capacity_; }
+  /// Spans evicted by ring overflow so far.
+  uint64_t dropped() const;
+
+  /// The buffer's epoch for start_ms offsets.
+  std::chrono::steady_clock::time_point epoch() const { return epoch_; }
+
+  /// Renders a flame-style indented text tree:
+  ///   execute_query                          12.345 ms
+  ///     interpret                             4.200 ms  stage=word2vec
+  /// Orphans (parents evicted by overflow) render as roots.
+  std::string RenderTree() const;
+
+  /// Renders the resident spans as a JSON array (oldest first).
+  std::string ToJson() const;
+
+ private:
+  const size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> ring_;   // Guarded by mu_; slot = seq % capacity.
+  uint64_t next_seq_ = 0;          // Guarded by mu_.
+  std::atomic<uint32_t> next_id_{1};
+};
+
+/// RAII installer of the ambient (thread-local) trace buffer. The engine
+/// installs one per traced query on the query thread; every TraceSpan
+/// constructed on that thread while the scope is alive records into it.
+/// Scopes nest (the previous buffer is restored on destruction).
+class TraceScope {
+ public:
+  explicit TraceScope(TraceBuffer* buffer);
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  /// The ambient buffer of the calling thread (nullptr when not tracing).
+  static TraceBuffer* Current();
+
+ private:
+  TraceBuffer* previous_buffer_;
+  uint32_t previous_span_;
+};
+
+/// A hierarchical RAII trace scope. Construction is a no-op branch when
+/// no ambient TraceBuffer is installed (trace_level < kFull); otherwise
+/// the span links to the enclosing TraceSpan on the same thread and
+/// records name, wall time and attributes into the buffer on destruction.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool active() const { return buffer_ != nullptr; }
+
+  /// Ends the span early (records it now); the destructor then no-ops.
+  /// For phases whose extent doesn't match a C++ scope.
+  void End();
+
+  /// Attribute setters are no-ops on inactive spans.
+  void AddAttribute(std::string_view key, std::string_view value);
+  /// Without this overload a string literal would convert to bool
+  /// (standard conversion) rather than string_view (user-defined).
+  void AddAttribute(std::string_view key, const char* value) {
+    AddAttribute(key, std::string_view(value));
+  }
+  void AddAttribute(std::string_view key, double value);
+  void AddAttribute(std::string_view key, uint64_t value);
+  void AddAttribute(std::string_view key, bool value);
+
+ private:
+  TraceBuffer* buffer_;
+  SpanRecord record_;
+  std::chrono::steady_clock::time_point start_;
+  uint32_t saved_parent_ = 0;
+};
+
+}  // namespace opinedb::obs
+
+/// Anonymous span covering the rest of the enclosing block:
+///   OPINEDB_SPAN("interpret");
+/// Use a named TraceSpan directly when attributes must be attached.
+#define OPINEDB_SPAN_CONCAT_INNER(a, b) a##b
+#define OPINEDB_SPAN_CONCAT(a, b) OPINEDB_SPAN_CONCAT_INNER(a, b)
+#define OPINEDB_SPAN(name) \
+  ::opinedb::obs::TraceSpan OPINEDB_SPAN_CONCAT(_opinedb_span_, __LINE__)(name)
+
+#endif  // OPINEDB_OBS_TRACE_H_

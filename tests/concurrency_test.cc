@@ -15,6 +15,7 @@
 #include "core/degree_cache.h"
 #include "datagen/domain_spec.h"
 #include "eval/experiment.h"
+#include "obs/trace.h"
 
 namespace opinedb {
 namespace {
@@ -273,6 +274,32 @@ TEST_P(ConcurrencyTest, ReaggregateBitIdenticalAcrossThreadCounts) {
   // Restore the default aggregation for other tests.
   db.SetNumThreads(1);
   db.Reaggregate(core::AggregationOptions());
+}
+
+TEST_P(ConcurrencyTest, FullTracingPreservesBitIdentityContract) {
+  // The observability layer must observe, never perturb: with the span
+  // ring buffer on (trace_level=full), parallel execution stays
+  // bit-identical to serial. Worker threads see no ambient trace
+  // context, so this also exercises the span-free worker path under
+  // -DOPINEDB_SANITIZE=thread.
+  core::OpineDb& db = Fixture(GetParam());
+  db.SetTraceLevel(obs::TraceLevel::kFull);
+  for (const auto& sql : Queries(GetParam())) {
+    db.SetNumThreads(1);
+    auto serial = db.Execute(sql);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    ASSERT_NE(serial->trace, nullptr);
+    for (size_t threads : {2, 4, 8}) {
+      db.SetNumThreads(threads);
+      auto parallel = db.Execute(sql);
+      ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+      ExpectIdenticalResults(*serial, *parallel);
+      ASSERT_NE(parallel->trace, nullptr);
+      EXPECT_FALSE(parallel->trace->Snapshot().empty());
+    }
+  }
+  db.SetTraceLevel(obs::TraceLevel::kOff);
+  db.SetNumThreads(1);
 }
 
 // ------------------------------------------------------ Cache stress.

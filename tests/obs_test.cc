@@ -1,0 +1,372 @@
+// Unit tests for the observability layer: MetricsRegistry (exact sums
+// under concurrency, histogram bucketing, JSON export) and the TraceSpan
+// / TraceBuffer machinery (nesting, attributes, ring-buffer overflow).
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace opinedb::obs {
+namespace {
+
+/// Saves and restores the process-wide metrics switch so these tests
+/// cannot leak state into (or inherit state from) engine tests.
+class MetricsSwitchGuard {
+ public:
+  MetricsSwitchGuard() : saved_(MetricsEnabled()) {}
+  ~MetricsSwitchGuard() { SetMetricsEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+// ------------------------------------------------------------- Counter.
+
+TEST(MetricsCounterTest, ConcurrentIncrementsSumExactly) {
+  MetricsRegistry registry;
+  auto* counter = registry.GetCounter("test.concurrent");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter->Add(1);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter->Value(), kThreads * kPerThread);
+}
+
+TEST(MetricsCounterTest, DeltaAndReset) {
+  MetricsRegistry registry;
+  auto* counter = registry.GetCounter("test.delta");
+  counter->Add(5);
+  counter->Add(7);
+  EXPECT_EQ(counter->Value(), 12u);
+  counter->Reset();
+  EXPECT_EQ(counter->Value(), 0u);
+}
+
+TEST(MetricsCounterTest, SameNameReturnsSameInstrument) {
+  MetricsRegistry registry;
+  auto* a = registry.GetCounter("test.same");
+  auto* b = registry.GetCounter("test.same");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, registry.GetCounter("test.other"));
+}
+
+// --------------------------------------------------------------- Gauge.
+
+TEST(MetricsGaugeTest, SetAddValue) {
+  MetricsRegistry registry;
+  auto* gauge = registry.GetGauge("test.gauge");
+  EXPECT_EQ(gauge->Value(), 0.0);
+  gauge->Set(4.5);
+  EXPECT_EQ(gauge->Value(), 4.5);
+  gauge->Add(0.5);
+  EXPECT_EQ(gauge->Value(), 5.0);
+  gauge->Set(-1.0);  // Last write wins.
+  EXPECT_EQ(gauge->Value(), -1.0);
+}
+
+// ----------------------------------------------------------- Histogram.
+
+TEST(MetricsHistogramTest, BucketBoundaries) {
+  MetricsRegistry registry;
+  auto* histogram = registry.GetHistogram("test.hist", {1.0, 2.0, 5.0});
+  // Bucket i counts observations <= bounds[i]; boundary values land in
+  // the bucket they bound, values above the last bound in overflow.
+  for (double v : {0.5, 1.0, 1.5, 2.0, 5.0, 7.0}) histogram->Observe(v);
+  const auto counts = histogram->Counts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 bounds + overflow.
+  EXPECT_EQ(counts[0], 2u);      // 0.5, 1.0
+  EXPECT_EQ(counts[1], 2u);      // 1.5, 2.0
+  EXPECT_EQ(counts[2], 1u);      // 5.0
+  EXPECT_EQ(counts[3], 1u);      // 7.0 (overflow)
+  EXPECT_EQ(histogram->TotalCount(), 6u);
+  EXPECT_DOUBLE_EQ(histogram->Sum(), 0.5 + 1.0 + 1.5 + 2.0 + 5.0 + 7.0);
+}
+
+TEST(MetricsHistogramTest, ConcurrentObservationsSumExactly) {
+  MetricsRegistry registry;
+  auto* histogram = registry.GetHistogram("test.hist_mt", {10.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([histogram] {
+      for (int i = 0; i < kPerThread; ++i) histogram->Observe(1.0);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(histogram->TotalCount(),
+            static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_DOUBLE_EQ(histogram->Sum(), kThreads * kPerThread * 1.0);
+}
+
+TEST(MetricsHistogramTest, LatencyBucketsAreStrictlyIncreasing) {
+  const auto bounds = MetricsRegistry::LatencyBucketsMs();
+  ASSERT_GE(bounds.size(), 2u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+// --------------------------------------------------------- JSON export.
+
+TEST(MetricsRegistryTest, JsonExportSchema) {
+  MetricsRegistry registry;
+  registry.GetCounter("beta.counter")->Add(3);
+  registry.GetCounter("alpha.counter")->Add(1);
+  registry.GetGauge("depth")->Set(2.5);
+  auto* histogram = registry.GetHistogram("lat", {1.0, 10.0});
+  histogram->Observe(0.5);
+  histogram->Observe(20.0);
+
+  const std::string json = registry.ToJson();
+  // Top-level sections.
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  // Instruments and values.
+  EXPECT_NE(json.find("\"alpha.counter\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"beta.counter\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"depth\": 2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"bounds\": [1, 10]"), std::string::npos);
+  EXPECT_NE(json.find("\"counts\": [1, 0, 1]"), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+  // Deterministic ordering: map keys are sorted by name.
+  EXPECT_LT(json.find("alpha.counter"), json.find("beta.counter"));
+  // Scraping twice without writes is byte-identical.
+  EXPECT_EQ(json, registry.ToJson());
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesButKeepsNames) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Add(9);
+  registry.GetGauge("g")->Set(1.0);
+  registry.GetHistogram("h", {1.0})->Observe(0.5);
+  registry.ResetAll();
+  EXPECT_EQ(registry.GetCounter("c")->Value(), 0u);
+  EXPECT_EQ(registry.GetGauge("g")->Value(), 0.0);
+  EXPECT_EQ(registry.GetHistogram("h", {1.0})->TotalCount(), 0u);
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"c\": 0"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, MacrosRespectEnabledSwitch) {
+  MetricsSwitchGuard guard;
+  auto* counter =
+      MetricsRegistry::Global().GetCounter("test.macro_switch");
+  counter->Reset();
+  SetMetricsEnabled(false);
+  OPINEDB_METRIC_COUNT("test.macro_switch", 1);
+  EXPECT_EQ(counter->Value(), 0u);
+  SetMetricsEnabled(true);
+  OPINEDB_METRIC_COUNT("test.macro_switch", 1);
+  OPINEDB_METRIC_COUNT("test.macro_switch", 2);
+  EXPECT_EQ(counter->Value(), 3u);
+}
+
+// ----------------------------------------------------------- TraceSpan.
+
+TEST(TraceSpanTest, InertWithoutAmbientBuffer) {
+  ASSERT_EQ(TraceScope::Current(), nullptr);
+  TraceSpan span("orphan");
+  EXPECT_FALSE(span.active());
+  span.AddAttribute("key", "value");  // Must be a harmless no-op.
+}
+
+TEST(TraceSpanTest, RecordsNestingAndParentLinkage) {
+  TraceBuffer buffer;
+  {
+    TraceScope scope(&buffer);
+    TraceSpan outer("outer");
+    ASSERT_TRUE(outer.active());
+    {
+      TraceSpan inner("inner");
+      TraceSpan innermost("innermost");
+      innermost.End();
+      inner.End();
+    }
+    outer.End();
+  }
+  const auto spans = buffer.Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  // Recorded on End: deepest first, root last.
+  EXPECT_EQ(spans[0].name, "innermost");
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[2].name, "outer");
+  EXPECT_EQ(spans[2].parent_id, 0u);
+  EXPECT_EQ(spans[1].parent_id, spans[2].id);
+  EXPECT_EQ(spans[0].parent_id, spans[1].id);
+  for (const auto& span : spans) EXPECT_GE(span.duration_ms, 0.0);
+}
+
+TEST(TraceSpanTest, SiblingsShareAParent) {
+  TraceBuffer buffer;
+  {
+    TraceScope scope(&buffer);
+    TraceSpan parent("parent");
+    { TraceSpan a("a"); }
+    { TraceSpan b("b"); }
+  }
+  const auto spans = buffer.Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "a");
+  EXPECT_EQ(spans[1].name, "b");
+  EXPECT_EQ(spans[0].parent_id, spans[2].id);
+  EXPECT_EQ(spans[1].parent_id, spans[2].id);
+}
+
+TEST(TraceSpanTest, CapturesTypedAttributes) {
+  TraceBuffer buffer;
+  {
+    TraceScope scope(&buffer);
+    TraceSpan span("attrs");
+    span.AddAttribute("stage", "word2vec");
+    span.AddAttribute("confidence", 0.75);
+    span.AddAttribute("candidates", static_cast<uint64_t>(42));
+    span.AddAttribute("cache_hit", true);
+    span.AddAttribute("supported", false);
+  }
+  const auto spans = buffer.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].Attribute("stage"), "word2vec");
+  EXPECT_EQ(spans[0].Attribute("confidence"), "0.75");
+  EXPECT_EQ(spans[0].Attribute("candidates"), "42");
+  EXPECT_EQ(spans[0].Attribute("cache_hit"), "true");
+  EXPECT_EQ(spans[0].Attribute("supported"), "false");
+  EXPECT_EQ(spans[0].Attribute("missing"), "");
+}
+
+TEST(TraceSpanTest, EndIsIdempotent) {
+  TraceBuffer buffer;
+  {
+    TraceScope scope(&buffer);
+    TraceSpan span("once");
+    span.End();
+    span.End();               // Second End must not double-record.
+    span.AddAttribute("late", "ignored");
+  }                           // Destructor must not record either.
+  const auto spans = buffer.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].Attribute("late"), "");
+}
+
+TEST(TraceBufferTest, RingOverflowKeepsNewest) {
+  TraceBuffer buffer(4);
+  {
+    TraceScope scope(&buffer);
+    for (int i = 0; i < 10; ++i) {
+      TraceSpan span("span" + std::to_string(i));
+    }
+  }
+  EXPECT_EQ(buffer.dropped(), 6u);
+  const auto spans = buffer.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  // The newest four survive, oldest first.
+  EXPECT_EQ(spans[0].name, "span6");
+  EXPECT_EQ(spans[1].name, "span7");
+  EXPECT_EQ(spans[2].name, "span8");
+  EXPECT_EQ(spans[3].name, "span9");
+}
+
+TEST(TraceBufferTest, RootSurvivesOverflowBecauseItEndsLast) {
+  TraceBuffer buffer(3);
+  {
+    TraceScope scope(&buffer);
+    TraceSpan root("root");
+    for (int i = 0; i < 8; ++i) {
+      TraceSpan child("child" + std::to_string(i));
+    }
+  }
+  const auto spans = buffer.Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans.back().name, "root");
+}
+
+TEST(TraceScopeTest, NestsAndRestores) {
+  TraceBuffer outer_buffer;
+  TraceBuffer inner_buffer;
+  EXPECT_EQ(TraceScope::Current(), nullptr);
+  {
+    TraceScope outer(&outer_buffer);
+    EXPECT_EQ(TraceScope::Current(), &outer_buffer);
+    {
+      TraceScope inner(&inner_buffer);
+      EXPECT_EQ(TraceScope::Current(), &inner_buffer);
+      TraceSpan span("into_inner");
+    }
+    EXPECT_EQ(TraceScope::Current(), &outer_buffer);
+  }
+  EXPECT_EQ(TraceScope::Current(), nullptr);
+  EXPECT_EQ(inner_buffer.Snapshot().size(), 1u);
+  EXPECT_EQ(outer_buffer.Snapshot().size(), 0u);
+}
+
+TEST(TraceBufferTest, SpansAreInvisibleToOtherThreads) {
+  TraceBuffer buffer;
+  TraceScope scope(&buffer);
+  // The ambient buffer is thread-local: a thread without its own
+  // TraceScope records nothing (this is what keeps tracing out of the
+  // ParallelFor workers and off the determinism contract).
+  std::thread worker([] {
+    TraceSpan span("worker_span");
+    EXPECT_FALSE(span.active());
+  });
+  worker.join();
+  { TraceSpan span("query_span"); }
+  const auto spans = buffer.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "query_span");
+}
+
+TEST(TraceBufferTest, RenderTreeIndentsChildren) {
+  TraceBuffer buffer;
+  {
+    TraceScope scope(&buffer);
+    TraceSpan root("execute_query");
+    {
+      TraceSpan child("interpret");
+      child.AddAttribute("stage", "word2vec");
+    }
+  }
+  const std::string tree = buffer.RenderTree();
+  EXPECT_EQ(tree.find("execute_query"), 0u);  // Root at column 0.
+  EXPECT_NE(tree.find("\n  interpret"), std::string::npos);
+  EXPECT_NE(tree.find("stage=word2vec"), std::string::npos);
+  EXPECT_NE(tree.find("ms"), std::string::npos);
+}
+
+TEST(TraceBufferTest, ToJsonListsSpansWithAttributes) {
+  TraceBuffer buffer;
+  {
+    TraceScope scope(&buffer);
+    TraceSpan span("json_span");
+    span.AddAttribute("key", "va\"lue");
+  }
+  const std::string json = buffer.ToJson();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"name\": \"json_span\""), std::string::npos);
+  EXPECT_NE(json.find("\"key\": \"va\\\"lue\""), std::string::npos);
+  EXPECT_NE(json.find("\"parent_id\": 0"), std::string::npos);
+}
+
+TEST(TraceLevelTest, ParseAndNameRoundTrip) {
+  EXPECT_EQ(ParseTraceLevel("off"), TraceLevel::kOff);
+  EXPECT_EQ(ParseTraceLevel("stats"), TraceLevel::kStats);
+  EXPECT_EQ(ParseTraceLevel("full"), TraceLevel::kFull);
+  EXPECT_EQ(ParseTraceLevel("garbage"), TraceLevel::kOff);
+  EXPECT_STREQ(TraceLevelName(TraceLevel::kOff), "off");
+  EXPECT_STREQ(TraceLevelName(TraceLevel::kStats), "stats");
+  EXPECT_STREQ(TraceLevelName(TraceLevel::kFull), "full");
+}
+
+}  // namespace
+}  // namespace opinedb::obs

@@ -1,0 +1,212 @@
+// Fuzz tests for ParseSubjectiveSql: 10k mutated / truncated / garbage
+// inputs driven by the deterministic common/rng. The contract under test
+// is that the parser NEVER crashes or throws — every malformed input
+// becomes a clean Result error. Directed regression cases pin the bugs
+// this suite originally found (std::stod / std::stoll throwing
+// std::out_of_range on oversized numeric literals, and negative LIMIT
+// silently wrapping to a huge size_t).
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/query.h"
+
+namespace opinedb::core {
+namespace {
+
+/// Valid seed queries the mutator starts from — mutations of
+/// almost-valid SQL probe deeper parser states than pure noise.
+const std::vector<std::string>& SeedCorpus() {
+  static const std::vector<std::string> corpus = {
+      "select * from hotels where \"clean room\" limit 10",
+      "select * from hotels where \"clean room\" and \"friendly staff\"",
+      "select * from hotels where (\"quiet street\" or \"lively bar\") "
+      "and price_pn < 300 limit 5",
+      "select * from restaurants where not \"slow service\"",
+      "select * from hotels where city = 'london' and stars >= 4",
+      "select * from hotels where price_pn <= 120.5 limit 3;",
+      "select * from t where a != 1 or b <> 2 or c > -3",
+      "select * from hotels",
+  };
+  return corpus;
+}
+
+std::string RandomGarbage(Rng* rng, size_t max_length) {
+  const size_t length = rng->Below(max_length + 1);
+  std::string s;
+  s.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    // Bias towards SQL-ish bytes but include the whole byte range.
+    if (rng->Bernoulli(0.7)) {
+      static const char kAlphabet[] =
+          "select from where and or not limit \"'()*,;<>=!._-0123456789";
+      s.push_back(kAlphabet[rng->Below(sizeof(kAlphabet) - 1)]);
+    } else {
+      s.push_back(static_cast<char>(rng->Below(256)));
+    }
+  }
+  return s;
+}
+
+std::string Mutate(std::string input, Rng* rng) {
+  const int kind = static_cast<int>(rng->Below(6));
+  switch (kind) {
+    case 0: {  // Truncate.
+      if (!input.empty()) input.resize(rng->Below(input.size() + 1));
+      return input;
+    }
+    case 1: {  // Flip random bytes.
+      for (int flips = static_cast<int>(rng->Below(4)) + 1;
+           flips > 0 && !input.empty(); --flips) {
+        input[rng->Below(input.size())] =
+            static_cast<char>(rng->Below(256));
+      }
+      return input;
+    }
+    case 2: {  // Insert garbage at a random position.
+      const size_t at = rng->Below(input.size() + 1);
+      return input.substr(0, at) + RandomGarbage(rng, 12) +
+             input.substr(at);
+    }
+    case 3: {  // Delete a random slice.
+      if (input.empty()) return input;
+      const size_t at = rng->Below(input.size());
+      const size_t len = rng->Below(input.size() - at) + 1;
+      return input.erase(at, len);
+    }
+    case 4: {  // Splice two seeds.
+      const auto& other =
+          SeedCorpus()[rng->Below(SeedCorpus().size())];
+      const size_t cut_a = rng->Below(input.size() + 1);
+      const size_t cut_b = rng->Below(other.size() + 1);
+      return input.substr(0, cut_a) + other.substr(cut_b);
+    }
+    default: {  // Duplicate a slice (nests parens, repeats clauses).
+      if (input.empty()) return input;
+      const size_t at = rng->Below(input.size());
+      const size_t len = rng->Below(input.size() - at) + 1;
+      return input + " " + input.substr(at, len);
+    }
+  }
+}
+
+/// One fuzz iteration: the parser must return, not throw. The Result
+/// itself may be ok (mutations can stay valid) or any error.
+void ExpectParsesOrErrsCleanly(const std::string& sql) {
+  EXPECT_NO_THROW({
+    auto result = ParseSubjectiveSql(sql);
+    if (result.ok()) {
+      // A successful parse must produce a sane query object.
+      EXPECT_FALSE(result->table.empty()) << sql;
+    }
+  }) << "input: " << sql;
+}
+
+TEST(ParserFuzzTest, TenThousandMutatedInputsNeverThrow) {
+  Rng rng(2026);
+  for (int i = 0; i < 10000; ++i) {
+    std::string input;
+    if (rng.Bernoulli(0.2)) {
+      input = RandomGarbage(&rng, 80);  // Pure noise.
+    } else {
+      input = SeedCorpus()[rng.Below(SeedCorpus().size())];
+      const int rounds = static_cast<int>(rng.Below(3)) + 1;
+      for (int r = 0; r < rounds; ++r) input = Mutate(input, &rng);
+    }
+    ExpectParsesOrErrsCleanly(input);
+  }
+}
+
+TEST(ParserFuzzTest, SeedCorpusStillParses) {
+  for (const auto& sql : SeedCorpus()) {
+    auto result = ParseSubjectiveSql(sql);
+    EXPECT_TRUE(result.ok()) << sql << ": " << result.status().ToString();
+  }
+}
+
+// ------------------------------------------------- Directed regressions.
+
+TEST(ParserFuzzTest, OversizedIntegerLiteralIsParseError) {
+  // std::stoll used to throw std::out_of_range here.
+  auto result = ParseSubjectiveSql(
+      "select * from hotels where price_pn < 99999999999999999999999999");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserFuzzTest, OversizedDecimalLiteralIsParseError) {
+  // std::stod used to throw std::out_of_range for > ~1e308.
+  std::string huge(400, '9');
+  auto result = ParseSubjectiveSql(
+      "select * from hotels where price_pn < " + huge + ".5");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserFuzzTest, OversizedLimitIsParseError) {
+  auto result = ParseSubjectiveSql(
+      "select * from hotels limit 99999999999999999999999999");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserFuzzTest, NegativeLimitIsParseError) {
+  // Used to wrap through size_t into a practically-unbounded limit.
+  auto result = ParseSubjectiveSql("select * from hotels limit -5");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserFuzzTest, FractionalLimitIsParseError) {
+  // Used to silently truncate 3.9 to 3.
+  auto result = ParseSubjectiveSql("select * from hotels limit 3.9");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserFuzzTest, MultiDotNumberIsParseError) {
+  // The lexer tokenizes "1.2.3" as one number; std::stod used to
+  // silently parse the 1.2 prefix and drop the rest.
+  auto result =
+      ParseSubjectiveSql("select * from hotels where price_pn < 1.2.3");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserFuzzTest, ValidLimitBoundaries) {
+  auto zero = ParseSubjectiveSql("select * from hotels limit 0");
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(zero->limit, 0u);
+  auto big = ParseSubjectiveSql("select * from hotels limit 1000000");
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(big->limit, 1000000u);
+}
+
+TEST(ParserFuzzTest, NegativeComparisonLiteralStillParses) {
+  auto result =
+      ParseSubjectiveSql("select * from t where temperature > -10");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->conditions.size(), 1u);
+  auto fractional =
+      ParseSubjectiveSql("select * from t where score > -1.25");
+  ASSERT_TRUE(fractional.ok());
+}
+
+TEST(ParserFuzzTest, UnterminatedQuotesAreParseErrors) {
+  EXPECT_FALSE(ParseSubjectiveSql("select * from t where \"open").ok());
+  EXPECT_FALSE(ParseSubjectiveSql("select * from t where x = 'open").ok());
+}
+
+TEST(ParserFuzzTest, DeeplyNestedParensDoNotCrash) {
+  std::string sql = "select * from t where ";
+  for (int i = 0; i < 200; ++i) sql += '(';
+  sql += "\"quiet\"";
+  for (int i = 0; i < 200; ++i) sql += ')';
+  auto result = ParseSubjectiveSql(sql);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+}
+
+}  // namespace
+}  // namespace opinedb::core

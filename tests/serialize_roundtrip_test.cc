@@ -1,0 +1,247 @@
+// Round-trip tests for the schema / summaries serializers: a save →
+// load cycle must be bit-exact (doubles compared with EXPECT_EQ, no
+// tolerance), and corrupt or truncated streams must produce clean
+// Status errors — never exceptions, crashes, or huge allocations.
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/serialize.h"
+
+namespace opinedb::core {
+namespace {
+
+SubjectiveSchema MakeSchema() {
+  SubjectiveSchema schema;
+  schema.objective_table = "hotels";
+  schema.key_column = "hotel_name";
+
+  SubjectiveAttribute cleanliness;
+  cleanliness.name = "room_cleanliness";
+  cleanliness.summary_type.name = "room_cleanliness";
+  cleanliness.summary_type.kind = SummaryKind::kLinearlyOrdered;
+  cleanliness.summary_type.markers = {"spotless", "clean, mostly",
+                                      "dirty"};
+  cleanliness.linguistic_domain = {"sparkling clean", "bit dusty"};
+  cleanliness.seeds.aspect_terms = {"room", "bathroom"};
+  cleanliness.seeds.opinion_terms = {"clean", "dirty", "spotless"};
+  schema.attributes.push_back(cleanliness);
+
+  SubjectiveAttribute style;
+  style.name = "bathroom_style";
+  style.summary_type.name = "bathroom_style";
+  style.summary_type.kind = SummaryKind::kCategorical;
+  style.summary_type.markers = {"modern", "rustic"};
+  // Empty linguistic domain and seeds: the minimal attribute.
+  schema.attributes.push_back(style);
+  return schema;
+}
+
+SubjectiveTables MakeSummaries(const SubjectiveSchema& schema) {
+  constexpr size_t kEntities = 3;
+  constexpr size_t kDim = 4;
+  SubjectiveTables tables;
+  tables.summaries.resize(schema.num_attributes());
+  // Awkward doubles (1/3, pi-ish) so bit-exactness is actually tested.
+  double v = 1.0 / 3.0;
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    const auto& type = schema.attributes[a].summary_type;
+    for (size_t e = 0; e < kEntities; ++e) {
+      MarkerSummary summary(&type, kDim);
+      for (size_t m = 0; m < type.num_markers(); ++m) {
+        MarkerCell cell;
+        cell.count = v * 7.0;
+        cell.mean_sentiment = v - 0.5;
+        cell.centroid.resize(kDim);
+        for (size_t d = 0; d < kDim; ++d) {
+          cell.centroid[d] = static_cast<float>(v * (d + 1) - 0.6);
+        }
+        for (size_t r = 0; r < m + 1; ++r) {
+          cell.provenance.push_back(
+              static_cast<text::ReviewId>(e * 10 + r));
+        }
+        summary.RestoreCell(m, cell);
+        v = v * 3.9 * (1.0 - v);  // Logistic map: irregular doubles.
+      }
+      summary.SetUnmatchedCount(v * 5.0);
+      tables.summaries[a].push_back(std::move(summary));
+    }
+  }
+  return tables;
+}
+
+// ------------------------------------------------------ Schema cycle.
+
+TEST(SerializeRoundtripTest, SchemaRoundTripsExactly) {
+  const SubjectiveSchema schema = MakeSchema();
+  std::stringstream stream;
+  ASSERT_TRUE(SaveSchema(schema, &stream).ok());
+  auto loaded = LoadSchema(&stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->objective_table, schema.objective_table);
+  EXPECT_EQ(loaded->key_column, schema.key_column);
+  ASSERT_EQ(loaded->attributes.size(), schema.attributes.size());
+  for (size_t a = 0; a < schema.attributes.size(); ++a) {
+    const auto& want = schema.attributes[a];
+    const auto& got = loaded->attributes[a];
+    EXPECT_EQ(got.name, want.name);
+    EXPECT_EQ(got.summary_type.kind, want.summary_type.kind);
+    EXPECT_EQ(got.summary_type.markers, want.summary_type.markers);
+    EXPECT_EQ(got.linguistic_domain, want.linguistic_domain);
+    EXPECT_EQ(got.seeds.aspect_terms, want.seeds.aspect_terms);
+    EXPECT_EQ(got.seeds.opinion_terms, want.seeds.opinion_terms);
+  }
+}
+
+TEST(SerializeRoundtripTest, SchemaSecondCycleIsByteIdentical) {
+  const SubjectiveSchema schema = MakeSchema();
+  std::stringstream first;
+  ASSERT_TRUE(SaveSchema(schema, &first).ok());
+  auto loaded = LoadSchema(&first);
+  ASSERT_TRUE(loaded.ok());
+  std::stringstream second;
+  ASSERT_TRUE(SaveSchema(*loaded, &second).ok());
+  EXPECT_EQ(first.str(), second.str());
+}
+
+// --------------------------------------------------- Summaries cycle.
+
+TEST(SerializeRoundtripTest, SummariesRoundTripBitExactly) {
+  const SubjectiveSchema schema = MakeSchema();
+  const SubjectiveTables tables = MakeSummaries(schema);
+  std::stringstream stream;
+  ASSERT_TRUE(SaveSummaries(tables, &stream).ok());
+  auto loaded = LoadSummaries(schema, &stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  ASSERT_EQ(loaded->summaries.size(), tables.summaries.size());
+  for (size_t a = 0; a < tables.summaries.size(); ++a) {
+    ASSERT_EQ(loaded->summaries[a].size(), tables.summaries[a].size());
+    for (size_t e = 0; e < tables.summaries[a].size(); ++e) {
+      const auto& want = tables.summaries[a][e];
+      const auto& got = loaded->summaries[a][e];
+      ASSERT_EQ(got.num_markers(), want.num_markers());
+      // Bit-exact: EXPECT_EQ on raw doubles/floats, no tolerance.
+      EXPECT_EQ(got.unmatched_count(), want.unmatched_count());
+      for (size_t m = 0; m < want.num_markers(); ++m) {
+        const auto& want_cell = want.cell(m);
+        const auto& got_cell = got.cell(m);
+        EXPECT_EQ(got_cell.count, want_cell.count);
+        EXPECT_EQ(got_cell.mean_sentiment, want_cell.mean_sentiment);
+        ASSERT_EQ(got_cell.centroid.size(), want_cell.centroid.size());
+        for (size_t d = 0; d < want_cell.centroid.size(); ++d) {
+          EXPECT_EQ(got_cell.centroid[d], want_cell.centroid[d]);
+        }
+        EXPECT_EQ(got_cell.provenance, want_cell.provenance);
+      }
+    }
+  }
+}
+
+TEST(SerializeRoundtripTest, SummariesSecondCycleIsByteIdentical) {
+  const SubjectiveSchema schema = MakeSchema();
+  const SubjectiveTables tables = MakeSummaries(schema);
+  std::stringstream first;
+  ASSERT_TRUE(SaveSummaries(tables, &first).ok());
+  auto loaded = LoadSummaries(schema, &first);
+  ASSERT_TRUE(loaded.ok());
+  std::stringstream second;
+  ASSERT_TRUE(SaveSummaries(*loaded, &second).ok());
+  EXPECT_EQ(first.str(), second.str());
+}
+
+// ------------------------------------------- Corruption / truncation.
+
+TEST(SerializeRoundtripTest, TruncatedSchemaStreamsErrCleanly) {
+  const SubjectiveSchema schema = MakeSchema();
+  std::stringstream stream;
+  ASSERT_TRUE(SaveSchema(schema, &stream).ok());
+  const std::string full = stream.str();
+  // Every data-cutting prefix must load cleanly as an error, never crash
+  // or throw. (full.size() - 1 only drops the trailing newline, which
+  // the loader legitimately tolerates, so the loop stops before it.)
+  for (size_t length = 0; length + 1 < full.size(); ++length) {
+    std::stringstream truncated(full.substr(0, length));
+    EXPECT_NO_THROW({
+      auto loaded = LoadSchema(&truncated);
+      EXPECT_FALSE(loaded.ok()) << "prefix length " << length;
+    });
+  }
+}
+
+TEST(SerializeRoundtripTest, TruncatedSummariesStreamsErrCleanly) {
+  const SubjectiveSchema schema = MakeSchema();
+  const SubjectiveTables tables = MakeSummaries(schema);
+  std::stringstream stream;
+  ASSERT_TRUE(SaveSummaries(tables, &stream).ok());
+  const std::string full = stream.str();
+  for (size_t length = 0; length + 1 < full.size(); ++length) {
+    std::stringstream truncated(full.substr(0, length));
+    EXPECT_NO_THROW({
+      auto loaded = LoadSummaries(schema, &truncated);
+      EXPECT_FALSE(loaded.ok()) << "prefix length " << length;
+    });
+  }
+}
+
+TEST(SerializeRoundtripTest, WrongMagicIsParseError) {
+  std::stringstream schema_stream("definitely-not-a-schema 1\n");
+  auto schema = LoadSchema(&schema_stream);
+  ASSERT_FALSE(schema.ok());
+  EXPECT_EQ(schema.status().code(), StatusCode::kParseError);
+
+  std::stringstream summaries_stream("garbage 1\n0 0\n");
+  auto summaries = LoadSummaries(MakeSchema(), &summaries_stream);
+  ASSERT_FALSE(summaries.ok());
+  EXPECT_EQ(summaries.status().code(), StatusCode::kParseError);
+}
+
+TEST(SerializeRoundtripTest, UnknownVersionIsNotSupported) {
+  std::stringstream stream("opinedb-schema 99\n");
+  auto loaded = LoadSchema(&stream);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotSupported);
+}
+
+TEST(SerializeRoundtripTest, ImplausibleStringLengthIsParseError) {
+  // A corrupt netstring header must not attempt a petabyte allocation.
+  std::stringstream stream("opinedb-schema 1\n99999999999999:x");
+  auto loaded = LoadSchema(&stream);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+TEST(SerializeRoundtripTest, ImplausibleDimensionIsParseError) {
+  const SubjectiveSchema schema = MakeSchema();
+  // Valid header for schema (2 attributes, 1 entity), then a summary
+  // claiming a ludicrous centroid dimension.
+  std::stringstream stream(
+      "opinedb-summaries 1\n2 1\n3 0 999999999999\n");
+  auto loaded = LoadSummaries(schema, &stream);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+TEST(SerializeRoundtripTest, ImplausibleProvenanceCountIsParseError) {
+  const SubjectiveSchema schema = MakeSchema();
+  // One marker cell whose provenance count would allocate gigabytes.
+  std::stringstream stream(
+      "opinedb-summaries 1\n2 1\n3 0 1\n1 0 0 99999999999\n");
+  auto loaded = LoadSummaries(schema, &stream);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+TEST(SerializeRoundtripTest, AttributeCountMismatchIsInvalidArgument) {
+  const SubjectiveSchema schema = MakeSchema();  // 2 attributes.
+  std::stringstream stream("opinedb-summaries 1\n5 1\n");
+  auto loaded = LoadSummaries(schema, &stream);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace opinedb::core
