@@ -8,7 +8,11 @@
 // OPINEDB_SKIP_PARALLEL_SWEEP=1), and a trace_level={off,stats,full}
 // sweep of the same query list writes BENCH_obs.json — the
 // metrics-overhead numbers DESIGN.md "Observability" quotes (skip with
-// OPINEDB_SKIP_OBS_SWEEP=1).
+// OPINEDB_SKIP_OBS_SWEEP=1). Finally, a physical-plan sweep pits the
+// dense scan against the objective-pushdown filtered scan across
+// price_pn selectivities and against the TA fast path on a warm degree
+// cache, writing BENCH_planner.json (skip with
+// OPINEDB_SKIP_PLANNER_SWEEP=1).
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
@@ -409,6 +413,125 @@ void RunObsOverheadSweep() {
          stats_pct, full_pct);
 }
 
+// ------------------------------------------------ Planner plan sweep.
+
+void RunPlannerSweep() {
+  printf("\nPlanner sweep: dense scan vs objective pushdown vs TA fast "
+         "path on the seed hotel dataset...\n");
+  auto artifacts =
+      eval::BuildArtifacts(datagen::HotelDomain(), bench::HotelBuildOptions());
+  core::OpineDb& db = *artifacts.db;
+  db.SetNumThreads(1);  // Serial: isolates plan work, not parallelism.
+  const int repeats = std::max(bench::Repeats(), 5);
+  const size_t num_entities = db.corpus().num_entities();
+
+  auto run_forced = [&](core::PlanForce force, const std::string& sql,
+                        core::QueryResult* last) {
+    db.mutable_options()->force_plan = force;
+    const double ms = BestOfMs(repeats, [&] {
+      auto result = db.Execute(sql);
+      if (!result.ok()) {
+        fprintf(stderr, "query failed: %s\n",
+                result.status().ToString().c_str());
+        std::exit(1);
+      }
+      if (last != nullptr) *last = std::move(*result);
+    });
+    db.mutable_options()->force_plan = core::PlanForce::kAuto;
+    return ms;
+  };
+
+  // Pushdown: one subjective predicate behind a price cut-off of
+  // decreasing selectivity. No degree cache attached, so subjective
+  // scoring really recomputes per entity — the work the filter skips.
+  const std::vector<int> cutoffs = {100, 200, 300, 400, 550};
+  std::vector<double> dense_ms;
+  std::vector<double> filtered_ms;
+  std::vector<double> pushdown_speedup;
+  std::vector<size_t> survivors;
+  std::vector<double> selectivity;
+  for (const int cutoff : cutoffs) {
+    const std::string sql = "select * from hotels where price_pn < " +
+                            std::to_string(cutoff) +
+                            " and \"friendly staff\" limit 10";
+    core::QueryResult filtered_result;
+    dense_ms.push_back(
+        run_forced(core::PlanForce::kDenseScan, sql, nullptr));
+    filtered_ms.push_back(
+        run_forced(core::PlanForce::kFilteredScan, sql, &filtered_result));
+    if (filtered_result.plan != core::PlanKind::kFilteredScan) {
+      fprintf(stderr, "expected filtered_scan plan\n");
+      std::exit(1);
+    }
+    pushdown_speedup.push_back(dense_ms.back() / filtered_ms.back());
+    survivors.push_back(filtered_result.stats.entities_scored);
+    selectivity.push_back(static_cast<double>(survivors.back()) /
+                          static_cast<double>(num_entities));
+    printf("  price_pn < %-3d  survivors %3zu/%zu  dense %7.2f ms  "
+           "filtered %7.2f ms  speedup %.2fx\n",
+           cutoff, survivors.back(), num_entities, dense_ms.back(),
+           filtered_ms.back(), pushdown_speedup.back());
+  }
+
+  // TA fast path: conjunctive subjective query over a warm degree
+  // cache. Dense still reads the cached lists, so the delta is pure
+  // combine+rank work vs Fagin early termination.
+  core::DegreeCache cache(&db);
+  db.AttachDegreeCache(&cache);
+  const std::string ta_sql =
+      "select * from hotels where \"clean room\" and \"friendly staff\" "
+      "limit 10";
+  core::QueryResult ta_result;
+  (void)run_forced(core::PlanForce::kDenseScan, ta_sql, nullptr);  // Warm.
+  const double ta_dense_ms =
+      run_forced(core::PlanForce::kDenseScan, ta_sql, nullptr);
+  const double ta_ms = run_forced(core::PlanForce::kTaTopK, ta_sql,
+                                  &ta_result);
+  db.AttachDegreeCache(nullptr);
+  if (ta_result.plan != core::PlanKind::kTaTopK) {
+    fprintf(stderr, "expected ta_topk plan\n");
+    std::exit(1);
+  }
+  const double ta_speedup = ta_dense_ms / ta_ms;
+  printf("  TA (warm cache): dense %7.2f ms  ta %.2f ms  speedup %.2fx  "
+         "entities_seen %zu/%zu\n",
+         ta_dense_ms, ta_ms, ta_speedup, ta_result.stats.entities_scored,
+         num_entities);
+
+  FILE* out = fopen("BENCH_planner.json", "w");
+  if (out == nullptr) {
+    fprintf(stderr, "cannot write BENCH_planner.json\n");
+    std::exit(1);
+  }
+  fprintf(out, "{\n");
+  fprintf(out, "  \"bench\": \"planner_sweep\",\n");
+  fprintf(out, "  \"dataset\": \"hotel_seed\",\n");
+  fprintf(out, "  \"hardware_concurrency\": %u,\n",
+          std::thread::hardware_concurrency());
+  fprintf(out, "  \"repeats\": %d,\n", repeats);
+  fprintf(out, "  \"num_entities\": %zu,\n", num_entities);
+  fprintf(out, "  \"price_cutoffs\": %s,\n",
+          bench::JsonArray(cutoffs).c_str());
+  fprintf(out, "  \"survivors\": %s,\n", bench::JsonArray(survivors).c_str());
+  fprintf(out, "  \"selectivity\": %s,\n",
+          bench::JsonArray(selectivity).c_str());
+  fprintf(out, "  \"dense_ms\": %s,\n", bench::JsonArray(dense_ms).c_str());
+  fprintf(out, "  \"filtered_ms\": %s,\n",
+          bench::JsonArray(filtered_ms).c_str());
+  fprintf(out, "  \"pushdown_speedup\": %s,\n",
+          bench::JsonArray(pushdown_speedup).c_str());
+  fprintf(out, "  \"ta_dense_ms\": %g,\n", ta_dense_ms);
+  fprintf(out, "  \"ta_ms\": %g,\n", ta_ms);
+  fprintf(out, "  \"ta_speedup\": %g,\n", ta_speedup);
+  fprintf(out, "  \"ta_entities_seen\": %zu\n",
+          ta_result.stats.entities_scored);
+  fprintf(out, "}\n");
+  fclose(out);
+  printf("  wrote BENCH_planner.json (most selective pushdown %.2fx, "
+         "TA %.2fx)\n",
+         pushdown_speedup.front(), ta_speedup);
+}
+
 }  // namespace
 }  // namespace opinedb
 
@@ -424,6 +547,10 @@ int main(int argc, char** argv) {
   const char* skip_obs = std::getenv("OPINEDB_SKIP_OBS_SWEEP");
   if (skip_obs == nullptr || skip_obs[0] == '0') {
     opinedb::RunObsOverheadSweep();
+  }
+  const char* skip_planner = std::getenv("OPINEDB_SKIP_PLANNER_SWEEP");
+  if (skip_planner == nullptr || skip_planner[0] == '0') {
+    opinedb::RunPlannerSweep();
   }
   return 0;
 }

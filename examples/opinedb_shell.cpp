@@ -117,6 +117,10 @@ void RunSql(const core::OpineDb& db, const std::string& sql) {
     printf("error: %s\n", result.status().ToString().c_str());
     return;
   }
+  if (!result->plan_text.empty()) {  // EXPLAIN: plan only, no execution.
+    printf("%s", result->plan_text.c_str());
+    return;
+  }
   printf("  %-16s %s\n", "entity", "degree of truth");
   for (const auto& r : result->results) {
     printf("  %-16s %.3f\n", r.entity_name.c_str(), r.score);

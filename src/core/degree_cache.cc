@@ -116,10 +116,12 @@ size_t DegreeCache::PrecomputeMarkers() {
 std::vector<fuzzy::RankedEntity> DegreeCache::TopKConjunction(
     const std::vector<std::string>& predicates, size_t k,
     fuzzy::TaStats* stats) {
-  std::vector<std::vector<double>> lists;
+  // Borrow the resident lists — references stay valid until Clear(), so
+  // the Threshold Algorithm reads them in place without copying.
+  std::vector<const std::vector<double>*> lists;
   lists.reserve(predicates.size());
   for (const auto& predicate : predicates) {
-    lists.push_back(Degrees(predicate));
+    lists.push_back(&Degrees(predicate));
   }
   return fuzzy::ThresholdAlgorithmTopK(lists, k, db_->options().variant,
                                        stats);
@@ -127,12 +129,20 @@ std::vector<fuzzy::RankedEntity> DegreeCache::TopKConjunction(
 
 std::vector<fuzzy::RankedEntity> DegreeCache::TopKConjunctionFullScan(
     const std::vector<std::string>& predicates, size_t k) {
-  std::vector<std::vector<double>> lists;
+  std::vector<const std::vector<double>*> lists;
   lists.reserve(predicates.size());
   for (const auto& predicate : predicates) {
-    lists.push_back(Degrees(predicate));
+    lists.push_back(&Degrees(predicate));
   }
   return fuzzy::FullScanTopK(lists, k, db_->options().variant);
+}
+
+const std::vector<double>* DegreeCache::Peek(
+    const std::string& predicate) const {
+  const Shard& shard = ShardFor(predicate);
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.map.find(predicate);
+  return it == shard.map.end() ? nullptr : &it->second;
 }
 
 bool DegreeCache::Contains(const std::string& predicate) const {

@@ -46,6 +46,11 @@ class DegreeCache {
   /// entities when the engine has a pool), then served from the cache.
   const std::vector<double>& Degrees(const std::string& predicate);
 
+  /// Resident list for `predicate`, or nullptr if not cached yet. Never
+  /// computes and does not touch the hit/miss counters; planners use it
+  /// to test TA eligibility without perturbing cache stats.
+  const std::vector<double>* Peek(const std::string& predicate) const;
+
   /// Pre-computes the degrees for every marker phrase of every
   /// subjective attribute (the "variations in the linguistic domain"
   /// precomputation); returns the number of lists materialized. Markers

@@ -5,6 +5,7 @@
 
 #include "common/timer.h"
 #include "core/degree_cache.h"
+#include "core/exec_ops.h"
 #include "core/marker_induction.h"
 #include "obs/metrics.h"
 #include "text/tokenizer.h"
@@ -276,6 +277,26 @@ Result<QueryResult> OpineDb::ExecuteQuery(const SubjectiveQuery& query) const {
   if (!table_result.ok()) return table_result.status();
   const storage::Table* table = *table_result;
 
+  // ------------------------------------------------------------- plan.
+  // Lower the parsed AST into its logical view, then pick the physical
+  // operator chain. Every plan shape is bit-identical to the dense scan
+  // (see docs/QUERY_PLANNER.md); the planner only trades work.
+  const LogicalPlan logical = AnalyzeQuery(query);
+  PlannerContext planner_context;
+  planner_context.num_entities = corpus_.num_entities();
+  planner_context.cache = degree_cache_;
+  planner_context.force = options_.force_plan;
+  planner_context.variant = options_.variant;
+  const PhysicalPlan physical = SelectPlan(query, logical, planner_context);
+  output.plan = physical.kind;
+  query_span.AddAttribute("plan", PlanKindName(physical.kind));
+  if (query.explain) {
+    // EXPLAIN plans but does not execute.
+    output.plan_text = ExplainPlan(query, logical, physical, planner_context);
+    output.stats.total_ms = total.ElapsedMillis();
+    return output;
+  }
+
   // Interpret every subjective condition once, up front (serial: a
   // handful of conditions against thousands of entities).
   const size_t num_conditions = query.conditions.size();
@@ -295,124 +316,38 @@ Result<QueryResult> OpineDb::ExecuteQuery(const SubjectiveQuery& query) const {
   }
   output.stats.interpret_ms = phase.ElapsedMillis();
 
-  // Per-condition dense degree lists (Section 3.3: score every entity
-  // for every predicate). Entities fan out across the pool; each entity
-  // writes only its own slot, so the result is bit-identical to serial.
+  // -------------------------------------------------------------- run.
+  ExecContext ctx;
+  ctx.db = this;
+  ctx.query = &query;
+  ctx.logical = &logical;
+  ctx.table = table;
+  ctx.cache = degree_cache_;
+  ctx.output = &output;
+  ctx.reps = &reps;
+  ctx.sentis = &sentis;
+  ctx.num_entities = corpus_.num_entities();
   phase.Reset();
-  const size_t num_entities = corpus_.num_entities();
-  std::vector<std::vector<double>> computed(num_conditions);
-  std::vector<const std::vector<double>*> degrees(num_conditions, nullptr);
-  obs::TraceSpan score_span("score");
-  for (size_t c = 0; c < num_conditions; ++c) {
-    const Condition& condition = query.conditions[c];
-    obs::TraceSpan condition_span("score.condition");
-    condition_span.AddAttribute("index", static_cast<uint64_t>(c));
-    if (condition.kind == Condition::Kind::kObjective) {
-      condition_span.AddAttribute("source", "objective");
-      // Objective predicates are table lookups: evaluated serially, with
-      // the first failure (lowest condition, then lowest entity) wins.
-      computed[c].resize(num_entities);
-      for (size_t e = 0; e < num_entities; ++e) {
-        auto pass = condition.objective.Evaluate(*table, e);
-        if (!pass.ok()) return pass.status();
-        computed[c][e] = *pass ? 1.0 : 0.0;
-      }
-      degrees[c] = &computed[c];
-      continue;
+  if (physical.kind == PlanKind::kTaTopK) {
+    // One fused operator: cached lists in, ranked top-k out.
+    output.stats.scoring_ms = phase.ElapsedMillis();
+    phase.Reset();
+    Status status = TaTopKOp().Run(&ctx);
+    if (!status.ok()) return status;
+    output.stats.rank_ms = phase.ElapsedMillis();
+  } else {
+    if (physical.kind == PlanKind::kFilteredScan) {
+      Status status = ObjectiveFilterOp().Run(&ctx);
+      if (!status.ok()) return status;
     }
-    condition_span.AddAttribute("predicate", condition.subjective);
-    if (degree_cache_ != nullptr) {
-      // The cache computes misses through the same per-entity code path,
-      // so cached and freshly-computed lists are bit-identical.
-      if (degree_cache_->Contains(condition.subjective)) {
-        ++output.stats.cache_hits;
-        condition_span.AddAttribute("source", "cache_hit");
-      } else {
-        ++output.stats.cache_misses;
-        condition_span.AddAttribute("source", "cache_miss");
-      }
-      degrees[c] = &degree_cache_->Degrees(condition.subjective);
-      continue;
-    }
-    ++output.stats.cache_misses;
-    condition_span.AddAttribute("source", "computed");
-    computed[c].resize(num_entities);
-    auto& list = computed[c];
-    const auto& interpretation = output.interpretations[c];
-    auto score_range = [&](size_t begin, size_t end) {
-      for (size_t e = begin; e < end; ++e) {
-        const auto entity = static_cast<text::EntityId>(e);
-        if (interpretation.method == InterpretMethod::kTextFallback ||
-            interpretation.atoms.empty()) {
-          list[e] = TextFallbackDegree(condition.subjective, entity);
-          continue;
-        }
-        double acc = 0.0;
-        bool first = true;
-        for (const auto& atom : interpretation.atoms) {
-          const double d = AtomDegreeOfTruth(atom, entity, reps[c], sentis[c]);
-          if (first) {
-            acc = d;
-            first = false;
-          } else if (interpretation.conjunctive) {
-            acc = fuzzy::And(options_.variant, acc, d);
-          } else {
-            acc = fuzzy::Or(options_.variant, acc, d);
-          }
-        }
-        list[e] = acc;
-      }
-    };
-    if (pool_ != nullptr) {
-      pool_->ParallelFor(0, num_entities, score_range, /*min_grain=*/8);
-    } else {
-      score_range(0, num_entities);
-    }
-    degrees[c] = &computed[c];
+    Status status = SubjectiveScoreOp().Run(&ctx);
+    if (!status.ok()) return status;
+    output.stats.scoring_ms = phase.ElapsedMillis();
+    phase.Reset();
+    status = RankOp().Run(&ctx);
+    if (!status.ok()) return status;
+    output.stats.rank_ms = phase.ElapsedMillis();
   }
-  score_span.End();
-  output.stats.entities_scored = num_entities;
-  output.stats.scoring_ms = phase.ElapsedMillis();
-
-  // Combine the WHERE tree per entity (parallel, slot-per-entity), then
-  // filter, rank and truncate serially.
-  phase.Reset();
-  obs::TraceSpan rank_span("combine_rank");
-  std::vector<double> scores(num_entities, 1.0);
-  if (query.where != nullptr) {
-    auto combine_range = [&](size_t begin, size_t end) {
-      for (size_t e = begin; e < end; ++e) {
-        scores[e] = query.where->Evaluate(
-            options_.variant, [&](size_t c) { return (*degrees[c])[e]; });
-      }
-    };
-    if (pool_ != nullptr) {
-      pool_->ParallelFor(0, num_entities, combine_range, /*min_grain=*/64);
-    } else {
-      combine_range(0, num_entities);
-    }
-  }
-  std::vector<RankedResult> ranked;
-  ranked.reserve(num_entities);
-  for (size_t e = 0; e < num_entities; ++e) {
-    if (scores[e] <= 0.0) continue;  // Failed hard objective predicates.
-    const auto entity = static_cast<text::EntityId>(e);
-    RankedResult result;
-    result.entity = entity;
-    result.entity_name = corpus_.entity_name(entity);
-    result.score = scores[e];
-    ranked.push_back(std::move(result));
-  }
-  std::sort(ranked.begin(), ranked.end(),
-            [](const RankedResult& a, const RankedResult& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.entity < b.entity;
-            });
-  if (ranked.size() > query.limit) ranked.resize(query.limit);
-  rank_span.AddAttribute("results", static_cast<uint64_t>(ranked.size()));
-  rank_span.End();
-  output.results = std::move(ranked);
-  output.stats.rank_ms = phase.ElapsedMillis();
   output.stats.total_ms = total.ElapsedMillis();
   // Publish the per-query façade numbers to the process registry (the
   // registry-backed equivalents of ExecutionStats).
@@ -427,6 +362,19 @@ Result<QueryResult> OpineDb::ExecuteQuery(const SubjectiveQuery& query) const {
     OPINEDB_METRIC_LATENCY_MS("engine.scoring_ms", output.stats.scoring_ms);
     OPINEDB_METRIC_LATENCY_MS("engine.rank_ms", output.stats.rank_ms);
     OPINEDB_METRIC_LATENCY_MS("engine.total_ms", output.stats.total_ms);
+    // The metric macros cache their instrument in a function-local
+    // static, so each plan kind gets its own literal call site.
+    switch (physical.kind) {
+      case PlanKind::kDenseScan:
+        OPINEDB_METRIC_COUNT("engine.plan.dense_scan", 1);
+        break;
+      case PlanKind::kFilteredScan:
+        OPINEDB_METRIC_COUNT("engine.plan.filtered_scan", 1);
+        break;
+      case PlanKind::kTaTopK:
+        OPINEDB_METRIC_COUNT("engine.plan.ta_topk", 1);
+        break;
+    }
   }
   return output;
 }

@@ -12,6 +12,7 @@
 #include "core/attribute_classifier.h"
 #include "core/interpreter.h"
 #include "core/membership.h"
+#include "core/planner.h"
 #include "core/query.h"
 #include "core/schema.h"
 #include "embedding/phrase_rep.h"
@@ -59,6 +60,11 @@ struct EngineOptions {
   /// Ring-buffer capacity (spans per query) at trace_level == kFull;
   /// overflow keeps the newest spans.
   size_t trace_capacity = 256;
+  /// Physical-plan override for ExecuteQuery (kAuto = cost-based
+  /// choice). Forcing a shape the query is not eligible for falls back
+  /// to the automatic choice; every shape is bit-identical, so this
+  /// only trades work — used by plan-equivalence tests and ablations.
+  PlanForce force_plan = PlanForce::kAuto;
 };
 
 /// Per-query observability façade (threads, work, cache traffic and
@@ -104,6 +110,11 @@ struct QueryResult {
   std::vector<PredicateInterpretation> interpretations;
   /// How the query ran (threads, cache traffic, per-phase wall time).
   ExecutionStats stats;
+  /// The physical plan shape the planner chose (see PlanKindName).
+  PlanKind plan = PlanKind::kDenseScan;
+  /// Rendered plan text; filled only for EXPLAIN statements (which
+  /// plan but do not execute, leaving `results` empty).
+  std::string plan_text;
   /// Per-query span ring buffer (null unless trace_level == kFull).
   /// Render with trace->RenderTree() or trace->ToJson().
   std::shared_ptr<obs::TraceBuffer> trace;

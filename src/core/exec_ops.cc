@@ -1,0 +1,264 @@
+#include "core/exec_ops.h"
+
+#include <algorithm>
+
+#include "core/degree_cache.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace opinedb::core {
+
+Status ObjectiveFilterOp::Run(ExecContext* ctx) const {
+  obs::TraceSpan span("objective_filter");
+  const SubjectiveQuery& query = *ctx->query;
+  // Resolve each column once per predicate, not once per entity.
+  std::vector<storage::BoundColumnPredicate> bound;
+  bound.reserve(ctx->logical->hard_objective.size());
+  for (const size_t c : ctx->logical->hard_objective) {
+    auto b = query.conditions[c].objective.Bind(*ctx->table);
+    if (!b.ok()) return b.status();
+    bound.push_back(*b);
+  }
+  span.AddAttribute("predicates", static_cast<uint64_t>(bound.size()));
+  ctx->candidates.clear();
+  for (size_t e = 0; e < ctx->num_entities; ++e) {
+    bool pass = true;
+    for (const auto& predicate : bound) {
+      if (!predicate.Matches(*ctx->table, e)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) ctx->candidates.push_back(e);
+  }
+  ctx->candidates_are_all = false;
+  span.AddAttribute("entities", static_cast<uint64_t>(ctx->num_entities));
+  span.AddAttribute("survivors",
+                    static_cast<uint64_t>(ctx->candidates.size()));
+  return Status::OK();
+}
+
+Status SubjectiveScoreOp::Run(ExecContext* ctx) const {
+  const OpineDb& db = *ctx->db;
+  const SubjectiveQuery& query = *ctx->query;
+  const size_t num_conditions = query.conditions.size();
+  const size_t num_entities = ctx->num_entities;
+  ctx->computed.resize(num_conditions);
+  ctx->degrees.assign(num_conditions, nullptr);
+  obs::TraceSpan score_span("score");
+  for (size_t c = 0; c < num_conditions; ++c) {
+    const Condition& condition = query.conditions[c];
+    obs::TraceSpan condition_span("score.condition");
+    condition_span.AddAttribute("index", static_cast<uint64_t>(c));
+    if (condition.kind == Condition::Kind::kObjective) {
+      condition_span.AddAttribute("source", "objective");
+      // Objective predicates are table lookups: the column is resolved
+      // once, then each candidate is a direct cell comparison.
+      auto bound = condition.objective.Bind(*ctx->table);
+      if (!bound.ok()) return bound.status();
+      auto& list = ctx->computed[c];
+      list.assign(num_entities, 0.0);
+      if (ctx->candidates_are_all) {
+        for (size_t e = 0; e < num_entities; ++e) {
+          list[e] = bound->Matches(*ctx->table, e) ? 1.0 : 0.0;
+        }
+      } else {
+        for (const size_t e : ctx->candidates) {
+          list[e] = bound->Matches(*ctx->table, e) ? 1.0 : 0.0;
+        }
+      }
+      ctx->degrees[c] = &list;
+      continue;
+    }
+    condition_span.AddAttribute("predicate", condition.subjective);
+    if (ctx->cache != nullptr) {
+      // The cache computes misses through the same per-entity code path,
+      // so cached and freshly-computed lists are bit-identical.
+      if (ctx->cache->Contains(condition.subjective)) {
+        ++ctx->output->stats.cache_hits;
+        condition_span.AddAttribute("source", "cache_hit");
+      } else {
+        ++ctx->output->stats.cache_misses;
+        condition_span.AddAttribute("source", "cache_miss");
+      }
+      ctx->degrees[c] = &ctx->cache->Degrees(condition.subjective);
+      continue;
+    }
+    ++ctx->output->stats.cache_misses;
+    condition_span.AddAttribute("source", "computed");
+    auto& list = ctx->computed[c];
+    list.assign(num_entities, 0.0);
+    const auto& interpretation = ctx->output->interpretations[c];
+    auto score_entity = [&](size_t e) {
+      const auto entity = static_cast<text::EntityId>(e);
+      if (interpretation.method == InterpretMethod::kTextFallback ||
+          interpretation.atoms.empty()) {
+        list[e] = db.TextFallbackDegree(condition.subjective, entity);
+        return;
+      }
+      double acc = 0.0;
+      bool first = true;
+      for (const auto& atom : interpretation.atoms) {
+        const double d = db.AtomDegreeOfTruth(atom, entity, (*ctx->reps)[c],
+                                              (*ctx->sentis)[c]);
+        if (first) {
+          acc = d;
+          first = false;
+        } else if (interpretation.conjunctive) {
+          acc = fuzzy::And(db.options().variant, acc, d);
+        } else {
+          acc = fuzzy::Or(db.options().variant, acc, d);
+        }
+      }
+      list[e] = acc;
+    };
+    // Entities fan out across the pool; each entity writes only its own
+    // slot, so the result is bit-identical to serial — and to the dense
+    // scan, because per-entity degrees are independent of the candidate
+    // set.
+    if (ctx->candidates_are_all) {
+      auto score_range = [&](size_t begin, size_t end) {
+        for (size_t e = begin; e < end; ++e) score_entity(e);
+      };
+      if (ThreadPool* pool = db.pool()) {
+        pool->ParallelFor(0, num_entities, score_range, /*min_grain=*/8);
+      } else {
+        score_range(0, num_entities);
+      }
+    } else {
+      auto score_range = [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          score_entity(ctx->candidates[i]);
+        }
+      };
+      if (ThreadPool* pool = db.pool()) {
+        pool->ParallelFor(0, ctx->candidates.size(), score_range,
+                          /*min_grain=*/8);
+      } else {
+        score_range(0, ctx->candidates.size());
+      }
+    }
+    ctx->degrees[c] = &list;
+  }
+  score_span.End();
+  ctx->output->stats.entities_scored = ctx->num_candidates();
+  return Status::OK();
+}
+
+Status RankOp::Run(ExecContext* ctx) const {
+  const OpineDb& db = *ctx->db;
+  const SubjectiveQuery& query = *ctx->query;
+  const size_t num_entities = ctx->num_entities;
+  obs::TraceSpan rank_span("combine_rank");
+  // Combine the WHERE tree per candidate (parallel, slot-per-entity).
+  // Non-candidates keep score 0.0 — exactly the value the dense combine
+  // would give them, since they failed a hard conjunct and 0 is
+  // absorbing for ⊗.
+  ctx->scores.assign(num_entities, ctx->candidates_are_all ? 1.0 : 0.0);
+  auto& scores = ctx->scores;
+  if (query.where != nullptr) {
+    auto combine_entity = [&](size_t e) {
+      scores[e] = query.where->Evaluate(
+          db.options().variant,
+          [&](size_t c) { return (*ctx->degrees[c])[e]; });
+    };
+    if (ctx->candidates_are_all) {
+      auto combine_range = [&](size_t begin, size_t end) {
+        for (size_t e = begin; e < end; ++e) combine_entity(e);
+      };
+      if (ThreadPool* pool = db.pool()) {
+        pool->ParallelFor(0, num_entities, combine_range, /*min_grain=*/64);
+      } else {
+        combine_range(0, num_entities);
+      }
+    } else {
+      auto combine_range = [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          combine_entity(ctx->candidates[i]);
+        }
+      };
+      if (ThreadPool* pool = db.pool()) {
+        pool->ParallelFor(0, ctx->candidates.size(), combine_range,
+                          /*min_grain=*/64);
+      } else {
+        combine_range(0, ctx->candidates.size());
+      }
+    }
+  }
+  // Filter, rank and truncate serially. Candidates are ascending, so
+  // the pre-sort order matches the dense scan's entity-order walk.
+  std::vector<RankedResult> ranked;
+  ranked.reserve(ctx->num_candidates());
+  auto push_entity = [&](size_t e) {
+    if (scores[e] <= 0.0) return;  // Failed hard objective predicates.
+    const auto entity = static_cast<text::EntityId>(e);
+    RankedResult result;
+    result.entity = entity;
+    result.entity_name = db.corpus().entity_name(entity);
+    result.score = scores[e];
+    ranked.push_back(std::move(result));
+  };
+  if (ctx->candidates_are_all) {
+    for (size_t e = 0; e < num_entities; ++e) push_entity(e);
+  } else {
+    for (const size_t e : ctx->candidates) push_entity(e);
+  }
+  // The comparator is a total order (ties broken by entity id), so the
+  // partial_sort prefix is bit-identical to a full sort + truncate.
+  const size_t k = std::min(query.limit, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + k, ranked.end(),
+                    [](const RankedResult& a, const RankedResult& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.entity < b.entity;
+                    });
+  ranked.resize(k);
+  rank_span.AddAttribute("results", static_cast<uint64_t>(ranked.size()));
+  rank_span.End();
+  ctx->output->results = std::move(ranked);
+  return Status::OK();
+}
+
+Status TaTopKOp::Run(ExecContext* ctx) const {
+  const OpineDb& db = *ctx->db;
+  const SubjectiveQuery& query = *ctx->query;
+  obs::TraceSpan span("ta_topk");
+  std::vector<std::string> predicates;
+  predicates.reserve(ctx->logical->conjuncts.size());
+  for (const size_t c : ctx->logical->conjuncts) {
+    const std::string& predicate = query.conditions[c].subjective;
+    // Same per-condition cache accounting as the dense scan.
+    if (ctx->cache->Contains(predicate)) {
+      ++ctx->output->stats.cache_hits;
+    } else {
+      ++ctx->output->stats.cache_misses;
+    }
+    predicates.push_back(predicate);
+  }
+  span.AddAttribute("lists", static_cast<uint64_t>(predicates.size()));
+  span.AddAttribute("k", static_cast<uint64_t>(query.limit));
+  fuzzy::TaStats ta_stats;
+  const auto top =
+      ctx->cache->TopKConjunction(predicates, query.limit, &ta_stats);
+  // TA aggregates every list, so entities it never materialized scored
+  // below the threshold; this is the work actually done.
+  ctx->output->stats.entities_scored = ta_stats.entities_seen;
+  span.AddAttribute("entities_seen",
+                    static_cast<uint64_t>(ta_stats.entities_seen));
+  std::vector<RankedResult> ranked;
+  ranked.reserve(top.size());
+  for (const auto& entry : top) {
+    // Positives sort strictly before zeros, so dropping zeros from the
+    // TA top-k leaves exactly the dense scan's positive prefix.
+    if (entry.score <= 0.0) continue;
+    RankedResult result;
+    result.entity = static_cast<text::EntityId>(entry.entity);
+    result.entity_name = db.corpus().entity_name(result.entity);
+    result.score = entry.score;
+    ranked.push_back(std::move(result));
+  }
+  span.AddAttribute("results", static_cast<uint64_t>(ranked.size()));
+  ctx->output->results = std::move(ranked);
+  return Status::OK();
+}
+
+}  // namespace opinedb::core

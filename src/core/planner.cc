@@ -1,0 +1,220 @@
+#include "core/planner.h"
+
+#include <algorithm>
+
+#include "core/degree_cache.h"
+
+namespace opinedb::core {
+
+namespace {
+
+/// Collects objective leaves reachable from `node` through AND nodes
+/// only. OR and NOT stop the walk: below them a failing objective leaf
+/// no longer forces the root to zero.
+void CollectHardObjective(const fuzzy::Expr* node,
+                          const std::vector<Condition>& conditions,
+                          std::vector<size_t>* hard) {
+  switch (node->kind()) {
+    case fuzzy::Expr::Kind::kLeaf: {
+      const size_t c = node->leaf_index();
+      if (c < conditions.size() &&
+          conditions[c].kind == Condition::Kind::kObjective) {
+        hard->push_back(c);
+      }
+      return;
+    }
+    case fuzzy::Expr::Kind::kAnd:
+      for (const auto& child : node->children()) {
+        CollectHardObjective(child.get(), conditions, hard);
+      }
+      return;
+    case fuzzy::Expr::Kind::kOr:
+    case fuzzy::Expr::Kind::kNot:
+      return;
+  }
+}
+
+const char* VariantName(fuzzy::Variant variant) {
+  return variant == fuzzy::Variant::kProduct ? "product" : "godel";
+}
+
+std::string RenderObjective(const storage::ColumnPredicate& predicate) {
+  std::string text = predicate.column;
+  text += ' ';
+  text += storage::CompareOpSymbol(predicate.op);
+  text += ' ';
+  if (predicate.literal.type() == storage::ValueType::kString) {
+    text += '\'';
+    text += predicate.literal.ToString();
+    text += '\'';
+  } else {
+    text += predicate.literal.ToString();
+  }
+  return text;
+}
+
+}  // namespace
+
+LogicalPlan AnalyzeQuery(const SubjectiveQuery& query) {
+  LogicalPlan plan;
+  for (size_t c = 0; c < query.conditions.size(); ++c) {
+    if (query.conditions[c].kind == Condition::Kind::kObjective) {
+      plan.objective_leaves.push_back(c);
+    } else {
+      plan.subjective_leaves.push_back(c);
+    }
+  }
+  if (query.where == nullptr) return plan;
+  CollectHardObjective(query.where.get(), query.conditions,
+                       &plan.hard_objective);
+  // MakeAnd collapses a single child to the child itself, so the
+  // conjunctive shapes are exactly: one leaf, or one AND whose children
+  // are all leaves. Nested ANDs are excluded on purpose — flattening
+  // them would change the floating-point fold order.
+  const fuzzy::Expr* root = query.where.get();
+  if (root->kind() == fuzzy::Expr::Kind::kLeaf) {
+    plan.conjunctive_leaves_only = true;
+    plan.conjuncts.push_back(root->leaf_index());
+  } else if (root->kind() == fuzzy::Expr::Kind::kAnd) {
+    plan.conjunctive_leaves_only = true;
+    for (const auto& child : root->children()) {
+      if (child->kind() != fuzzy::Expr::Kind::kLeaf) {
+        plan.conjunctive_leaves_only = false;
+        plan.conjuncts.clear();
+        break;
+      }
+      plan.conjuncts.push_back(child->leaf_index());
+    }
+  }
+  return plan;
+}
+
+PhysicalPlan SelectPlan(const SubjectiveQuery& query,
+                        const LogicalPlan& logical,
+                        const PlannerContext& context) {
+  PhysicalPlan plan;
+  plan.filtered_eligible = !logical.hard_objective.empty();
+  plan.ta_eligible = logical.conjunctive_leaves_only &&
+                     !logical.conjuncts.empty() &&
+                     logical.objective_leaves.empty() &&
+                     context.cache != nullptr && query.limit > 0;
+  if (context.cache != nullptr) {
+    for (const size_t c : logical.conjuncts) {
+      if (context.cache->Peek(query.conditions[c].subjective) != nullptr) {
+        ++plan.cached_conjuncts;
+      }
+    }
+  }
+  const bool auto_ta = plan.ta_eligible && logical.conjuncts.size() >= 2 &&
+                       plan.cached_conjuncts == logical.conjuncts.size() &&
+                       query.limit < context.num_entities;
+  const PlanKind auto_kind = auto_ta ? PlanKind::kTaTopK
+                             : plan.filtered_eligible
+                                 ? PlanKind::kFilteredScan
+                                 : PlanKind::kDenseScan;
+  switch (context.force) {
+    case PlanForce::kAuto:
+      plan.kind = auto_kind;
+      break;
+    case PlanForce::kDenseScan:
+      plan.kind = PlanKind::kDenseScan;  // Always eligible.
+      break;
+    case PlanForce::kFilteredScan:
+      if (plan.filtered_eligible) {
+        plan.kind = PlanKind::kFilteredScan;
+      } else {
+        plan.kind = auto_kind;
+        plan.forced_fallback = true;
+      }
+      break;
+    case PlanForce::kTaTopK:
+      if (plan.ta_eligible) {
+        plan.kind = PlanKind::kTaTopK;
+      } else {
+        plan.kind = auto_kind;
+        plan.forced_fallback = true;
+      }
+      break;
+  }
+  return plan;
+}
+
+const char* PlanKindName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kDenseScan:
+      return "dense_scan";
+    case PlanKind::kFilteredScan:
+      return "filtered_scan";
+    case PlanKind::kTaTopK:
+      return "ta_topk";
+  }
+  return "unknown";
+}
+
+std::string ExplainPlan(const SubjectiveQuery& query,
+                        const LogicalPlan& logical,
+                        const PhysicalPlan& physical,
+                        const PlannerContext& context) {
+  std::string out = "plan: ";
+  out += PlanKindName(physical.kind);
+  if (physical.forced_fallback) out += " (forced plan ineligible, fell back)";
+  out += '\n';
+  out += "table: " + query.table +
+         "  limit: " + std::to_string(query.limit) + "  variant: " +
+         VariantName(context.variant) + '\n';
+  out += "where: ";
+  out += query.where != nullptr ? query.where->ToString() : "(none)";
+  out += '\n';
+  if (query.conditions.empty()) {
+    out += "conditions: (none)\n";
+  } else {
+    out += "conditions:\n";
+    for (size_t c = 0; c < query.conditions.size(); ++c) {
+      const Condition& condition = query.conditions[c];
+      out += "  [" + std::to_string(c) + "] ";
+      if (condition.kind == Condition::Kind::kObjective) {
+        out += "objective  " + RenderObjective(condition.objective);
+        if (std::find(logical.hard_objective.begin(),
+                      logical.hard_objective.end(),
+                      c) != logical.hard_objective.end()) {
+          out += " [hard]";
+        }
+      } else {
+        out += "subjective \"" + condition.subjective + "\"";
+        if (context.cache != nullptr) {
+          out += context.cache->Peek(condition.subjective) != nullptr
+                     ? " [cached]"
+                     : " [uncached]";
+        }
+      }
+      out += '\n';
+    }
+  }
+  out += "operators:\n";
+  switch (physical.kind) {
+    case PlanKind::kDenseScan:
+      out += "  SubjectiveScore(" +
+             std::to_string(query.conditions.size()) +
+             " condition lists over all entities)\n";
+      out += "  Rank(top " + std::to_string(query.limit) +
+             ", partial_sort)\n";
+      break;
+    case PlanKind::kFilteredScan:
+      out += "  ObjectiveFilter(" +
+             std::to_string(logical.hard_objective.size()) +
+             " hard predicates)\n";
+      out += "  SubjectiveScore(" +
+             std::to_string(query.conditions.size()) +
+             " condition lists over survivors)\n";
+      out += "  Rank(top " + std::to_string(query.limit) +
+             ", partial_sort)\n";
+      break;
+    case PlanKind::kTaTopK:
+      out += "  TaTopK(" + std::to_string(logical.conjuncts.size()) +
+             " degree lists, k=" + std::to_string(query.limit) + ")\n";
+      break;
+  }
+  return out;
+}
+
+}  // namespace opinedb::core

@@ -1,0 +1,110 @@
+#ifndef OPINEDB_CORE_PLANNER_H_
+#define OPINEDB_CORE_PLANNER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+#include "fuzzy/logic.h"
+
+namespace opinedb::core {
+
+class DegreeCache;
+
+/// Physical plan shapes for ExecuteQuery. Every shape is bit-identical
+/// to kDenseScan — the planner only ever trades work, never results
+/// (see docs/QUERY_PLANNER.md for the equivalence arguments).
+enum class PlanKind {
+  /// The baseline: dense degree lists for every condition over every
+  /// entity, full WHERE combine, sort, truncate.
+  kDenseScan,
+  /// Hard objective predicates evaluated first into a candidate set;
+  /// subjective scoring and the WHERE combine restricted to survivors.
+  kFilteredScan,
+  /// Fully-conjunctive all-subjective queries answered by Fagin's
+  /// Threshold Algorithm over cached degree lists.
+  kTaTopK,
+};
+
+/// Operator-level override for plan selection (EngineOptions::force_plan).
+/// Forcing a shape the query is not eligible for falls back to the
+/// automatic choice — eligibility is a semantics question, not a cost
+/// knob, so it cannot be overridden.
+enum class PlanForce {
+  kAuto,
+  kDenseScan,
+  kFilteredScan,
+  kTaTopK,
+};
+
+/// The normalized logical view of a parsed query: conditions classified,
+/// the WHERE tree analyzed for the structures the physical plans need.
+struct LogicalPlan {
+  /// Condition indices by kind, ascending.
+  std::vector<size_t> objective_leaves;
+  std::vector<size_t> subjective_leaves;
+  /// Objective leaves reachable from the root through AND nodes only.
+  /// If any of these fails for an entity, the whole WHERE collapses to
+  /// exactly 0.0 under both fuzzy variants (0 is absorbing for ⊗), so
+  /// they may be evaluated first as hard filters.
+  std::vector<size_t> hard_objective;
+  /// True when the WHERE tree is a single AND over plain leaves (or one
+  /// leaf): the shape whose combine folds exactly like the Threshold
+  /// Algorithm's aggregate.
+  bool conjunctive_leaves_only = false;
+  /// The conjunct leaf indices in fold order (valid when
+  /// conjunctive_leaves_only).
+  std::vector<size_t> conjuncts;
+};
+
+/// What SelectPlan needs to know about the execution environment.
+struct PlannerContext {
+  size_t num_entities = 0;
+  /// The attached degree cache, or nullptr (TA requires one).
+  const DegreeCache* cache = nullptr;
+  PlanForce force = PlanForce::kAuto;
+  fuzzy::Variant variant = fuzzy::Variant::kProduct;
+};
+
+/// The chosen physical plan plus the eligibility facts behind the
+/// choice (recorded for EXPLAIN and tests).
+struct PhysicalPlan {
+  PlanKind kind = PlanKind::kDenseScan;
+  bool filtered_eligible = false;
+  bool ta_eligible = false;
+  /// Conjuncts whose degree lists are already resident in the cache
+  /// (== conjuncts.size() is the auto-TA condition).
+  size_t cached_conjuncts = 0;
+  /// True when a forced shape was ineligible and the automatic choice
+  /// was used instead.
+  bool forced_fallback = false;
+};
+
+/// Lowers the parsed query into its normalized logical view.
+LogicalPlan AnalyzeQuery(const SubjectiveQuery& query);
+
+/// Chooses the physical plan. Eligibility:
+///  - kFilteredScan: at least one hard objective predicate.
+///  - kTaTopK: conjunctive-leaves-only WHERE, every leaf subjective,
+///    a degree cache attached, limit > 0.
+/// Automatic choice: TA when eligible, >= 2 conjuncts, every conjunct
+/// already cached and limit < num_entities (otherwise TA degrades to a
+/// full scan); else filtered when eligible; else dense.
+PhysicalPlan SelectPlan(const SubjectiveQuery& query,
+                        const LogicalPlan& logical,
+                        const PlannerContext& context);
+
+/// Stable lowercase name of a plan shape ("dense_scan", ...).
+const char* PlanKindName(PlanKind kind);
+
+/// Renders the chosen plan as the multi-line EXPLAIN text (stable
+/// format, pinned by trace_golden_test).
+std::string ExplainPlan(const SubjectiveQuery& query,
+                        const LogicalPlan& logical,
+                        const PhysicalPlan& physical,
+                        const PlannerContext& context);
+
+}  // namespace opinedb::core
+
+#endif  // OPINEDB_CORE_PLANNER_H_

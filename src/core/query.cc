@@ -155,6 +155,9 @@ class Parser {
       : tokens_(std::move(tokens)), query_(query) {}
 
   Status Parse() {
+    if (ConsumeKeyword("explain")) {
+      query_->explain = true;
+    }
     if (!ConsumeKeyword("select")) {
       return Status::ParseError("expected SELECT");
     }

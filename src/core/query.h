@@ -31,6 +31,9 @@ struct SubjectiveQuery {
   fuzzy::Expr::Ptr where;
   /// LIMIT k (defaults to 10, the paper's top-10 evaluation cut-off).
   size_t limit = 10;
+  /// True when the statement was prefixed with EXPLAIN: the engine plans
+  /// the query and renders the plan instead of executing it.
+  bool explain = false;
 };
 
 /// Parses the OpineDB dialect of SQL:
@@ -41,7 +44,9 @@ struct SubjectiveQuery {
 ///
 /// Double-quoted strings in the WHERE clause are subjective predicates;
 /// single-quoted strings are ordinary string literals. AND/OR/NOT and
-/// parentheses are supported; keywords are case-insensitive.
+/// parentheses are supported; keywords are case-insensitive. A statement
+/// may be prefixed with EXPLAIN to request the query plan instead of
+/// results (sets SubjectiveQuery::explain).
 Result<SubjectiveQuery> ParseSubjectiveSql(const std::string& sql);
 
 }  // namespace opinedb::core

@@ -10,16 +10,16 @@ namespace opinedb::fuzzy {
 
 namespace {
 
-double Aggregate(const std::vector<std::vector<double>>& lists, int32_t e,
-                 Variant variant) {
+double Aggregate(const std::vector<const std::vector<double>*>& lists,
+                 int32_t e, Variant variant) {
   double acc = 1.0;
   bool first = true;
-  for (const auto& list : lists) {
+  for (const auto* list : lists) {
     if (first) {
-      acc = list[e];
+      acc = (*list)[e];
       first = false;
     } else {
-      acc = And(variant, acc, list[e]);
+      acc = And(variant, acc, (*list)[e]);
     }
   }
   return acc;
@@ -34,14 +34,22 @@ void SortAndTrim(std::vector<RankedEntity>* ranked, size_t k) {
   if (ranked->size() > k) ranked->resize(k);
 }
 
+std::vector<const std::vector<double>*> BorrowLists(
+    const std::vector<std::vector<double>>& lists) {
+  std::vector<const std::vector<double>*> borrowed;
+  borrowed.reserve(lists.size());
+  for (const auto& list : lists) borrowed.push_back(&list);
+  return borrowed;
+}
+
 }  // namespace
 
 std::vector<RankedEntity> ThresholdAlgorithmTopK(
-    const std::vector<std::vector<double>>& lists, size_t k, Variant variant,
-    TaStats* stats) {
+    const std::vector<const std::vector<double>*>& lists, size_t k,
+    Variant variant, TaStats* stats) {
   std::vector<RankedEntity> result;
-  if (lists.empty() || lists[0].empty() || k == 0) return result;
-  const size_t num_entities = lists[0].size();
+  if (lists.empty() || lists[0]->empty() || k == 0) return result;
+  const size_t num_entities = lists[0]->size();
   const size_t num_lists = lists.size();
   // When observability wants the access counts but the caller didn't,
   // collect them locally; otherwise keep the nullptr fast path.
@@ -63,8 +71,8 @@ std::vector<RankedEntity> ThresholdAlgorithmTopK(
     }
     std::sort(order[j].begin(), order[j].end(),
               [&lists, j](int32_t a, int32_t b) {
-                if (lists[j][a] != lists[j][b]) {
-                  return lists[j][a] > lists[j][b];
+                if ((*lists[j])[a] != (*lists[j])[b]) {
+                  return (*lists[j])[a] > (*lists[j])[b];
                 }
                 return a < b;
               });
@@ -86,9 +94,9 @@ std::vector<RankedEntity> ThresholdAlgorithmTopK(
     }
     SortAndTrim(&top, k);
     // Threshold: aggregate of the current depth's per-list scores.
-    double threshold = lists[0][order[0][depth]];
+    double threshold = (*lists[0])[order[0][depth]];
     for (size_t j = 1; j < num_lists; ++j) {
-      threshold = And(variant, threshold, lists[j][order[j][depth]]);
+      threshold = And(variant, threshold, (*lists[j])[order[j][depth]]);
     }
     if (top.size() >= k && top.back().score >= threshold) {
       early_terminated = true;
@@ -96,11 +104,14 @@ std::vector<RankedEntity> ThresholdAlgorithmTopK(
     }
   }
   if (stats != nullptr) {
+    stats->entities_seen = seen.size();
     span.AddAttribute("rounds", static_cast<uint64_t>(stats->rounds));
     span.AddAttribute("sorted_accesses",
                       static_cast<uint64_t>(stats->sorted_accesses));
     span.AddAttribute("random_accesses",
                       static_cast<uint64_t>(stats->random_accesses));
+    span.AddAttribute("entities_seen",
+                      static_cast<uint64_t>(stats->entities_seen));
     OPINEDB_METRIC_COUNT("fuzzy.ta_rounds", stats->rounds);
     OPINEDB_METRIC_COUNT("fuzzy.ta_sorted_accesses", stats->sorted_accesses);
     OPINEDB_METRIC_COUNT("fuzzy.ta_random_accesses",
@@ -111,12 +122,18 @@ std::vector<RankedEntity> ThresholdAlgorithmTopK(
   return top;
 }
 
+std::vector<RankedEntity> ThresholdAlgorithmTopK(
+    const std::vector<std::vector<double>>& lists, size_t k, Variant variant,
+    TaStats* stats) {
+  return ThresholdAlgorithmTopK(BorrowLists(lists), k, variant, stats);
+}
+
 std::vector<RankedEntity> FullScanTopK(
-    const std::vector<std::vector<double>>& lists, size_t k,
+    const std::vector<const std::vector<double>*>& lists, size_t k,
     Variant variant) {
   std::vector<RankedEntity> ranked;
   if (lists.empty()) return ranked;
-  const size_t num_entities = lists[0].size();
+  const size_t num_entities = lists[0]->size();
   ranked.reserve(num_entities);
   for (size_t e = 0; e < num_entities; ++e) {
     ranked.push_back(RankedEntity{static_cast<int32_t>(e),
@@ -125,6 +142,12 @@ std::vector<RankedEntity> FullScanTopK(
   }
   SortAndTrim(&ranked, k);
   return ranked;
+}
+
+std::vector<RankedEntity> FullScanTopK(
+    const std::vector<std::vector<double>>& lists, size_t k,
+    Variant variant) {
+  return FullScanTopK(BorrowLists(lists), k, variant);
 }
 
 }  // namespace opinedb::fuzzy

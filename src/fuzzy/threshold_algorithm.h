@@ -19,21 +19,40 @@ struct TaStats {
   size_t sorted_accesses = 0;
   size_t random_accesses = 0;
   size_t rounds = 0;
+  /// Distinct entities whose aggregate was materialized before the
+  /// threshold bound stopped the scan (== num_entities when TA never
+  /// early-terminates). The engine surfaces this as entities_scored.
+  size_t entities_seen = 0;
 };
 
 /// Fagin's Threshold Algorithm (Fagin, Lotem & Naor 2003) for monotone
 /// top-k aggregation over per-predicate score lists.
 ///
-/// `lists[j][e]` is the degree of truth of predicate j for entity e
+/// `(*lists[j])[e]` is the degree of truth of predicate j for entity e
 /// (dense: every list covers all entities). The aggregate is the fuzzy
 /// conjunction of all predicates under `variant` — which is monotone, so
-/// TA's early-termination bound applies. Returns the top-k entities by
-/// aggregate score, best first, ties broken by smaller entity id.
+/// TA's early-termination bound applies. The conjunction folds in list
+/// order (acc = And(acc, next)), matching fuzzy::Expr::Evaluate over an
+/// AND of leaves, so results are bit-identical to a dense combine pass.
+/// Returns the top-k entities by aggregate score, best first, ties broken
+/// by smaller entity id.
+///
+/// The pointer form borrows the lists (e.g. straight out of a
+/// DegreeCache) without copying them; pointers must stay valid for the
+/// duration of the call.
+std::vector<RankedEntity> ThresholdAlgorithmTopK(
+    const std::vector<const std::vector<double>*>& lists, size_t k,
+    Variant variant, TaStats* stats = nullptr);
+
+/// Owning-lists convenience wrapper over the pointer form.
 std::vector<RankedEntity> ThresholdAlgorithmTopK(
     const std::vector<std::vector<double>>& lists, size_t k, Variant variant,
     TaStats* stats = nullptr);
 
 /// Baseline: full scan computing the same aggregate for all entities.
+std::vector<RankedEntity> FullScanTopK(
+    const std::vector<const std::vector<double>*>& lists, size_t k,
+    Variant variant);
 std::vector<RankedEntity> FullScanTopK(
     const std::vector<std::vector<double>>& lists, size_t k, Variant variant);
 

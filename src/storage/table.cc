@@ -59,13 +59,11 @@ std::vector<std::string> Catalog::TableNames() const {
   return names;
 }
 
-Result<bool> ColumnPredicate::Evaluate(const Table& table, size_t row) const {
-  const int col = table.ColumnIndex(column);
-  if (col < 0) return Status::NotFound("column " + column);
-  const Value& cell = table.at(row, static_cast<size_t>(col));
+bool BoundColumnPredicate::Matches(const Table& table, size_t row) const {
+  const Value& cell = table.at(row, column_);
   if (cell.is_null()) return false;  // SQL semantics: NULL never matches.
-  const int cmp = cell.Compare(literal);
-  switch (op) {
+  const int cmp = cell.Compare(literal_);
+  switch (op_) {
     case CompareOp::kEq:
       return cmp == 0;
     case CompareOp::kNe:
@@ -79,7 +77,37 @@ Result<bool> ColumnPredicate::Evaluate(const Table& table, size_t row) const {
     case CompareOp::kGe:
       return cmp >= 0;
   }
-  return Status::Internal("bad compare op");
+  return false;
+}
+
+Result<BoundColumnPredicate> ColumnPredicate::Bind(const Table& table) const {
+  const int col = table.ColumnIndex(column);
+  if (col < 0) return Status::NotFound("column " + column);
+  return BoundColumnPredicate(static_cast<size_t>(col), op, literal);
+}
+
+Result<bool> ColumnPredicate::Evaluate(const Table& table, size_t row) const {
+  auto bound = Bind(table);
+  if (!bound.ok()) return bound.status();
+  return bound->Matches(table, row);
+}
+
+const char* CompareOpSymbol(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
 }
 
 Result<CompareOp> ParseCompareOp(const std::string& token) {

@@ -72,18 +72,46 @@ class Catalog {
 /// Comparison operators usable in objective predicates.
 enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
 
+/// A predicate bound to a concrete table: the column name has been
+/// resolved to an index once, so Matches() is a direct cell comparison
+/// with no per-row hash lookup. Obtain via ColumnPredicate::Bind; the
+/// binding stays valid for the lifetime of the table's schema.
+class BoundColumnPredicate {
+ public:
+  BoundColumnPredicate(size_t column, CompareOp op, Value literal)
+      : column_(column), op_(op), literal_(std::move(literal)) {}
+
+  /// Row-level evaluation (NULL cells never match, as in SQL).
+  bool Matches(const Table& table, size_t row) const;
+
+  size_t column() const { return column_; }
+
+ private:
+  size_t column_;
+  CompareOp op_;
+  Value literal_;
+};
+
 /// An objective predicate `column <op> literal` over a table.
 struct ColumnPredicate {
   std::string column;
   CompareOp op = CompareOp::kEq;
   Value literal;
 
+  /// Resolves the column against `table` once; errors if it is unknown.
+  /// Scans should bind once per predicate and call Matches per row.
+  Result<BoundColumnPredicate> Bind(const Table& table) const;
+
   /// Evaluates against a row of `table`. Errors if the column is unknown.
+  /// Convenience for one-off checks; scans should use Bind().
   Result<bool> Evaluate(const Table& table, size_t row) const;
 };
 
 /// Parses "<", "<=", "=", "!=", ">", ">=" into a CompareOp.
 Result<CompareOp> ParseCompareOp(const std::string& token);
+
+/// Renders a CompareOp as its SQL token ("=", "!=", "<", ...).
+const char* CompareOpSymbol(CompareOp op);
 
 }  // namespace opinedb::storage
 

@@ -165,7 +165,10 @@ TEST_F(GeneratorTest, RatingCorrelatesWithMeanQuality) {
 
 TEST(SampleOpinionTest, TracksQuality) {
   Rng rng(5);
-  const auto& attribute = HotelDomain().attributes[0];
+  // The spec must outlive the reference: operator[] on a member of a
+  // temporary does not extend the temporary's lifetime.
+  const auto domain = HotelDomain();
+  const auto& attribute = domain.attributes[0];
   double high_sum = 0.0, low_sum = 0.0;
   for (int i = 0; i < 300; ++i) {
     high_sum += SampleOpinion(attribute, 0.95, 0.2, &rng).polarity;

@@ -231,6 +231,84 @@ TEST_F(EngineIntegrationTest, LimitIsRespected) {
   EXPECT_EQ(result->results.size(), 3u);
 }
 
+TEST_F(EngineIntegrationTest, LimitZeroReturnsNoRows) {
+  auto result =
+      db().Execute("select * from hotels where \"clean room\" limit 0");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->results.empty());
+  // The query still ran: interpretations and stats are populated.
+  EXPECT_EQ(result->interpretations.size(), 1u);
+  EXPECT_EQ(result->stats.entities_scored, db().corpus().num_entities());
+}
+
+TEST_F(EngineIntegrationTest, LimitBeyondEntityCountReturnsAllPositives) {
+  auto capped =
+      db().Execute("select * from hotels where \"clean room\" limit 40");
+  auto excess =
+      db().Execute("select * from hotels where \"clean room\" limit 1000");
+  ASSERT_TRUE(capped.ok());
+  ASSERT_TRUE(excess.ok());
+  ASSERT_EQ(excess->results.size(), capped->results.size());
+  EXPECT_LE(excess->results.size(), db().corpus().num_entities());
+  for (size_t i = 0; i < excess->results.size(); ++i) {
+    EXPECT_EQ(excess->results[i].entity, capped->results[i].entity);
+    EXPECT_EQ(excess->results[i].score, capped->results[i].score);
+  }
+}
+
+TEST_F(EngineIntegrationTest, EmptyWhereReturnsEntitiesInIdOrder) {
+  auto result = db().Execute("select * from hotels limit 1000");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->results.size(), db().corpus().num_entities());
+  for (size_t i = 0; i < result->results.size(); ++i) {
+    // No WHERE: every entity scores exactly 1.0, so the score-desc /
+    // entity-asc total order degenerates to entity-id order.
+    EXPECT_EQ(result->results[i].entity, static_cast<text::EntityId>(i));
+    EXPECT_EQ(result->results[i].score, 1.0);
+  }
+}
+
+TEST_F(EngineIntegrationTest, ObjectivePushdownSkipsSubjectiveScoring) {
+  // The filtered scan must only score survivors of the hard objective
+  // predicates — the whole point of the pushdown.
+  auto result = db().Execute(
+      "select * from hotels where city = 'london' and price_pn < 300 "
+      "and \"friendly staff\" limit 40");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->plan, core::PlanKind::kFilteredScan);
+  size_t survivors = 0;
+  for (const auto& entity : domain().entities) {
+    if (entity.city == "london" && entity.price < 300) ++survivors;
+  }
+  ASSERT_LT(survivors, domain().entities.size());
+  EXPECT_EQ(result->stats.entities_scored, survivors);
+}
+
+TEST_F(EngineIntegrationTest, ExplainPlansWithoutExecuting) {
+  auto result = db().Execute(
+      "explain select * from hotels where city = 'london' and "
+      "\"friendly staff\" limit 5");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->results.empty());
+  EXPECT_TRUE(result->interpretations.empty());
+  EXPECT_EQ(result->plan, core::PlanKind::kFilteredScan);
+  EXPECT_NE(result->plan_text.find("plan: filtered_scan"),
+            std::string::npos)
+      << result->plan_text;
+  EXPECT_NE(result->plan_text.find("ObjectiveFilter(1 hard predicates)"),
+            std::string::npos);
+  // EXPLAIN never scores anything.
+  EXPECT_EQ(result->stats.entities_scored, 0u);
+}
+
+TEST_F(EngineIntegrationTest, PlainQueriesLeavePlanTextEmpty) {
+  auto result =
+      db().Execute("select * from hotels where \"clean room\" limit 3");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->plan_text.empty());
+  EXPECT_EQ(result->plan, core::PlanKind::kDenseScan);
+}
+
 TEST_F(EngineIntegrationTest, DisjunctionNeverBelowBestBranch) {
   // p OR q under the product variant: 1-(1-p)(1-q) >= max(p, q).
   auto both = db().Execute(

@@ -159,8 +159,9 @@ TEST(TaTest, EarlyTerminationDoesLessWork) {
 }
 
 TEST(TaTest, EmptyInputs) {
-  EXPECT_TRUE(ThresholdAlgorithmTopK({}, 5, Variant::kProduct).empty());
-  EXPECT_TRUE(FullScanTopK({}, 5, Variant::kProduct).empty());
+  const std::vector<std::vector<double>> empty;
+  EXPECT_TRUE(ThresholdAlgorithmTopK(empty, 5, Variant::kProduct).empty());
+  EXPECT_TRUE(FullScanTopK(empty, 5, Variant::kProduct).empty());
   std::vector<std::vector<double>> lists = {{0.5, 0.6}};
   EXPECT_TRUE(ThresholdAlgorithmTopK(lists, 0, Variant::kProduct).empty());
 }

@@ -115,6 +115,43 @@ TEST_F(TableTest, PredicateOnNullIsFalse) {
   EXPECT_FALSE(*any_city.Evaluate(table_, 2));
 }
 
+TEST_F(TableTest, BindResolvesColumnOncePerPredicate) {
+  // Regression for the per-entity column re-resolution bug: a predicate
+  // bound once must agree with per-row Evaluate on every row.
+  ColumnPredicate cheap{"price", CompareOp::kLt, Value(int64_t{100})};
+  auto bound = cheap.Bind(table_);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ(bound->column(), 2u);
+  for (size_t row = 0; row < table_.num_rows(); ++row) {
+    EXPECT_EQ(bound->Matches(table_, row), *cheap.Evaluate(table_, row))
+        << "row " << row;
+  }
+}
+
+TEST_F(TableTest, BindUnknownColumnErrors) {
+  ColumnPredicate bad{"nope", CompareOp::kEq, Value(int64_t{1})};
+  EXPECT_EQ(bad.Bind(table_).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(TableTest, BoundPredicateNullNeverMatches) {
+  ASSERT_TRUE(
+      table_.Append({Value(std::string("c")), Value(), Value()}).ok());
+  ColumnPredicate any_city{"city", CompareOp::kNe,
+                           Value(std::string("london"))};
+  auto bound = any_city.Bind(table_);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_FALSE(bound->Matches(table_, 2));
+}
+
+TEST(CompareOpTest, SymbolRoundTripsThroughParse) {
+  for (CompareOp op : {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                       CompareOp::kLe, CompareOp::kGt, CompareOp::kGe}) {
+    auto parsed = ParseCompareOp(CompareOpSymbol(op));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, op);
+  }
+}
+
 TEST(CompareOpTest, AllOperatorsEvaluate) {
   Table t("t", {{"x", ValueType::kInt}});
   ASSERT_TRUE(t.Append({Value(int64_t{5})}).ok());

@@ -185,6 +185,7 @@ TEST_F(TraceGoldenTest, TraceTreeHasExpectedShape) {
   EXPECT_EQ(root.parent_id, 0u);
   EXPECT_EQ(root.Attribute("table"), "hotels");
   EXPECT_EQ(root.Attribute("conditions"), "1");
+  EXPECT_EQ(root.Attribute("plan"), "dense_scan");
 
   auto find = [&spans](const std::string& name) -> const obs::SpanRecord* {
     for (const auto& span : spans) {
@@ -226,6 +227,105 @@ TEST_F(TraceGoldenTest, TraceTreeHasExpectedShape) {
   EXPECT_NE(tree.find("\n  interpret"), std::string::npos);
   EXPECT_NE(result->trace->ToJson().find("\"name\": \"execute_query\""),
             std::string::npos);
+}
+
+TEST_F(TraceGoldenTest, FilteredScanEmitsObjectiveFilterSpan) {
+  core::OpineDb* db = hotel_->db.get();
+  db->SetTraceLevel(obs::TraceLevel::kFull);
+  auto result = db->Execute(
+      "select * from hotels where city = 'london' and price_pn < 300 "
+      "and \"friendly staff\" limit 10");
+  ASSERT_TRUE(result.ok());
+  ASSERT_NE(result->trace, nullptr);
+  const auto spans = result->trace->Snapshot();
+  const auto& root = spans.back();
+  EXPECT_EQ(root.Attribute("plan"), "filtered_scan");
+  const obs::SpanRecord* filter = nullptr;
+  for (const auto& span : spans) {
+    if (span.name == "objective_filter") filter = &span;
+  }
+  ASSERT_NE(filter, nullptr);
+  EXPECT_EQ(filter->parent_id, root.id);
+  EXPECT_EQ(filter->Attribute("predicates"), "2");
+  EXPECT_EQ(filter->Attribute("entities"), "30");
+  // Survivors match the query's entities_scored — the pushdown shrank
+  // the scoring fan-out.
+  EXPECT_EQ(filter->Attribute("survivors"),
+            std::to_string(result->stats.entities_scored));
+  EXPECT_LT(result->stats.entities_scored, db->corpus().num_entities());
+}
+
+TEST_F(TraceGoldenTest, TaPlanEmitsTaTopKSpan) {
+  core::OpineDb* db = restaurant_->db.get();
+  core::DegreeCache cache(db);
+  db->AttachDegreeCache(&cache);
+  db->SetTraceLevel(obs::TraceLevel::kFull);
+  const std::string sql =
+      "select * from restaurants where \"delicious food\" and "
+      "\"great service\" limit 5";
+  auto cold = db->Execute(sql);  // Warms both degree lists.
+  ASSERT_TRUE(cold.ok());
+  auto warm = db->Execute(sql);
+  ASSERT_TRUE(warm.ok());
+  ASSERT_NE(warm->trace, nullptr);
+  const auto spans = warm->trace->Snapshot();
+  const auto& root = spans.back();
+  EXPECT_EQ(root.Attribute("plan"), "ta_topk");
+  const obs::SpanRecord* ta = nullptr;
+  const obs::SpanRecord* inner = nullptr;
+  for (const auto& span : spans) {
+    if (span.name == "ta_topk") ta = &span;
+    if (span.name == "fuzzy.ta") inner = &span;
+  }
+  ASSERT_NE(ta, nullptr);
+  EXPECT_EQ(ta->parent_id, root.id);
+  EXPECT_EQ(ta->Attribute("lists"), "2");
+  EXPECT_EQ(ta->Attribute("k"), "5");
+  // The TA core span nests under the operator and reports its work.
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->parent_id, ta->id);
+  EXPECT_FALSE(inner->Attribute("sorted_accesses").empty());
+  db->AttachDegreeCache(nullptr);
+}
+
+// --------------------------------------------------- EXPLAIN goldens.
+// EXPLAIN output is part of the observable surface: pin the full text
+// on both fixtures so format drift is a reviewed change, not an
+// accident.
+
+TEST_F(TraceGoldenTest, HotelExplainMatchesGolden) {
+  auto result = hotel_->db->Execute(
+      "explain select * from hotels where city = 'london' and "
+      "\"friendly staff\" limit 5");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->plan_text,
+            "plan: filtered_scan\n"
+            "table: hotels  limit: 5  variant: product\n"
+            "where: (p0 AND p1)\n"
+            "conditions:\n"
+            "  [0] objective  city = 'london' [hard]\n"
+            "  [1] subjective \"friendly staff\"\n"
+            "operators:\n"
+            "  ObjectiveFilter(1 hard predicates)\n"
+            "  SubjectiveScore(2 condition lists over survivors)\n"
+            "  Rank(top 5, partial_sort)\n");
+}
+
+TEST_F(TraceGoldenTest, RestaurantExplainMatchesGolden) {
+  auto result = restaurant_->db->Execute(
+      "explain select * from restaurants where \"delicious food\" and "
+      "\"great service\" limit 3");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->plan_text,
+            "plan: dense_scan\n"
+            "table: restaurants  limit: 3  variant: product\n"
+            "where: (p0 AND p1)\n"
+            "conditions:\n"
+            "  [0] subjective \"delicious food\"\n"
+            "  [1] subjective \"great service\"\n"
+            "operators:\n"
+            "  SubjectiveScore(2 condition lists over all entities)\n"
+            "  Rank(top 3, partial_sort)\n");
 }
 
 TEST_F(TraceGoldenTest, CacheHitAndMissAreRecordedInSpans) {
