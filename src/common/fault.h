@@ -1,0 +1,84 @@
+#ifndef OPINEDB_COMMON_FAULT_H_
+#define OPINEDB_COMMON_FAULT_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace opinedb::fault {
+
+/// The failure raised at an armed fault site. Serving-path code treats
+/// it like any other std::exception (catch, degrade, count); tests
+/// catch it specifically to assert a site actually fired.
+class FaultInjected : public std::runtime_error {
+ public:
+  explicit FaultInjected(const std::string& site)
+      : std::runtime_error("injected fault at " + site), site_(site) {}
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+/// The catalog of named fault sites compiled into the library. Tests
+/// sweep this list; keep it in sync with the OPINEDB_FAULT call sites
+/// (fault_injection_test asserts every entry is reachable).
+inline constexpr const char* kSites[] = {
+    "cache.lookup",          // DegreeCache::Degrees / TryDegrees entry.
+    "cache.compute",         // DegreeCache::ComputeDegrees entry.
+    "interpret.w2v",         // Interpreter word2vec stage.
+    "interpret.cooccur",     // Interpreter co-occurrence stage.
+    "interpret.embed",       // Query-embedding prologue in ExecuteQuery.
+    "index.scan",            // InvertedIndex::TopKWeighted entry.
+    "score.features",        // OpineDb::AtomDegreeOfTruth entry.
+    "score.text_fallback",   // OpineDb::TextFallbackDegree entry.
+    "score.alloc",           // Degree-list allocation in SubjectiveScoreOp.
+    "ta.round",              // ThresholdAlgorithmTopK round loop.
+};
+
+/// True when the library was compiled with fault injection
+/// (OPINEDB_ENABLE_FAULT_INJECTION); release builds compile the macro
+/// out entirely and this returns false.
+bool CompiledIn();
+
+/// Arms `site` to fail exactly once, on its `nth` hit (1-based) counted
+/// from this call. Re-arming a site resets its hit counter. Thread-safe.
+void Arm(std::string_view site, uint64_t nth);
+
+/// Disarms every site and clears all hit counters.
+void DisarmAll();
+
+/// Hits observed at `site` since it was armed (0 for unarmed sites —
+/// unarmed sites are never counted, so the zero-fault path stays free).
+uint64_t HitCount(std::string_view site);
+
+/// The hot-path check behind OPINEDB_FAULT: false unless some site is
+/// armed; for armed sites, counts the hit and reports whether this is
+/// the fatal one (then self-disarms, so later hits succeed — the shape
+/// graceful-degradation tests need).
+bool ShouldFail(const char* site);
+
+}  // namespace opinedb::fault
+
+/// Deterministic fault-injection point:
+///
+///   OPINEDB_FAULT("cache.lookup");
+///
+/// Compiled out (a no-op with zero code) unless the build defines
+/// OPINEDB_ENABLE_FAULT_INJECTION (CMake option OPINEDB_FAULT_INJECTION,
+/// default ON except in plain Release). When compiled in but unarmed,
+/// the cost is one relaxed atomic load and a predictable branch.
+#if defined(OPINEDB_ENABLE_FAULT_INJECTION)
+#define OPINEDB_FAULT(site)                                         \
+  do {                                                              \
+    if (::opinedb::fault::ShouldFail(site)) {                       \
+      throw ::opinedb::fault::FaultInjected(site);                  \
+    }                                                               \
+  } while (0)
+#else
+#define OPINEDB_FAULT(site) ((void)0)
+#endif
+
+#endif  // OPINEDB_COMMON_FAULT_H_

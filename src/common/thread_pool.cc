@@ -24,6 +24,10 @@ struct ThreadPool::LoopState {
   size_t chunk_size = 1;
   size_t num_chunks = 0;
   const std::function<void(size_t, size_t)>* body = nullptr;
+  /// Cancellation checkpoint (nullptr = never stop). Once observed true,
+  /// `stopped` latches and remaining chunks are drained without running.
+  const std::function<bool()>* should_stop = nullptr;
+  std::atomic<bool> stopped{false};
   std::atomic<size_t> next_chunk{0};
   std::mutex mu;
   std::condition_variable done_cv;
@@ -75,8 +79,17 @@ void ThreadPool::RunChunks(const std::shared_ptr<LoopState>& state) {
     if (c >= state->num_chunks) return;
     const size_t b = state->begin + c * state->chunk_size;
     const size_t e = std::min(state->end, b + state->chunk_size);
+    bool skip = false;
+    if (state->should_stop != nullptr) {
+      if (state->stopped.load(std::memory_order_relaxed)) {
+        skip = true;
+      } else if ((*state->should_stop)()) {
+        state->stopped.store(true, std::memory_order_relaxed);
+        skip = true;
+      }
+    }
     try {
-      (*state->body)(b, e);
+      if (!skip) (*state->body)(b, e);
     } catch (...) {
       std::lock_guard<std::mutex> lock(state->mu);
       if (!state->error) state->error = std::current_exception();
@@ -92,14 +105,17 @@ void ThreadPool::RunChunks(const std::shared_ptr<LoopState>& state) {
 
 void ThreadPool::ParallelFor(size_t begin, size_t end,
                              const std::function<void(size_t, size_t)>& body,
-                             size_t min_grain) {
+                             size_t min_grain,
+                             const std::function<bool()>* should_stop) {
   if (begin >= end) return;
   const size_t n = end - begin;
   min_grain = std::max<size_t>(1, min_grain);
   // Inline when there is nothing to fan out to, the range is below the
   // grain, or we are already on a worker (workers must never block on
-  // other tasks — that is what makes nested loops deadlock-free).
+  // other tasks — that is what makes nested loops deadlock-free). The
+  // body owns intra-range cancellation here (see the header contract).
   if (workers_.empty() || n <= min_grain || t_inside_pool_worker) {
+    if (should_stop != nullptr && (*should_stop)()) return;
     body(begin, end);
     return;
   }
@@ -120,6 +136,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   // Rounding can leave trailing empty chunks; recompute the exact count.
   state->num_chunks = (n + state->chunk_size - 1) / state->chunk_size;
   state->body = &body;
+  state->should_stop = should_stop;
 
   const size_t helpers =
       std::min(workers_.size(), state->num_chunks - 1);

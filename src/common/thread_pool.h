@@ -50,9 +50,20 @@ class ThreadPool {
   /// [begin, end) and blocks until every chunk finished. Chunks of fewer
   /// than `min_grain` iterations are not split further. Exceptions thrown
   /// by `body` are rethrown on the calling thread (first one wins).
+  ///
+  /// `should_stop` (optional) is the loop's cancellation checkpoint: it
+  /// is polled before each chunk is executed, and once it returns true
+  /// no further chunk bodies run (chunks already executing finish; the
+  /// call still joins everything before returning). Chunk boundaries do
+  /// not depend on should_stop, so a loop whose should_stop never fires
+  /// is bit-identical to one run without it. On the inline path (serial
+  /// pool, tiny range, nested loop) the body receives the whole range in
+  /// one call, so bodies that want finer-grained cancellation must also
+  /// poll inside their own iteration loop.
   void ParallelFor(size_t begin, size_t end,
                    const std::function<void(size_t, size_t)>& body,
-                   size_t min_grain = 1);
+                   size_t min_grain = 1,
+                   const std::function<bool()>* should_stop = nullptr);
 
  private:
   struct LoopState;

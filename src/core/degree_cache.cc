@@ -2,8 +2,10 @@
 
 #include <functional>
 #include <mutex>
+#include <stdexcept>
 #include <unordered_set>
 
+#include "common/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -14,8 +16,9 @@ const DegreeCache::Shard& DegreeCache::ShardFor(
   return shards_[std::hash<std::string>{}(predicate) % kNumShards];
 }
 
-std::vector<double> DegreeCache::ComputeDegrees(
-    const std::string& predicate) const {
+std::optional<std::vector<double>> DegreeCache::ComputeDegrees(
+    const std::string& predicate, const QueryDeadline* deadline) const {
+  OPINEDB_FAULT("cache.compute");
   const size_t n = db_->corpus().num_entities();
   obs::TraceSpan span("degree_cache.compute");
   span.AddAttribute("predicate", predicate);
@@ -23,11 +26,28 @@ std::vector<double> DegreeCache::ComputeDegrees(
   std::vector<double> degrees(n);
   // One interpretation for the predicate, shared across entities (the
   // same work ExecuteQuery does per query, amortized here forever).
-  const auto interpretation = db_->interpreter().Interpret(predicate);
+  const auto interpretation = db_->interpreter().Interpret(predicate, deadline);
+  if (interpretation.degraded) {
+    // An interpreter stage failed underneath us. A list computed from a
+    // degraded interpretation must never become resident — it would
+    // outlive the failure and keep serving degraded degrees forever.
+    // Throwing routes the caller to its local-compute fallback path.
+    throw std::runtime_error("degree_cache: degraded interpretation for '" +
+                             predicate + "' is not cacheable");
+  }
   const embedding::Vec rep = db_->phrase_embedder().Represent(predicate);
   const double senti = db_->analyzer().ScorePhrase(predicate);
+  // Completion is counted only on the deadline path, so the fault-free
+  // loop below is exactly the pre-deadline hot path.
+  const bool deadline_active = deadline != nullptr && deadline->active();
+  std::atomic<size_t> scored{0};
   auto score_range = [&](size_t begin, size_t end) {
-    for (size_t e = begin; e < end; ++e) {
+    size_t e = begin;
+    for (; e < end; ++e) {
+      if (deadline_active && (e & 31) == 0 && e != begin &&
+          deadline->Expired()) {
+        break;
+      }
       const auto entity = static_cast<text::EntityId>(e);
       if (interpretation.method == InterpretMethod::kTextFallback ||
           interpretation.atoms.empty()) {
@@ -49,19 +69,37 @@ std::vector<double> DegreeCache::ComputeDegrees(
       }
       degrees[e] = acc;
     }
+    if (deadline_active) {
+      scored.fetch_add(e - begin, std::memory_order_relaxed);
+    }
   };
   // Each entity writes only its own slot, so the parallel loop is
   // bit-identical to serial.
+  std::function<bool()> stop = [deadline] { return deadline->Expired(); };
+  const std::function<bool()>* should_stop =
+      deadline_active ? &stop : nullptr;
   if (ThreadPool* pool = db_->pool()) {
-    pool->ParallelFor(0, n, score_range, /*min_grain=*/8);
-  } else {
+    pool->ParallelFor(0, n, score_range, /*min_grain=*/8, should_stop);
+  } else if (should_stop == nullptr || !(*should_stop)()) {
     score_range(0, n);
+  }
+  if (deadline_active && scored.load(std::memory_order_relaxed) != n) {
+    span.AddAttribute("aborted", true);
+    return std::nullopt;  // Incomplete: must not be cached.
   }
   return degrees;
 }
 
 const std::vector<double>& DegreeCache::Degrees(
     const std::string& predicate) {
+  // Without a deadline the computation always completes (or throws), so
+  // the pointer is never null.
+  return *TryDegrees(predicate, nullptr);
+}
+
+const std::vector<double>* DegreeCache::TryDegrees(
+    const std::string& predicate, const QueryDeadline* deadline) {
+  OPINEDB_FAULT("cache.lookup");
   Shard& shard = ShardFor(predicate);
   {
     std::shared_lock<std::shared_mutex> lock(shard.mu);
@@ -69,12 +107,15 @@ const std::vector<double>& DegreeCache::Degrees(
     if (it != shard.map.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
       OPINEDB_METRIC_COUNT("degree_cache.hits", 1);
-      return it->second;
+      return &it->second;
     }
   }
-  auto degrees = ComputeDegrees(predicate);  // Expensive; no locks held.
+  if (deadline != nullptr && deadline->Expired()) return nullptr;
+  // Expensive; no locks held.
+  auto degrees = ComputeDegrees(predicate, deadline);
+  if (!degrees.has_value()) return nullptr;  // Deadline hit mid-compute.
   std::unique_lock<std::shared_mutex> lock(shard.mu);
-  auto [it, inserted] = shard.map.emplace(predicate, std::move(degrees));
+  auto [it, inserted] = shard.map.emplace(predicate, std::move(*degrees));
   if (inserted) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     OPINEDB_METRIC_COUNT("degree_cache.misses", 1);
@@ -83,7 +124,7 @@ const std::vector<double>& DegreeCache::Degrees(
     hits_.fetch_add(1, std::memory_order_relaxed);
     OPINEDB_METRIC_COUNT("degree_cache.hits", 1);
   }
-  return it->second;
+  return &it->second;
 }
 
 size_t DegreeCache::PrecomputeMarkers() {
@@ -115,16 +156,20 @@ size_t DegreeCache::PrecomputeMarkers() {
 
 std::vector<fuzzy::RankedEntity> DegreeCache::TopKConjunction(
     const std::vector<std::string>& predicates, size_t k,
-    fuzzy::TaStats* stats) {
+    fuzzy::TaStats* stats, const QueryDeadline* deadline) {
   // Borrow the resident lists — references stay valid until Clear(), so
   // the Threshold Algorithm reads them in place without copying.
   std::vector<const std::vector<double>*> lists;
   lists.reserve(predicates.size());
   for (const auto& predicate : predicates) {
-    lists.push_back(&Degrees(predicate));
+    const std::vector<double>* list = TryDegrees(predicate, deadline);
+    // A list the deadline prevented from materializing leaves no sound
+    // aggregate to rank on; return empty (the caller flags partial).
+    if (list == nullptr) return {};
+    lists.push_back(list);
   }
   return fuzzy::ThresholdAlgorithmTopK(lists, k, db_->options().variant,
-                                       stats);
+                                       stats, deadline);
 }
 
 std::vector<fuzzy::RankedEntity> DegreeCache::TopKConjunctionFullScan(
@@ -165,6 +210,7 @@ void DegreeCache::Clear() {
     std::unique_lock<std::shared_mutex> lock(shard.mu);
     shard.map.clear();
   }
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 }  // namespace opinedb::core

@@ -3,11 +3,13 @@
 
 #include <array>
 #include <atomic>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/deadline.h"
 #include "core/engine.h"
 #include "fuzzy/threshold_algorithm.h"
 
@@ -46,6 +48,14 @@ class DegreeCache {
   /// entities when the engine has a pool), then served from the cache.
   const std::vector<double>& Degrees(const std::string& predicate);
 
+  /// Deadline-aware variant: returns the resident list, or computes it
+  /// if the deadline has not expired. Returns nullptr when the deadline
+  /// expired before or during the computation — a partially computed
+  /// list is discarded, never cached, so the cache only ever holds
+  /// complete bit-exact lists.
+  const std::vector<double>* TryDegrees(const std::string& predicate,
+                                        const QueryDeadline* deadline);
+
   /// Resident list for `predicate`, or nullptr if not cached yet. Never
   /// computes and does not touch the hit/miss counters; planners use it
   /// to test TA eligibility without perturbing cache stats.
@@ -59,9 +69,14 @@ class DegreeCache {
 
   /// Conjunctive fuzzy top-k over cached degree lists using the
   /// Threshold Algorithm. `stats` (optional) receives access counts.
+  /// `deadline` (optional) is polled per TA round and while
+  /// materializing non-resident lists; on expiry the best top-k among
+  /// the entities aggregated so far is returned (exact scores, possibly
+  /// missing better entities — the caller flags the result partial).
   std::vector<fuzzy::RankedEntity> TopKConjunction(
       const std::vector<std::string>& predicates, size_t k,
-      fuzzy::TaStats* stats = nullptr);
+      fuzzy::TaStats* stats = nullptr,
+      const QueryDeadline* deadline = nullptr);
 
   /// Same query answered by a full scan, for verification/ablation.
   std::vector<fuzzy::RankedEntity> TopKConjunctionFullScan(
@@ -69,9 +84,15 @@ class DegreeCache {
 
   bool Contains(const std::string& predicate) const;
   size_t size() const;
-  /// Drops every cached list. NOT safe concurrently with other methods;
-  /// invalidates all references previously returned by Degrees().
+  /// Drops every cached list and bumps the epoch. NOT safe concurrently
+  /// with other methods; invalidates all references previously returned
+  /// by Degrees(). OpineDb::Reaggregate calls this under the engine's
+  /// reconfiguration lock, which provides exactly that exclusion.
   void Clear();
+  /// Invalidation generation: incremented by every Clear(). Lets
+  /// long-lived borrowers detect that references they took have been
+  /// invalidated by a rebuild.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
   /// Hit/miss counters (monotone; Clear() does not reset them).
   CacheStats stats() const {
     return {hits_.load(std::memory_order_relaxed),
@@ -93,12 +114,16 @@ class DegreeCache {
   }
 
   /// Computes the dense degree list for one predicate (no locks held).
-  std::vector<double> ComputeDegrees(const std::string& predicate) const;
+  /// Returns nullopt when `deadline` expired before every entity was
+  /// scored (the incomplete list must not be cached).
+  std::optional<std::vector<double>> ComputeDegrees(
+      const std::string& predicate, const QueryDeadline* deadline) const;
 
   const OpineDb* db_;
   std::array<Shard, kNumShards> shards_;
   std::atomic<size_t> hits_{0};
   std::atomic<size_t> misses_{0};
+  std::atomic<uint64_t> epoch_{0};
 };
 
 }  // namespace opinedb::core

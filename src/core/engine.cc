@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
+#include "common/fault.h"
 #include "common/timer.h"
 #include "core/degree_cache.h"
 #include "core/exec_ops.h"
@@ -148,21 +150,42 @@ Status OpineDb::SetObjectiveTable(storage::Table table) {
   return catalog_.AddTable(std::move(table));
 }
 
-void OpineDb::TrainMembership(
+Status OpineDb::TrainMembership(
     const std::vector<MembershipModel::LabeledTuple>& tuples,
     uint64_t seed) {
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    Status valid = ValidateFeatureVector(tuples[i].features);
+    if (!valid.ok()) {
+      return Status::InvalidArgument("labeled tuple " + std::to_string(i) +
+                                     ": " + valid.message());
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(reconfig_mu_);
   membership_ = MembershipModel::Train(tuples, seed);
+  return Status::OK();
 }
 
 void OpineDb::Reaggregate(const AggregationOptions& aggregation) {
+  // Exclusive: in-flight queries hold reconfig_mu_ shared for their
+  // whole run, so nothing reads tables_/interpreter_ mid-rebuild.
+  std::unique_lock<std::shared_mutex> lock(reconfig_mu_);
   options_.aggregation = aggregation;
   auto extractions = std::move(tables_.extractions);
   tables_ = aggregator_->Build(corpus_, std::move(extractions), aggregation,
                                pool_.get());
   RebuildDerivedState();
+  // The cached degree lists were computed against the old summaries;
+  // serving them now would silently ignore the re-aggregation. The
+  // exclusive lock provides the external synchronization Clear()
+  // demands (no concurrent readers, no outstanding references).
+  if (degree_cache_ != nullptr) degree_cache_->Clear();
 }
 
 void OpineDb::SetNumThreads(size_t num_threads) {
+  // Exclusive: ExecuteQuery snapshots pool_.get() for the duration of a
+  // query; swapping the pool under it would be a use-after-free. The
+  // lock waits for running queries to drain first.
+  std::unique_lock<std::shared_mutex> lock(reconfig_mu_);
   options_.num_threads = num_threads;
   if (ThreadPool::ResolveThreads(num_threads) > 1) {
     pool_ = std::make_unique<ThreadPool>(num_threads);
@@ -172,8 +195,14 @@ void OpineDb::SetNumThreads(size_t num_threads) {
 }
 
 void OpineDb::SetTraceLevel(obs::TraceLevel level) {
+  std::unique_lock<std::shared_mutex> lock(reconfig_mu_);
   options_.trace_level = level;
   obs::SetMetricsEnabled(level >= obs::TraceLevel::kStats);
+}
+
+void OpineDb::AttachDegreeCache(DegreeCache* cache) {
+  std::unique_lock<std::shared_mutex> lock(reconfig_mu_);
+  degree_cache_ = cache;
 }
 
 double OpineDb::HeuristicDegree(const std::vector<double>& features) const {
@@ -198,6 +227,7 @@ double OpineDb::AtomDegreeOfTruth(const AtomInterpretation& atom,
                                   text::EntityId entity,
                                   const embedding::Vec& query_rep,
                                   double query_sentiment) const {
+  OPINEDB_FAULT("score.features");
   std::vector<double> features;
   if (options_.use_markers) {
     features = MembershipFeatures(
@@ -208,12 +238,19 @@ double OpineDb::AtomDegreeOfTruth(const AtomInterpretation& atom,
         extraction_lists_[atom.attribute][entity], *embedder_, query_rep,
         query_sentiment);
   }
-  if (membership_.has_value()) return membership_->DegreeOfTruth(features);
-  return HeuristicDegree(features);
+  const double d = membership_.has_value()
+                       ? membership_->DegreeOfTruth(features)
+                       : HeuristicDegree(features);
+  // Degrees of truth are [0, 1] by contract; one rogue NaN would
+  // propagate through every ⊗/⊕ combine and corrupt the ranking
+  // comparator's total order.
+  if (!std::isfinite(d)) return 0.0;
+  return std::clamp(d, 0.0, 1.0);
 }
 
 double OpineDb::TextFallbackDegree(const std::string& predicate,
                                    text::EntityId entity) const {
+  OPINEDB_FAULT("score.text_fallback");
   text::Tokenizer tokenizer;
   const double bm25 =
       entity_index_.Score(entity, tokenizer.Tokenize(predicate));
@@ -222,6 +259,9 @@ double OpineDb::TextFallbackDegree(const std::string& predicate,
 
 double OpineDb::PredicateDegreeOfTruth(const std::string& predicate,
                                        text::EntityId entity) const {
+  // Top-level entry point (like ExecuteQuery): hold the reconfiguration
+  // lock shared so tables_/interpreter_ cannot be rebuilt mid-call.
+  std::shared_lock<std::shared_mutex> reconfig_lock(reconfig_mu_);
   const auto interpretation = interpreter_->Interpret(predicate);
   if (interpretation.method == InterpretMethod::kTextFallback ||
       interpretation.atoms.empty()) {
@@ -246,12 +286,31 @@ double OpineDb::PredicateDegreeOfTruth(const std::string& predicate,
 }
 
 Result<QueryResult> OpineDb::Execute(const std::string& sql) const {
+  return Execute(sql, QueryControl());
+}
+
+Result<QueryResult> OpineDb::Execute(const std::string& sql,
+                                     const QueryControl& control) const {
   auto query = ParseSubjectiveSql(sql);
   if (!query.ok()) return query.status();
-  return ExecuteQuery(*query);
+  return ExecuteQuery(*query, control);
 }
 
 Result<QueryResult> OpineDb::ExecuteQuery(const SubjectiveQuery& query) const {
+  return ExecuteQuery(query, QueryControl());
+}
+
+Result<QueryResult> OpineDb::ExecuteQuery(const SubjectiveQuery& query,
+                                          const QueryControl& control) const {
+  // Shared for the whole query: reconfigurators (Reaggregate,
+  // SetNumThreads, AttachDegreeCache, ...) take this exclusively, so
+  // the pool/tables/cache snapshotted below stay alive and coherent
+  // until we return.
+  std::shared_lock<std::shared_mutex> reconfig_lock(reconfig_mu_);
+  // Thread the deadline only when there is something to poll, so the
+  // unbounded path never pays for (or branches on) expiry checks.
+  const QueryDeadline* deadline =
+      control.deadline.active() ? &control.deadline : nullptr;
   Timer total;
   Timer phase;
   QueryResult output;
@@ -303,15 +362,27 @@ Result<QueryResult> OpineDb::ExecuteQuery(const SubjectiveQuery& query) const {
   output.interpretations.resize(num_conditions);
   std::vector<embedding::Vec> reps(num_conditions);
   std::vector<double> sentis(num_conditions, 0.0);
+  bool degraded = false;
   {
     OPINEDB_SPAN("interpret");
     for (size_t c = 0; c < num_conditions; ++c) {
       const Condition& condition = query.conditions[c];
       if (condition.kind != Condition::Kind::kSubjective) continue;
-      output.interpretations[c] =
-          interpreter_->Interpret(condition.subjective);
-      reps[c] = embedder_->Represent(condition.subjective);
-      sentis[c] = analyzer_.ScorePhrase(condition.subjective);
+      try {
+        OPINEDB_FAULT("interpret.embed");
+        output.interpretations[c] =
+            interpreter_->Interpret(condition.subjective, deadline);
+        reps[c] = embedder_->Represent(condition.subjective);
+        sentis[c] = analyzer_.ScorePhrase(condition.subjective);
+      } catch (const std::exception&) {
+        // Interpretation machinery unusable for this condition: degrade
+        // to the text-retrieval stage (which needs neither the
+        // embedding nor the sentiment prologue).
+        output.interpretations[c] = PredicateInterpretation();
+        output.interpretations[c].degraded = true;
+        OPINEDB_METRIC_COUNT("engine.fallback.interpret", 1);
+      }
+      if (output.interpretations[c].degraded) degraded = true;
     }
   }
   output.stats.interpret_ms = phase.ElapsedMillis();
@@ -327,27 +398,54 @@ Result<QueryResult> OpineDb::ExecuteQuery(const SubjectiveQuery& query) const {
   ctx.reps = &reps;
   ctx.sentis = &sentis;
   ctx.num_entities = corpus_.num_entities();
+  ctx.deadline = deadline;
   phase.Reset();
-  if (physical.kind == PlanKind::kTaTopK) {
-    // One fused operator: cached lists in, ranked top-k out.
-    output.stats.scoring_ms = phase.ElapsedMillis();
-    phase.Reset();
-    Status status = TaTopKOp().Run(&ctx);
-    if (!status.ok()) return status;
-    output.stats.rank_ms = phase.ElapsedMillis();
-  } else {
-    if (physical.kind == PlanKind::kFilteredScan) {
-      Status status = ObjectiveFilterOp().Run(&ctx);
+  try {
+    if (physical.kind == PlanKind::kTaTopK) {
+      // One fused operator: cached lists in, ranked top-k out.
+      output.stats.scoring_ms = phase.ElapsedMillis();
+      phase.Reset();
+      Status status;
+      try {
+        status = TaTopKOp().Run(&ctx);
+      } catch (const std::exception&) {
+        // TA path unusable (fault in the cache or the index): fall back
+        // to the dense pipeline, which recomputes what it needs and
+        // degrades internally instead of throwing.
+        ctx.degraded.store(true, std::memory_order_relaxed);
+        OPINEDB_METRIC_COUNT("engine.fallback.ta", 1);
+        query_span.AddAttribute("fallback", "dense_scan");
+        status = SubjectiveScoreOp().Run(&ctx);
+        if (status.ok()) status = RankOp().Run(&ctx);
+      }
       if (!status.ok()) return status;
+      output.stats.rank_ms = phase.ElapsedMillis();
+    } else {
+      if (physical.kind == PlanKind::kFilteredScan) {
+        Status status = ObjectiveFilterOp().Run(&ctx);
+        if (!status.ok()) return status;
+      }
+      Status status = SubjectiveScoreOp().Run(&ctx);
+      if (!status.ok()) return status;
+      output.stats.scoring_ms = phase.ElapsedMillis();
+      phase.Reset();
+      status = RankOp().Run(&ctx);
+      if (!status.ok()) return status;
+      output.stats.rank_ms = phase.ElapsedMillis();
     }
-    Status status = SubjectiveScoreOp().Run(&ctx);
-    if (!status.ok()) return status;
-    output.stats.scoring_ms = phase.ElapsedMillis();
-    phase.Reset();
-    status = RankOp().Run(&ctx);
-    if (!status.ok()) return status;
-    output.stats.rank_ms = phase.ElapsedMillis();
+  } catch (const std::exception& e) {
+    // Backstop: no exception escapes ExecuteQuery. Anything the
+    // per-stage fallbacks could not absorb becomes a Status.
+    return Status::Internal(std::string("query execution failed: ") +
+                            e.what());
   }
+  output.partial = ctx.partial;
+  output.degraded = degraded || ctx.degraded.load(std::memory_order_relaxed);
+  if (output.partial) {
+    query_span.AddAttribute("partial", true);
+    OPINEDB_METRIC_COUNT("engine.deadline_exceeded", 1);
+  }
+  if (output.degraded) query_span.AddAttribute("degraded", true);
   output.stats.total_ms = total.ElapsedMillis();
   // Publish the per-query façade numbers to the process registry (the
   // registry-backed equivalents of ExecutionStats).

@@ -3,9 +3,11 @@
 
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/aggregator.h"
@@ -93,6 +95,18 @@ struct ExecutionStats {
   double total_ms = 0.0;
 };
 
+/// Per-call serving controls. Default-constructed = no limits, which is
+/// also the behaviour of the control-less Execute overloads.
+struct QueryControl {
+  /// Wall-clock budget and/or cancellation token polled at operator
+  /// checkpoints (per condition, per chunk, per TA round). When it
+  /// expires mid-query, ExecuteQuery stops starting new work and
+  /// returns a QueryResult with partial = true whose ranking is
+  /// prefix-consistent: every emitted score is the exact full score.
+  /// Configure with QueryDeadline::AfterMillis and/or set_token.
+  QueryDeadline deadline;
+};
+
 /// One ranked answer.
 struct RankedResult {
   text::EntityId entity = 0;
@@ -118,6 +132,16 @@ struct QueryResult {
   /// Per-query span ring buffer (null unless trace_level == kFull).
   /// Render with trace->RenderTree() or trace->ToJson().
   std::shared_ptr<obs::TraceBuffer> trace;
+  /// True when the QueryControl deadline (or cancellation token) stopped
+  /// execution early. The ranking is then prefix-consistent: it equals
+  /// the full query's ranking restricted to the candidates scored before
+  /// expiry, and every emitted score is the exact full score.
+  bool partial = false;
+  /// True when any stage fell back to a cheaper path after a failure
+  /// (interpreter stage, cache access, per-entity scoring, TA): the
+  /// answer is complete but was not produced on the preferred path. See
+  /// the engine.fallback.* counters and docs/ROBUSTNESS.md.
+  bool degraded = false;
 };
 
 class DegreeCache;
@@ -145,7 +169,9 @@ class OpineDb {
   Status SetObjectiveTable(storage::Table table);
 
   /// Trains the membership model from labeled (features, y) tuples.
-  void TrainMembership(
+  /// Rejects tuples containing non-finite features (a NaN weight would
+  /// silently poison every later degree of truth).
+  Status TrainMembership(
       const std::vector<MembershipModel::LabeledTuple>& tuples,
       uint64_t seed = 42);
 
@@ -154,6 +180,16 @@ class OpineDb {
 
   /// Executes a parsed query.
   Result<QueryResult> ExecuteQuery(const SubjectiveQuery& query) const;
+
+  /// Deadline/cancellation-aware variants: `control` carries a wall-
+  /// clock budget and/or a cancellation token that the engine polls at
+  /// operator checkpoints. An over-budget query returns early with
+  /// QueryResult::partial = true and whatever prefix-consistent top-k
+  /// survived, never an error. `control` must outlive the call.
+  Result<QueryResult> Execute(const std::string& sql,
+                              const QueryControl& control) const;
+  Result<QueryResult> ExecuteQuery(const SubjectiveQuery& query,
+                                   const QueryControl& control) const;
 
   /// Degree of truth of one interpreted atom for one entity.
   double AtomDegreeOfTruth(const AtomInterpretation& atom,
@@ -171,12 +207,17 @@ class OpineDb {
                             text::EntityId entity) const;
 
   /// Re-aggregates marker summaries under different review filters (e.g.
-  /// "only reviewers with >= 10 reviews"); replaces the current tables.
+  /// "only reviewers with >= 10 reviews"); replaces the current tables
+  /// and invalidates any attached degree cache (its lists were computed
+  /// against the old summaries). Serialized against in-flight queries by
+  /// the reconfiguration lock.
   void Reaggregate(const AggregationOptions& aggregation);
 
   /// Resizes the worker pool (0 = hardware concurrency, 1 = serial).
-  /// Results are bit-identical at any thread count. Not safe to call
-  /// while queries are in flight on other threads.
+  /// Results are bit-identical at any thread count. Serialized against
+  /// in-flight queries by the reconfiguration lock: the swap waits for
+  /// running queries to drain, so a query can never observe its pool
+  /// being destroyed under it.
   void SetNumThreads(size_t num_threads);
 
   /// Changes the observability level. Also flips the process-wide
@@ -189,7 +230,8 @@ class OpineDb {
   /// Attaches a degree-of-truth cache consulted (and warmed) by
   /// ExecuteQuery for subjective conditions; pass nullptr to detach. The
   /// cache must outlive the attachment and be built over this engine.
-  void AttachDegreeCache(DegreeCache* cache) { degree_cache_ = cache; }
+  /// Serialized against in-flight queries by the reconfiguration lock.
+  void AttachDegreeCache(DegreeCache* cache);
 
   // ----------------------------------------------------------- access.
   const text::ReviewCorpus& corpus() const { return corpus_; }
@@ -264,6 +306,14 @@ class OpineDb {
   std::unique_ptr<ThreadPool> pool_;
   /// Optional degree cache consulted by ExecuteQuery (not owned).
   DegreeCache* degree_cache_ = nullptr;
+  /// Reconfiguration lock: ExecuteQuery / PredicateDegreeOfTruth hold it
+  /// shared for their whole run; Reaggregate, SetNumThreads,
+  /// SetTraceLevel, AttachDegreeCache and TrainMembership hold it
+  /// exclusively. This (a) keeps pool_ alive for the queries that
+  /// snapshotted it, (b) provides the external synchronization
+  /// DegreeCache::Clear() demands, and (c) prevents queries from
+  /// reading tables_/interpreter_ mid-rebuild.
+  mutable std::shared_mutex reconfig_mu_;
   /// extraction_lists_[a][e]: pointers into tables_.extractions.
   std::vector<std::vector<std::vector<const extract::ExtractedOpinion*>>>
       extraction_lists_;

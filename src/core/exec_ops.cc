@@ -1,10 +1,31 @@
 #include "core/exec_ops.h"
 
 #include <algorithm>
+#include <functional>
+#include <mutex>
+#include <utility>
 
+#include "common/fault.h"
 #include "core/degree_cache.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+
+namespace {
+
+/// Largest prefix of [0, n) covered by the completed (begin, reached)
+/// ranges a deadline-interrupted loop logged. Chunks the pool skipped
+/// after expiry log nothing, so the prefix stops at the first gap.
+size_t CoveredPrefix(std::vector<std::pair<size_t, size_t>>* ranges) {
+  std::sort(ranges->begin(), ranges->end());
+  size_t prefix = 0;
+  for (const auto& [begin, reached] : *ranges) {
+    if (begin > prefix) break;
+    prefix = std::max(prefix, reached);
+  }
+  return prefix;
+}
+
+}  // namespace
 
 namespace opinedb::core {
 
@@ -43,6 +64,14 @@ Status SubjectiveScoreOp::Run(ExecContext* ctx) const {
   const SubjectiveQuery& query = *ctx->query;
   const size_t num_conditions = query.conditions.size();
   const size_t num_entities = ctx->num_entities;
+  const QueryDeadline* deadline = ctx->deadline;
+  const bool deadline_active = deadline != nullptr && deadline->active();
+  std::function<bool()> stop = [deadline] { return deadline->Expired(); };
+  const std::function<bool()>* should_stop =
+      deadline_active ? &stop : nullptr;
+  // Candidate positions [0, watermark) end up with exact degrees in
+  // every condition list; only an expiring deadline lowers it.
+  size_t watermark = ctx->num_candidates();
   ctx->computed.resize(num_conditions);
   ctx->degrees.assign(num_conditions, nullptr);
   obs::TraceSpan score_span("score");
@@ -71,77 +100,151 @@ Status SubjectiveScoreOp::Run(ExecContext* ctx) const {
       continue;
     }
     condition_span.AddAttribute("predicate", condition.subjective);
-    if (ctx->cache != nullptr) {
-      // The cache computes misses through the same per-entity code path,
-      // so cached and freshly-computed lists are bit-identical.
-      if (ctx->cache->Contains(condition.subjective)) {
-        ++ctx->output->stats.cache_hits;
-        condition_span.AddAttribute("source", "cache_hit");
-      } else {
-        ++ctx->output->stats.cache_misses;
-        condition_span.AddAttribute("source", "cache_miss");
-      }
-      ctx->degrees[c] = &ctx->cache->Degrees(condition.subjective);
+    if (deadline_active && deadline->Expired()) {
+      // Budget exhausted before this condition started: no exact degree
+      // exists for any candidate, so the consistent prefix collapses.
+      auto& list = ctx->computed[c];
+      list.assign(num_entities, 0.0);
+      ctx->degrees[c] = &list;
+      watermark = 0;
+      condition_span.AddAttribute("source", "deadline_skipped");
       continue;
     }
-    ++ctx->output->stats.cache_misses;
-    condition_span.AddAttribute("source", "computed");
+    bool use_cache = ctx->cache != nullptr;
+    if (use_cache) {
+      // The cache computes misses through the same per-entity code path,
+      // so cached and freshly-computed lists are bit-identical.
+      try {
+        if (ctx->cache->Contains(condition.subjective)) {
+          ++ctx->output->stats.cache_hits;
+          condition_span.AddAttribute("source", "cache_hit");
+        } else {
+          ++ctx->output->stats.cache_misses;
+          condition_span.AddAttribute("source", "cache_miss");
+        }
+        const std::vector<double>* cached =
+            ctx->cache->TryDegrees(condition.subjective, deadline);
+        if (cached == nullptr) {
+          // Deadline fired before the miss finished computing; the
+          // incomplete list was discarded, so nothing here is exact.
+          auto& list = ctx->computed[c];
+          list.assign(num_entities, 0.0);
+          ctx->degrees[c] = &list;
+          watermark = 0;
+          condition_span.AddAttribute("deadline_abandoned", true);
+          continue;
+        }
+        ctx->degrees[c] = cached;
+        continue;
+      } catch (const std::exception&) {
+        // Cache path unusable (injected fault, broken compute): fall
+        // back to computing this condition's list locally — the query
+        // keeps serving, just without the shared cache.
+        use_cache = false;
+        ctx->degraded.store(true, std::memory_order_relaxed);
+        OPINEDB_METRIC_COUNT("engine.fallback.cache", 1);
+        condition_span.AddAttribute("source", "cache_fallback");
+      }
+    } else {
+      ++ctx->output->stats.cache_misses;
+      condition_span.AddAttribute("source", "computed");
+    }
     auto& list = ctx->computed[c];
-    list.assign(num_entities, 0.0);
+    try {
+      OPINEDB_FAULT("score.alloc");
+      list.assign(num_entities, 0.0);
+    } catch (const std::exception&) {
+      // Could not even materialize the list: serve zeros (absorbing for
+      // the fuzzy conjunction) rather than abandon the query.
+      list.assign(num_entities, 0.0);
+      ctx->degrees[c] = &list;
+      ctx->degraded.store(true, std::memory_order_relaxed);
+      OPINEDB_METRIC_COUNT("engine.fallback.alloc", 1);
+      condition_span.AddAttribute("source", "alloc_fallback");
+      continue;
+    }
     const auto& interpretation = ctx->output->interpretations[c];
     auto score_entity = [&](size_t e) {
       const auto entity = static_cast<text::EntityId>(e);
-      if (interpretation.method == InterpretMethod::kTextFallback ||
-          interpretation.atoms.empty()) {
-        list[e] = db.TextFallbackDegree(condition.subjective, entity);
-        return;
-      }
-      double acc = 0.0;
-      bool first = true;
-      for (const auto& atom : interpretation.atoms) {
-        const double d = db.AtomDegreeOfTruth(atom, entity, (*ctx->reps)[c],
-                                              (*ctx->sentis)[c]);
-        if (first) {
-          acc = d;
-          first = false;
-        } else if (interpretation.conjunctive) {
-          acc = fuzzy::And(db.options().variant, acc, d);
-        } else {
-          acc = fuzzy::Or(db.options().variant, acc, d);
+      try {
+        if (interpretation.method == InterpretMethod::kTextFallback ||
+            interpretation.atoms.empty()) {
+          list[e] = db.TextFallbackDegree(condition.subjective, entity);
+          return;
+        }
+        double acc = 0.0;
+        bool first = true;
+        for (const auto& atom : interpretation.atoms) {
+          const double d = db.AtomDegreeOfTruth(atom, entity,
+                                                (*ctx->reps)[c],
+                                                (*ctx->sentis)[c]);
+          if (first) {
+            acc = d;
+            first = false;
+          } else if (interpretation.conjunctive) {
+            acc = fuzzy::And(db.options().variant, acc, d);
+          } else {
+            acc = fuzzy::Or(db.options().variant, acc, d);
+          }
+        }
+        list[e] = acc;
+      } catch (const std::exception&) {
+        // Per-entity failure: degrade this entity one cascade stage, to
+        // the text-retrieval score, rather than losing the whole list.
+        ctx->degraded.store(true, std::memory_order_relaxed);
+        OPINEDB_METRIC_COUNT("engine.fallback.entity", 1);
+        try {
+          list[e] = db.TextFallbackDegree(condition.subjective, entity);
+        } catch (const std::exception&) {
+          list[e] = 0.0;
         }
       }
-      list[e] = acc;
     };
     // Entities fan out across the pool; each entity writes only its own
     // slot, so the result is bit-identical to serial — and to the dense
     // scan, because per-entity degrees are independent of the candidate
-    // set.
-    if (ctx->candidates_are_all) {
-      auto score_range = [&](size_t begin, size_t end) {
-        for (size_t e = begin; e < end; ++e) score_entity(e);
-      };
-      if (ThreadPool* pool = db.pool()) {
-        pool->ParallelFor(0, num_entities, score_range, /*min_grain=*/8);
-      } else {
-        score_range(0, num_entities);
-      }
-    } else {
-      auto score_range = [&](size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) {
-          score_entity(ctx->candidates[i]);
+    // set. All deadline bookkeeping is gated on deadline_active, so the
+    // unbounded path runs the exact pre-deadline loop.
+    std::mutex ranges_mu;
+    std::vector<std::pair<size_t, size_t>> done_ranges;
+    auto entity_at = [&](size_t i) {
+      return ctx->candidates_are_all ? i : ctx->candidates[i];
+    };
+    auto score_range = [&](size_t begin, size_t end) {
+      size_t i = begin;
+      for (; i < end; ++i) {
+        if (deadline_active && (i & 31) == 0 && i != begin &&
+            deadline->Expired()) {
+          break;
         }
-      };
-      if (ThreadPool* pool = db.pool()) {
-        pool->ParallelFor(0, ctx->candidates.size(), score_range,
-                          /*min_grain=*/8);
-      } else {
-        score_range(0, ctx->candidates.size());
+        score_entity(entity_at(i));
       }
+      if (deadline_active) {
+        std::lock_guard<std::mutex> guard(ranges_mu);
+        done_ranges.emplace_back(begin, i);
+      }
+    };
+    const size_t positions = ctx->num_candidates();
+    if (ThreadPool* pool = db.pool()) {
+      pool->ParallelFor(0, positions, score_range, /*min_grain=*/8,
+                        should_stop);
+    } else if (should_stop == nullptr || !(*should_stop)()) {
+      score_range(0, positions);
+    }
+    if (deadline_active) {
+      watermark = std::min(watermark, CoveredPrefix(&done_ranges));
     }
     ctx->degrees[c] = &list;
   }
+  if (deadline_active && deadline->Expired()) {
+    ctx->partial = true;
+    ctx->watermark = watermark;
+    score_span.AddAttribute("partial", true);
+    score_span.AddAttribute("watermark", static_cast<uint64_t>(watermark));
+  }
   score_span.End();
-  ctx->output->stats.entities_scored = ctx->num_candidates();
+  ctx->output->stats.entities_scored =
+      ctx->partial ? ctx->watermark : ctx->num_candidates();
   return Status::OK();
 }
 
@@ -156,39 +259,34 @@ Status RankOp::Run(ExecContext* ctx) const {
   // absorbing for ⊗.
   ctx->scores.assign(num_entities, ctx->candidates_are_all ? 1.0 : 0.0);
   auto& scores = ctx->scores;
+  // When the deadline cut scoring short, only the watermark prefix of
+  // candidate positions has exact degrees in every list; combining or
+  // ranking beyond it would emit fabricated scores.
+  const size_t positions =
+      ctx->partial ? std::min(ctx->watermark, ctx->num_candidates())
+                   : ctx->num_candidates();
+  auto entity_at = [&](size_t i) {
+    return ctx->candidates_are_all ? i : ctx->candidates[i];
+  };
   if (query.where != nullptr) {
     auto combine_entity = [&](size_t e) {
       scores[e] = query.where->Evaluate(
           db.options().variant,
           [&](size_t c) { return (*ctx->degrees[c])[e]; });
     };
-    if (ctx->candidates_are_all) {
-      auto combine_range = [&](size_t begin, size_t end) {
-        for (size_t e = begin; e < end; ++e) combine_entity(e);
-      };
-      if (ThreadPool* pool = db.pool()) {
-        pool->ParallelFor(0, num_entities, combine_range, /*min_grain=*/64);
-      } else {
-        combine_range(0, num_entities);
-      }
+    auto combine_range = [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) combine_entity(entity_at(i));
+    };
+    if (ThreadPool* pool = db.pool()) {
+      pool->ParallelFor(0, positions, combine_range, /*min_grain=*/64);
     } else {
-      auto combine_range = [&](size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) {
-          combine_entity(ctx->candidates[i]);
-        }
-      };
-      if (ThreadPool* pool = db.pool()) {
-        pool->ParallelFor(0, ctx->candidates.size(), combine_range,
-                          /*min_grain=*/64);
-      } else {
-        combine_range(0, ctx->candidates.size());
-      }
+      combine_range(0, positions);
     }
   }
   // Filter, rank and truncate serially. Candidates are ascending, so
   // the pre-sort order matches the dense scan's entity-order walk.
   std::vector<RankedResult> ranked;
-  ranked.reserve(ctx->num_candidates());
+  ranked.reserve(positions);
   auto push_entity = [&](size_t e) {
     if (scores[e] <= 0.0) return;  // Failed hard objective predicates.
     const auto entity = static_cast<text::EntityId>(e);
@@ -198,11 +296,7 @@ Status RankOp::Run(ExecContext* ctx) const {
     result.score = scores[e];
     ranked.push_back(std::move(result));
   };
-  if (ctx->candidates_are_all) {
-    for (size_t e = 0; e < num_entities; ++e) push_entity(e);
-  } else {
-    for (const size_t e : ctx->candidates) push_entity(e);
-  }
+  for (size_t i = 0; i < positions; ++i) push_entity(entity_at(i));
   // The comparator is a total order (ties broken by entity id), so the
   // partial_sort prefix is bit-identical to a full sort + truncate.
   const size_t k = std::min(query.limit, ranked.size());
@@ -213,6 +307,11 @@ Status RankOp::Run(ExecContext* ctx) const {
                     });
   ranked.resize(k);
   rank_span.AddAttribute("results", static_cast<uint64_t>(ranked.size()));
+  if (ctx->partial) {
+    rank_span.AddAttribute("partial", true);
+    rank_span.AddAttribute("watermark",
+                           static_cast<uint64_t>(ctx->watermark));
+  }
   rank_span.End();
   ctx->output->results = std::move(ranked);
   return Status::OK();
@@ -237,11 +336,18 @@ Status TaTopKOp::Run(ExecContext* ctx) const {
   span.AddAttribute("lists", static_cast<uint64_t>(predicates.size()));
   span.AddAttribute("k", static_cast<uint64_t>(query.limit));
   fuzzy::TaStats ta_stats;
-  const auto top =
-      ctx->cache->TopKConjunction(predicates, query.limit, &ta_stats);
+  const auto top = ctx->cache->TopKConjunction(predicates, query.limit,
+                                               &ta_stats, ctx->deadline);
   // TA aggregates every list, so entities it never materialized scored
   // below the threshold; this is the work actually done.
   ctx->output->stats.entities_scored = ta_stats.entities_seen;
+  if (ta_stats.deadline_expired ||
+      (ctx->deadline != nullptr && ctx->deadline->Expired())) {
+    // Every returned score is exact (TA materializes full aggregates),
+    // but the scan frontier never reached the proof of completeness.
+    ctx->partial = true;
+    span.AddAttribute("partial", true);
+  }
   span.AddAttribute("entities_seen",
                     static_cast<uint64_t>(ta_stats.entities_seen));
   std::vector<RankedResult> ranked;

@@ -1,8 +1,10 @@
 #ifndef OPINEDB_CORE_EXEC_OPS_H_
 #define OPINEDB_CORE_EXEC_OPS_H_
 
+#include <atomic>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "core/engine.h"
 #include "core/planner.h"
@@ -52,6 +54,21 @@ struct ExecContext {
   std::vector<const std::vector<double>*> degrees;
   /// Combined WHERE score per entity (RankOp scratch).
   std::vector<double> scores;
+
+  /// Deadline / cancellation for this query; nullptr (or an inactive
+  /// deadline) means unbounded. Operators poll it at chunk boundaries.
+  const QueryDeadline* deadline = nullptr;
+  /// Set by operators when the deadline stopped work early; the output
+  /// then holds a prefix-consistent partial ranking (see watermark).
+  bool partial = false;
+  /// Candidate positions [0, watermark) have exact degrees in every
+  /// condition list; RankOp only ranks that prefix when partial. Only
+  /// meaningful while partial is true.
+  size_t watermark = 0;
+  /// Set (possibly from pool workers, hence atomic) when any stage fell
+  /// back to a cheaper path after a failure — the answer is complete
+  /// but was not produced on the preferred path.
+  std::atomic<bool> degraded{false};
 };
 
 /// A physical operator: reads/writes the shared ExecContext. Operators

@@ -6,6 +6,7 @@
 #include <set>
 #include <utility>
 
+#include "common/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -86,6 +87,7 @@ void Interpreter::BuildVariationTable() {
 
 PredicateInterpretation Interpreter::InterpretWord2VecOnly(
     const std::string& predicate) const {
+  OPINEDB_FAULT("interpret.w2v");
   obs::TraceSpan span("interpret.word2vec");
   span.AddAttribute("variations", static_cast<uint64_t>(variations_.size()));
   OPINEDB_METRIC_COUNT("interpreter.w2v_scans", 1);
@@ -132,6 +134,7 @@ PredicateInterpretation Interpreter::InterpretWord2VecOnly(
 
 PredicateInterpretation Interpreter::InterpretCooccurrenceOnly(
     const std::string& predicate) const {
+  OPINEDB_FAULT("interpret.cooccur");
   obs::TraceSpan span("interpret.cooccurrence");
   OPINEDB_METRIC_COUNT("interpreter.cooccur_scans", 1);
   PredicateInterpretation result;
@@ -242,16 +245,35 @@ PredicateInterpretation Interpreter::InterpretCooccurrenceOnly(
 }
 
 PredicateInterpretation Interpreter::Interpret(
-    const std::string& predicate) const {
+    const std::string& predicate, const QueryDeadline* deadline) const {
   // One span per cascade run, annotated with every Fig. 5 threshold
   // decision; the per-stage children record their own internals.
   obs::TraceSpan span("interpret.predicate");
   span.AddAttribute("predicate", predicate);
   OPINEDB_METRIC_COUNT("interpreter.calls", 1);
   PredicateInterpretation result;
+  // Expired before any stage ran: the scoring checkpoints downstream
+  // will stop the query anyway, so skip straight to the cheap stage.
+  if (deadline != nullptr && deadline->Expired()) {
+    span.AddAttribute("stage", "text_fallback");
+    span.AddAttribute("deadline_expired", true);
+    return result;
+  }
+
+  // Each stage degrades instead of aborting: a stage that throws is
+  // treated as "no interpretation at this stage" and the cascade falls
+  // through (marker match → co-occurrence → plain BM25 retrieval),
+  // with the result marked degraded.
+  bool degraded = false;
 
   // Stage 1: word2vec direct match. High confidence wins outright.
-  PredicateInterpretation w2v = InterpretWord2VecOnly(predicate);
+  PredicateInterpretation w2v;
+  try {
+    w2v = InterpretWord2VecOnly(predicate);
+  } catch (const std::exception&) {
+    degraded = true;
+    OPINEDB_METRIC_COUNT("engine.fallback.interpret_w2v", 1);
+  }
   const bool w2v_ok =
       !w2v.atoms.empty() && w2v.confidence >= options_.w2v_threshold;
   span.AddAttribute("w2v_confidence", w2v.confidence);
@@ -259,14 +281,28 @@ PredicateInterpretation Interpreter::Interpret(
   span.AddAttribute("w2v_high_confidence", options_.w2v_high_confidence);
   if (w2v_ok && w2v.confidence >= options_.w2v_high_confidence) {
     result = std::move(w2v);
+  } else if (deadline != nullptr && deadline->Expired()) {
+    // No budget left for the expensive mining stage; keep the lexical
+    // match if it cleared θ1, else leave it to text retrieval.
+    span.AddAttribute("deadline_expired", true);
+    if (w2v_ok) result = std::move(w2v);
   } else {
     // Stage 2: co-occurrence mining. In the mid-confidence band a
     // strongly supported correlation overrides the lexical match ("ideal
     // for business travelers" matches service words lexically but
     // co-occurs with location praise).
-    PredicateInterpretation cooc = InterpretCooccurrenceOnly(predicate);
+    PredicateInterpretation cooc;
+    bool cooc_failed = false;
+    try {
+      cooc = InterpretCooccurrenceOnly(predicate);
+    } catch (const std::exception&) {
+      degraded = true;
+      cooc_failed = true;
+      OPINEDB_METRIC_COUNT("engine.fallback.interpret_cooccur", 1);
+    }
     const bool cooc_ok =
-        !cooc.atoms.empty() && cooc.confidence >= options_.cooccur_threshold;
+        !cooc_failed && !cooc.atoms.empty() &&
+        cooc.confidence >= options_.cooccur_threshold;
     span.AddAttribute("cooccur_confidence", cooc.confidence);
     span.AddAttribute("cooccur_threshold", options_.cooccur_threshold);
     if (w2v_ok) {
@@ -282,6 +318,8 @@ PredicateInterpretation Interpreter::Interpret(
       result.method = InterpretMethod::kTextFallback;
     }
   }
+  result.degraded = degraded;
+  if (degraded) span.AddAttribute("degraded", true);
 
   const char* stage = "text_fallback";
   if (result.method == InterpretMethod::kWord2Vec) {

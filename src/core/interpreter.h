@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "core/aggregator.h"
 #include "core/schema.h"
 #include "embedding/phrase_rep.h"
@@ -38,6 +39,11 @@ struct PredicateInterpretation {
   /// attributes are typically mentioned together).
   bool conjunctive = false;
   double confidence = 0.0;
+  /// True when a cascade stage failed (threw) and the interpretation
+  /// fell through to a later stage: the result is usable but was not
+  /// produced on the preferred path. The engine surfaces this as the
+  /// `degraded` span/result attribute and engine.fallback.* counters.
+  bool degraded = false;
 };
 
 /// Thresholds of the three-stage cascade (Fig. 5).
@@ -78,8 +84,17 @@ class Interpreter {
               const std::vector<double>* review_sentiment,
               InterpreterOptions options = InterpreterOptions());
 
-  /// Interprets one NL query predicate.
-  PredicateInterpretation Interpret(const std::string& predicate) const;
+  /// Interprets one NL query predicate. The cascade degrades instead of
+  /// failing: a stage that throws (injected fault, broken model state)
+  /// falls through to the next stage — word2vec → co-occurrence → text
+  /// retrieval — with PredicateInterpretation::degraded set. `deadline`
+  /// (optional) is polled between stages; on expiry the remaining
+  /// (expensive) stages are skipped. An expired deadline here always
+  /// coincides with an expired deadline at the scoring checkpoints, so
+  /// the query is flagged partial downstream.
+  PredicateInterpretation Interpret(const std::string& predicate,
+                                    const QueryDeadline* deadline =
+                                        nullptr) const;
 
   /// Stage 1 only (for the Table 8 ablation).
   PredicateInterpretation InterpretWord2VecOnly(

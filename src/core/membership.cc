@@ -92,6 +92,21 @@ std::vector<double> MembershipFeaturesNoMarkers(
   return f;
 }
 
+Status ValidateFeatureVector(const std::vector<double>& features) {
+  if (features.size() != kMembershipFeatureDim) {
+    return Status::InvalidArgument(
+        "feature vector has dimension " + std::to_string(features.size()) +
+        ", expected " + std::to_string(kMembershipFeatureDim));
+  }
+  for (size_t i = 0; i < features.size(); ++i) {
+    if (!std::isfinite(features[i])) {
+      return Status::InvalidArgument("feature " + std::to_string(i) +
+                                     " is not finite");
+    }
+  }
+  return Status::OK();
+}
+
 MembershipModel MembershipModel::Train(
     const std::vector<LabeledTuple>& tuples, uint64_t seed) {
   MembershipModel model;
@@ -111,7 +126,12 @@ MembershipModel MembershipModel::Train(
 
 double MembershipModel::DegreeOfTruth(
     const std::vector<double>& features) const {
-  return model_.Predict(features);
+  const double p = model_.Predict(features);
+  // Degrees of truth live in [0, 1] by contract; a corrupt feature
+  // vector (NaN sneaking past training-time validation) must not leak a
+  // non-finite value into the fuzzy combines and ranking comparators.
+  if (!std::isfinite(p)) return 0.0;
+  return std::clamp(p, 0.0, 1.0);
 }
 
 double MembershipModel::Accuracy(

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/aggregator.h"
 #include "core/marker_summary.h"
 #include "embedding/phrase_rep.h"
@@ -32,6 +33,12 @@ std::vector<double> MembershipFeaturesNoMarkers(
     const std::vector<const extract::ExtractedOpinion*>& phrases,
     const embedding::PhraseEmbedder& embedder,
     const embedding::Vec& query_rep, double query_sentiment);
+
+/// Rejects feature vectors of the wrong dimension or containing NaN /
+/// infinity. A single non-finite feature silently poisons every degree
+/// of truth downstream (NaN propagates through ⊗/⊕ and breaks ranking
+/// comparators), so training validates its inputs up front.
+Status ValidateFeatureVector(const std::vector<double>& features);
 
 /// A learned membership function: logistic regression over
 /// MembershipFeatures whose probability output is the degree of truth.

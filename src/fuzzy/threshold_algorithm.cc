@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "common/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -46,7 +47,7 @@ std::vector<const std::vector<double>*> BorrowLists(
 
 std::vector<RankedEntity> ThresholdAlgorithmTopK(
     const std::vector<const std::vector<double>*>& lists, size_t k,
-    Variant variant, TaStats* stats) {
+    Variant variant, TaStats* stats, const QueryDeadline* deadline) {
   std::vector<RankedEntity> result;
   if (lists.empty() || lists[0]->empty() || k == 0) return result;
   const size_t num_entities = lists[0]->size();
@@ -81,7 +82,15 @@ std::vector<RankedEntity> ThresholdAlgorithmTopK(
   std::unordered_set<int32_t> seen;
   std::vector<RankedEntity> top;
   bool early_terminated = false;
+  bool deadline_expired = false;
   for (size_t depth = 0; depth < num_entities; ++depth) {
+    OPINEDB_FAULT("ta.round");
+    // Per-round checkpoint: rounds are cheap and bounded, so one poll
+    // per round keeps overshoot to a handful of random accesses.
+    if (deadline != nullptr && deadline->Expired()) {
+      deadline_expired = true;
+      break;
+    }
     if (stats != nullptr) ++stats->rounds;
     // One sorted access per list at this depth.
     for (size_t j = 0; j < num_lists; ++j) {
@@ -105,6 +114,7 @@ std::vector<RankedEntity> ThresholdAlgorithmTopK(
   }
   if (stats != nullptr) {
     stats->entities_seen = seen.size();
+    stats->deadline_expired = deadline_expired;
     span.AddAttribute("rounds", static_cast<uint64_t>(stats->rounds));
     span.AddAttribute("sorted_accesses",
                       static_cast<uint64_t>(stats->sorted_accesses));
@@ -118,6 +128,7 @@ std::vector<RankedEntity> ThresholdAlgorithmTopK(
                          stats->random_accesses);
   }
   span.AddAttribute("early_terminated", early_terminated);
+  if (deadline_expired) span.AddAttribute("deadline_expired", true);
   OPINEDB_METRIC_COUNT("fuzzy.ta_calls", 1);
   return top;
 }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/deadline.h"
 #include "fuzzy/logic.h"
 
 namespace opinedb::fuzzy {
@@ -23,6 +24,10 @@ struct TaStats {
   /// threshold bound stopped the scan (== num_entities when TA never
   /// early-terminates). The engine surfaces this as entities_scored.
   size_t entities_seen = 0;
+  /// True when a deadline stopped the scan before the threshold bound
+  /// proved the top-k complete: the returned entities carry exact
+  /// scores, but better entities may exist below the scan frontier.
+  bool deadline_expired = false;
 };
 
 /// Fagin's Threshold Algorithm (Fagin, Lotem & Naor 2003) for monotone
@@ -40,9 +45,16 @@ struct TaStats {
 /// The pointer form borrows the lists (e.g. straight out of a
 /// DegreeCache) without copying them; pointers must stay valid for the
 /// duration of the call.
+///
+/// `deadline` (optional) is polled once per sorted-access round; when it
+/// expires the scan stops and the current top-k is returned — every
+/// returned score is exact (TA materializes full aggregates), but
+/// entities below the frontier were never considered. Such a run sets
+/// TaStats::deadline_expired.
 std::vector<RankedEntity> ThresholdAlgorithmTopK(
     const std::vector<const std::vector<double>*>& lists, size_t k,
-    Variant variant, TaStats* stats = nullptr);
+    Variant variant, TaStats* stats = nullptr,
+    const QueryDeadline* deadline = nullptr);
 
 /// Owning-lists convenience wrapper over the pointer form.
 std::vector<RankedEntity> ThresholdAlgorithmTopK(

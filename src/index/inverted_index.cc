@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "common/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -127,6 +128,7 @@ std::vector<ScoredDoc> InvertedIndex::TopK(
 std::vector<ScoredDoc> InvertedIndex::TopKWeighted(
     const std::vector<std::string>& query, size_t k,
     const std::vector<double>& weights) const {
+  OPINEDB_FAULT("index.scan");
   return RankAll(query, k, &weights);
 }
 

@@ -1,0 +1,303 @@
+// Deterministic fault-injection sweep over the serving path.
+//
+// Every named site in fault::kSites is armed against every plan shape
+// (dense scan, text-fallback scan, filtered scan, cold cached scan,
+// warm TA top-k). The contract under test:
+//
+//  - no injected fault ever crashes, hangs, or leaks a query — every
+//    Execute returns ok() with sane, finite scores (graceful
+//    degradation, DESIGN.md §5e);
+//  - a fault that never fires (site armed but off this shape's path, or
+//    the N-th hit is never reached) perturbs nothing: results stay
+//    bit-identical to the unfaulted run;
+//  - after a fault storm the unfaulted path is fully recovered — and in
+//    particular the degree cache never retains data computed under a
+//    degraded interpretation;
+//  - the kSites catalog is live: every site is reached by at least one
+//    shape (a stale catalog entry fails the sweep).
+//
+// The whole file self-skips in builds where OPINEDB_FAULT_INJECTION is
+// off (plain Release): the macro compiles to nothing there.
+#include <cmath>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "core/degree_cache.h"
+#include "core/engine.h"
+#include "datagen/domain_spec.h"
+#include "eval/experiment.h"
+
+namespace opinedb {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    eval::BuildOptions options;
+    options.generator.num_entities = 20;
+    options.generator.min_reviews_per_entity = 8;
+    options.generator.max_reviews_per_entity = 14;
+    options.generator.seed = 51;
+    options.seed = 51;
+    options.extractor_training_sentences = 400;
+    options.predicate_pool_size = 40;
+    options.membership_training_tuples = 400;
+    artifacts_ = new eval::DomainArtifacts(
+        eval::BuildArtifacts(datagen::HotelDomain(), options));
+  }
+
+  static void TearDownTestSuite() {
+    delete artifacts_;
+    artifacts_ = nullptr;
+  }
+
+  void SetUp() override {
+    if (!fault::CompiledIn()) {
+      GTEST_SKIP() << "fault injection compiled out (plain Release build)";
+    }
+    fault::DisarmAll();
+  }
+
+  void TearDown() override { fault::DisarmAll(); }
+
+  static core::OpineDb& db() { return *artifacts_->db; }
+
+  /// Pool predicates whose interpretation carries A.m atoms, so the
+  /// feature-scoring sites are on their execution path.
+  static std::vector<std::string> AtomPredicates(size_t want) {
+    std::vector<std::string> out;
+    for (const auto& p : artifacts_->pool) {
+      const auto interp = db().interpreter().Interpret(p.text);
+      if (interp.method != core::InterpretMethod::kTextFallback &&
+          !interp.atoms.empty()) {
+        out.push_back(p.text);
+        if (out.size() == want) break;
+      }
+    }
+    return out;
+  }
+
+  /// A predicate of out-of-vocabulary words: the word2vec stage cannot
+  /// cover it, so the query exercises the co-occurrence stage, the
+  /// inverted-index scan, and the per-entity text fallback.
+  static std::string NonsensePredicate() { return "zorblatt quuxly vibes"; }
+
+  static eval::DomainArtifacts* artifacts_;
+};
+
+eval::DomainArtifacts* FaultInjectionTest::artifacts_ = nullptr;
+
+void ExpectBitIdentical(const core::QueryResult& reference,
+                        const core::QueryResult& actual) {
+  ASSERT_EQ(reference.results.size(), actual.results.size());
+  for (size_t i = 0; i < reference.results.size(); ++i) {
+    EXPECT_EQ(reference.results[i].entity, actual.results[i].entity);
+    EXPECT_EQ(reference.results[i].score, actual.results[i].score);
+  }
+}
+
+// Degraded results may differ from the unfaulted ranking, but they must
+// still be well-formed: finite unit-interval scores in ranking order.
+void ExpectSane(const core::QueryResult& run) {
+  for (size_t i = 0; i < run.results.size(); ++i) {
+    const auto& r = run.results[i];
+    EXPECT_TRUE(std::isfinite(r.score));
+    EXPECT_GE(r.score, 0.0);
+    EXPECT_LE(r.score, 1.0);
+    if (i > 0) {
+      const auto& prev = run.results[i - 1];
+      EXPECT_TRUE(prev.score > r.score ||
+                  (prev.score == r.score && prev.entity < r.entity));
+    }
+  }
+}
+
+/// One plan shape: `run(site)` rebuilds the shape's starting state from
+/// scratch (fresh cache, unfaulted warm-up), then arms `site` (empty =
+/// none) and executes the measured query.
+struct Shape {
+  std::string name;
+  std::function<Result<core::QueryResult>(const std::string& site)> run;
+};
+
+std::vector<Shape> MakeShapes(core::OpineDb& db,
+                              const std::vector<std::string>& atom_preds,
+                              const std::string& nonsense_pred) {
+  const std::string dense_sql =
+      "select * from hotels where \"" + atom_preds[0] + "\" limit 5";
+  const std::string textfb_sql =
+      "select * from hotels where \"" + nonsense_pred + "\" limit 5";
+  const std::string filtered_sql = "select * from hotels where rating > 2.0 "
+                                   "and \"" + atom_preds[0] + "\" limit 5";
+  const std::string conj_sql = "select * from hotels where \"" +
+                               atom_preds[0] + "\" and \"" + atom_preds[1] +
+                               "\" limit 3";
+  auto arm = [](const std::string& site) {
+    if (!site.empty()) fault::Arm(site, 1);
+  };
+  auto plain = [&db, arm](std::string sql) {
+    return [&db, arm, sql](const std::string& site) {
+      db.mutable_options()->force_plan = core::PlanForce::kAuto;
+      arm(site);
+      return db.Execute(sql);
+    };
+  };
+  std::vector<Shape> shapes;
+  shapes.push_back({"dense", plain(dense_sql)});
+  shapes.push_back({"text_fallback", plain(textfb_sql)});
+  shapes.push_back({"filtered", plain(filtered_sql)});
+  shapes.push_back({"cached_cold", [&db, arm, dense_sql](
+                                       const std::string& site) {
+                      core::DegreeCache cache(&db);
+                      db.AttachDegreeCache(&cache);
+                      db.mutable_options()->force_plan =
+                          core::PlanForce::kAuto;
+                      arm(site);
+                      auto run = db.Execute(dense_sql);
+                      db.AttachDegreeCache(nullptr);
+                      return run;
+                    }});
+  shapes.push_back({"ta_warm", [&db, arm, conj_sql](
+                                   const std::string& site) {
+                      core::DegreeCache cache(&db);
+                      db.AttachDegreeCache(&cache);
+                      db.mutable_options()->force_plan =
+                          core::PlanForce::kAuto;
+                      auto warm = db.Execute(conj_sql);  // Fills both lists.
+                      EXPECT_TRUE(warm.ok()) << warm.status().ToString();
+                      db.mutable_options()->force_plan =
+                          core::PlanForce::kTaTopK;
+                      arm(site);
+                      auto run = db.Execute(conj_sql);
+                      db.mutable_options()->force_plan =
+                          core::PlanForce::kAuto;
+                      db.AttachDegreeCache(nullptr);
+                      return run;
+                    }});
+  return shapes;
+}
+
+TEST_F(FaultInjectionTest, SweepEverySiteAcrossEveryPlanShape) {
+  const auto atom_preds = AtomPredicates(2);
+  ASSERT_GE(atom_preds.size(), 2u)
+      << "fixture produced no word2vec-interpretable predicates";
+  auto shapes = MakeShapes(db(), atom_preds, NonsensePredicate());
+  std::map<std::string, bool> covered;
+  for (const char* site : fault::kSites) covered[site] = false;
+  for (const auto& shape : shapes) {
+    fault::DisarmAll();
+    auto reference = shape.run("");
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    for (const char* site : fault::kSites) {
+      SCOPED_TRACE(shape.name + " site=" + site);
+      fault::DisarmAll();
+      auto run = shape.run(site);
+      const bool fired = fault::HitCount(site) > 0;
+      fault::DisarmAll();
+      // No fault ever surfaces as a crash or an error status: the
+      // cascade degrades one stage and keeps serving.
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      ExpectSane(*run);
+      if (fired) {
+        covered[site] = true;
+      } else {
+        // Armed but never reached on this shape: zero perturbation.
+        ExpectBitIdentical(*reference, *run);
+        EXPECT_FALSE(run->degraded);
+      }
+    }
+    // Recovery: once the storm passes, the shape is bit-identical again.
+    fault::DisarmAll();
+    auto after = shape.run("");
+    ASSERT_TRUE(after.ok()) << after.status().ToString();
+    ExpectBitIdentical(*reference, *after);
+    EXPECT_FALSE(after->degraded);
+  }
+  for (const auto& [site, hit] : covered) {
+    EXPECT_TRUE(hit) << "catalog entry never reached by any shape: " << site
+                     << " (stale kSites entry or dead OPINEDB_FAULT site)";
+  }
+}
+
+TEST_F(FaultInjectionTest, NthHitSemanticsAndUnreachedArming) {
+  const auto atom_preds = AtomPredicates(1);
+  ASSERT_FALSE(atom_preds.empty());
+  const std::string sql =
+      "select * from hotels where \"" + atom_preds[0] + "\" limit 5";
+  auto reference = db().Execute(sql);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  // Fire on the 3rd hit: the first two entities score cleanly, the
+  // third degrades, all later ones score cleanly again (one-shot).
+  fault::Arm("score.features", 3);
+  auto run = db().Execute(sql);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_GE(fault::HitCount("score.features"), 3u);
+  EXPECT_TRUE(run->degraded);
+  ExpectSane(*run);
+  fault::DisarmAll();
+  // An N-th hit that is never reached must not perturb anything.
+  fault::Arm("score.features", 1000000000);
+  auto unfired = db().Execute(sql);
+  ASSERT_TRUE(unfired.ok()) << unfired.status().ToString();
+  EXPECT_FALSE(unfired->degraded);
+  ExpectBitIdentical(*reference, *unfired);
+}
+
+TEST_F(FaultInjectionTest, DegradedFlagReportsEveryFallback) {
+  const auto atom_preds = AtomPredicates(1);
+  ASSERT_FALSE(atom_preds.empty());
+  const std::string sql =
+      "select * from hotels where \"" + atom_preds[0] + "\" limit 5";
+  for (const char* site :
+       {"interpret.embed", "interpret.w2v", "score.features"}) {
+    SCOPED_TRACE(site);
+    fault::Arm(site, 1);
+    auto run = db().Execute(sql);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_GT(fault::HitCount(site), 0u);
+    EXPECT_TRUE(run->degraded) << "fallback at " << site
+                               << " not reported via QueryResult::degraded";
+    fault::DisarmAll();
+  }
+}
+
+// The degree cache must never retain a list computed under a degraded
+// interpretation: arm the word2vec stage so its failure lands inside
+// the cache's own Interpret call (hit 1 is the query prologue, hit 2
+// the cache compute). The compute aborts, nothing is cached, and the
+// query falls back to local scoring with the clean prologue
+// interpretation — bit-identical to the unfaulted run.
+TEST_F(FaultInjectionTest, FaultsNeverPoisonTheDegreeCache) {
+  const auto atom_preds = AtomPredicates(1);
+  ASSERT_FALSE(atom_preds.empty());
+  const std::string sql =
+      "select * from hotels where \"" + atom_preds[0] + "\" limit 5";
+  auto reference = db().Execute(sql);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  core::DegreeCache cache(&db());
+  db().AttachDegreeCache(&cache);
+  fault::Arm("interpret.w2v", 2);
+  auto run = db().Execute(sql);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run->degraded);
+  ExpectBitIdentical(*reference, *run);
+  // The poisoned compute was discarded, not cached.
+  EXPECT_FALSE(cache.Contains(atom_preds[0]));
+  fault::DisarmAll();
+  // The next (unfaulted) query repairs the cache with a clean list.
+  auto repaired = db().Execute(sql);
+  ASSERT_TRUE(repaired.ok()) << repaired.status().ToString();
+  EXPECT_FALSE(repaired->degraded);
+  ExpectBitIdentical(*reference, *repaired);
+  EXPECT_TRUE(cache.Contains(atom_preds[0]));
+  db().AttachDegreeCache(nullptr);
+}
+
+}  // namespace
+}  // namespace opinedb

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/deadline.h"
 #include "common/rng.h"
 #include "core/degree_cache.h"
 #include "datagen/domain_spec.h"
@@ -208,6 +209,52 @@ TEST_P(PlanEquivalenceTest, AutoPicksTaOnWarmConjunctiveQueries) {
   EXPECT_LE(warm->stats.entities_scored, db.corpus().num_entities());
   EXPECT_GT(warm->stats.entities_scored, 0u);
   ExpectBitIdentical(*cold, *warm);
+  db.AttachDegreeCache(nullptr);
+}
+
+// §5e extension of the equivalence contract: an armed-but-never-firing
+// QueryDeadline must be invisible. Rerunning the randomized workload
+// under an effectively unlimited budget must stay bit-identical to the
+// unbounded dense reference for every plan × thread count × trace
+// level, with partial never set.
+TEST_P(PlanEquivalenceTest, HugeDeadlineBudgetIsInvisible) {
+  core::OpineDb& db = *Fixture(GetParam()).db;
+  core::DegreeCache cache(&db);
+  db.AttachDegreeCache(&cache);
+  core::QueryControl control;
+  control.deadline = QueryDeadline::AfterMillis(1e9);
+  for (const auto& sql : MakeQueries(GetParam())) {
+    db.SetNumThreads(1);
+    db.SetTraceLevel(obs::TraceLevel::kOff);
+    db.mutable_options()->force_plan = core::PlanForce::kDenseScan;
+    auto reference = db.Execute(sql);
+    ASSERT_TRUE(reference.ok()) << sql << ": "
+                                << reference.status().ToString();
+    for (const auto force :
+         {core::PlanForce::kAuto, core::PlanForce::kDenseScan,
+          core::PlanForce::kFilteredScan, core::PlanForce::kTaTopK}) {
+      for (const size_t threads : {1, 8}) {
+        for (const auto level :
+             {obs::TraceLevel::kOff, obs::TraceLevel::kFull}) {
+          SCOPED_TRACE(sql + " force=" +
+                       std::to_string(static_cast<int>(force)) +
+                       " threads=" + std::to_string(threads) + " trace=" +
+                       std::to_string(static_cast<int>(level)));
+          db.SetNumThreads(threads);
+          db.SetTraceLevel(level);
+          db.mutable_options()->force_plan = force;
+          auto run = db.Execute(sql, control);
+          ASSERT_TRUE(run.ok()) << run.status().ToString();
+          EXPECT_FALSE(run->partial);
+          EXPECT_FALSE(run->degraded);
+          ExpectBitIdentical(*reference, *run);
+        }
+      }
+    }
+  }
+  db.mutable_options()->force_plan = core::PlanForce::kAuto;
+  db.SetTraceLevel(obs::TraceLevel::kOff);
+  db.SetNumThreads(1);
   db.AttachDegreeCache(nullptr);
 }
 
