@@ -12,10 +12,14 @@
 // dense scan against the objective-pushdown filtered scan across
 // price_pn selectivities and against the TA fast path on a warm degree
 // cache, writing BENCH_planner.json (skip with
-// OPINEDB_SKIP_PLANNER_SWEEP=1).
+// OPINEDB_SKIP_PLANNER_SWEEP=1), and a snapshot-store sweep times
+// SaveDatabase / OpenDatabase / corrupted-generation fallback recovery,
+// writing BENCH_snapshot.json (skip with OPINEDB_SKIP_SNAPSHOT_SWEEP=1).
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -34,6 +38,7 @@
 #include "ml/logistic_regression.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/snapshot_store.h"
 #include "text/tokenizer.h"
 
 namespace opinedb {
@@ -532,6 +537,94 @@ void RunPlannerSweep() {
          pushdown_speedup.front(), ta_speedup);
 }
 
+// ------------------------------------------------ Snapshot store sweep.
+
+void RunSnapshotSweep() {
+  printf("\nSnapshot sweep: SaveDatabase / OpenDatabase / corrupted-"
+         "generation recovery on the seed hotel dataset...\n");
+  namespace fs = std::filesystem;
+  auto artifacts =
+      eval::BuildArtifacts(datagen::HotelDomain(), bench::HotelBuildOptions());
+  core::OpineDb& db = *artifacts.db;
+  const int repeats = std::max(bench::Repeats(), 5);
+  const fs::path dir = fs::temp_directory_path() / "opinedb_bench_snapshot";
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  const std::string dir_str = dir.string();
+
+  auto must_ok = [](const Status& status, const char* what) {
+    if (!status.ok()) {
+      fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+      std::exit(1);
+    }
+  };
+
+  // Save: each call commits a fresh generation (GC keeps the directory
+  // from growing across repeats).
+  storage::SnapshotStore store(dir_str);
+  const double save_ms = BestOfMs(repeats, [&] {
+    must_ok(db.SaveDatabase(dir_str), "SaveDatabase");
+    must_ok(store.GarbageCollect(2), "GarbageCollect");
+  });
+  const uint64_t generation = db.snapshot_generation();
+  const auto snapshot_bytes = static_cast<size_t>(fs::file_size(
+      dir / storage::SnapshotStore::GenerationFileName(generation)));
+
+  // Open: verify every checksum, parse both payloads, swap engine state.
+  const double open_ms = BestOfMs(repeats, [&] {
+    must_ok(db.OpenDatabase(dir_str), "OpenDatabase");
+  });
+
+  // Recovery with fallback: the newest generation is bit-rotted, so
+  // every open pays one failed verification before serving the older
+  // generation. The delta over open_ms is the cost of skipping one
+  // corrupt file.
+  must_ok(db.SaveDatabase(dir_str), "SaveDatabase");
+  const fs::path newest =
+      dir / storage::SnapshotStore::GenerationFileName(db.snapshot_generation());
+  {
+    std::fstream file(newest, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekg(static_cast<std::streamoff>(snapshot_bytes / 2));
+    char byte = 0;
+    file.get(byte);
+    file.seekp(static_cast<std::streamoff>(snapshot_bytes / 2));
+    file.put(static_cast<char>(byte ^ 0x10));
+  }
+  const double fallback_ms = BestOfMs(repeats, [&] {
+    must_ok(db.OpenDatabase(dir_str), "OpenDatabase (fallback)");
+  });
+  if (db.snapshot_generation() == 0) {
+    fprintf(stderr, "fallback open served no generation\n");
+    std::exit(1);
+  }
+
+  fs::remove_all(dir, ec);
+  printf("  save %8.2f ms  open %8.2f ms  open+fallback %8.2f ms  "
+         "(%zu snapshot bytes)\n",
+         save_ms, open_ms, fallback_ms, snapshot_bytes);
+
+  FILE* out = fopen("BENCH_snapshot.json", "w");
+  if (out == nullptr) {
+    fprintf(stderr, "cannot write BENCH_snapshot.json\n");
+    std::exit(1);
+  }
+  fprintf(out, "{\n");
+  fprintf(out, "  \"bench\": \"snapshot_sweep\",\n");
+  fprintf(out, "  \"dataset\": \"hotel_seed\",\n");
+  fprintf(out, "  \"hardware_concurrency\": %u,\n",
+          std::thread::hardware_concurrency());
+  fprintf(out, "  \"repeats\": %d,\n", repeats);
+  fprintf(out, "  \"snapshot_bytes\": %zu,\n", snapshot_bytes);
+  fprintf(out, "  \"save_database_ms\": %g,\n", save_ms);
+  fprintf(out, "  \"open_database_ms\": %g,\n", open_ms);
+  fprintf(out, "  \"open_with_fallback_ms\": %g,\n", fallback_ms);
+  fprintf(out, "  \"fallback_overhead_ms\": %g\n", fallback_ms - open_ms);
+  fprintf(out, "}\n");
+  fclose(out);
+  printf("  wrote BENCH_snapshot.json (fallback overhead %.2f ms)\n",
+         fallback_ms - open_ms);
+}
+
 }  // namespace
 }  // namespace opinedb
 
@@ -551,6 +644,10 @@ int main(int argc, char** argv) {
   const char* skip_planner = std::getenv("OPINEDB_SKIP_PLANNER_SWEEP");
   if (skip_planner == nullptr || skip_planner[0] == '0') {
     opinedb::RunPlannerSweep();
+  }
+  const char* skip_snapshot = std::getenv("OPINEDB_SKIP_SNAPSHOT_SWEEP");
+  if (skip_snapshot == nullptr || skip_snapshot[0] == '0') {
+    opinedb::RunSnapshotSweep();
   }
   return 0;
 }

@@ -38,6 +38,23 @@ inline constexpr const char* kSites[] = {
     "ta.round",              // ThresholdAlgorithmTopK round loop.
 };
 
+/// Storage fault sites (the snapshot commit protocol). These live in a
+/// separate catalog because their semantics differ from kSites: instead
+/// of throwing into a degradation cascade, a fired storage site makes
+/// SnapshotStore::Commit *simulate a crash or media fault* — it stops
+/// mid-protocol (or silently corrupts the written bytes for
+/// storage.bitflip) and leaves the directory in exactly the state a real
+/// power cut would. tests/crash_consistency_test.cc sweeps this list and
+/// asserts every entry is reachable (the persistence-suite counterpart
+/// of fault_injection_test's kSites liveness check).
+inline constexpr const char* kStorageSites[] = {
+    "storage.short_write",      // Torn write: tmp file cut mid-payload.
+    "storage.fsync",            // fsync of the tmp data file fails.
+    "storage.rename_data",      // Crash before gen-N.tmp -> gen-N.snap.
+    "storage.rename_manifest",  // Crash between data and MANIFEST rename.
+    "storage.bitflip",          // Post-write single-bit media corruption.
+};
+
 /// True when the library was compiled with fault injection
 /// (OPINEDB_ENABLE_FAULT_INJECTION); release builds compile the macro
 /// out entirely and this returns false.
@@ -79,6 +96,17 @@ bool ShouldFail(const char* site);
   } while (0)
 #else
 #define OPINEDB_FAULT(site) ((void)0)
+#endif
+
+/// Non-throwing fault check for code that models faults as protocol
+/// state rather than exceptions (the snapshot store's crash
+/// simulation): evaluates to true exactly when OPINEDB_FAULT(site)
+/// would have thrown, and to constant false when fault injection is
+/// compiled out.
+#if defined(OPINEDB_ENABLE_FAULT_INJECTION)
+#define OPINEDB_FAULT_HIT(site) (::opinedb::fault::ShouldFail(site))
+#else
+#define OPINEDB_FAULT_HIT(site) false
 #endif
 
 #endif  // OPINEDB_COMMON_FAULT_H_

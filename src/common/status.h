@@ -18,6 +18,10 @@ enum class StatusCode {
   kParseError,
   kNotSupported,
   kInternal,
+  /// Persistent state is unrecoverable: every on-disk snapshot
+  /// generation failed checksum verification. Unlike kParseError (one
+  /// bad stream) this means the store as a whole has nothing servable.
+  kDataLoss,
 };
 
 /// A Status encapsulates the result of an operation: success, or an error
@@ -51,6 +55,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

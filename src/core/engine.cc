@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <cmath>
 #include <mutex>
+#include <sstream>
 
 #include "common/fault.h"
 #include "common/timer.h"
 #include "core/degree_cache.h"
 #include "core/exec_ops.h"
 #include "core/marker_induction.h"
+#include "core/serialize.h"
 #include "obs/metrics.h"
+#include "storage/snapshot_store.h"
 #include "text/tokenizer.h"
 
 namespace opinedb::core {
@@ -17,6 +20,10 @@ namespace opinedb::core {
 namespace {
 
 double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+/// Section names inside a database snapshot container.
+constexpr char kSchemaSection[] = "schema";
+constexpr char kSummariesSection[] = "summaries";
 
 }  // namespace
 
@@ -178,7 +185,11 @@ void OpineDb::Reaggregate(const AggregationOptions& aggregation) {
   // serving them now would silently ignore the re-aggregation. The
   // exclusive lock provides the external synchronization Clear()
   // demands (no concurrent readers, no outstanding references).
-  if (degree_cache_ != nullptr) degree_cache_->Clear();
+  if (degree_cache_ != nullptr) {
+    degree_cache_->Clear();
+    OPINEDB_METRIC_GAUGE_SET("engine.cache_epoch",
+                             static_cast<double>(degree_cache_->epoch()));
+  }
 }
 
 void OpineDb::SetNumThreads(size_t num_threads) {
@@ -203,6 +214,106 @@ void OpineDb::SetTraceLevel(obs::TraceLevel level) {
 void OpineDb::AttachDegreeCache(DegreeCache* cache) {
   std::unique_lock<std::shared_mutex> lock(reconfig_mu_);
   degree_cache_ = cache;
+}
+
+Status OpineDb::SaveDatabase(const std::string& dir) const {
+  // Exclusive: the schema/summaries pair written below is a consistent
+  // cut — Reaggregate cannot swap tables_ between the two serializations
+  // and no query reads state mid-save.
+  std::unique_lock<std::shared_mutex> lock(reconfig_mu_);
+  Timer timer;
+  std::ostringstream schema_bytes;
+  Status status = SaveSchema(schema_, &schema_bytes);
+  if (!status.ok()) return status;
+  std::ostringstream summaries_bytes;
+  status = SaveSummaries(tables_, &summaries_bytes);
+  if (!status.ok()) return status;
+
+  std::vector<storage::SnapshotSection> sections(2);
+  sections[0].name = kSchemaSection;
+  sections[0].payload = std::move(schema_bytes).str();
+  sections[1].name = kSummariesSection;
+  sections[1].payload = std::move(summaries_bytes).str();
+  storage::SnapshotStore store(dir);
+  auto generation = store.Commit(sections);
+  if (!generation.ok()) {
+    OPINEDB_METRIC_COUNT("storage.snapshot.save_failures", 1);
+    return generation.status();
+  }
+  snapshot_generation_.store(*generation, std::memory_order_relaxed);
+  OPINEDB_METRIC_COUNT("storage.snapshot.saves", 1);
+  OPINEDB_METRIC_GAUGE_SET("storage.snapshot.generation",
+                           static_cast<double>(*generation));
+  OPINEDB_METRIC_LATENCY_MS("storage.snapshot.save_ms",
+                            timer.ElapsedMillis());
+  return Status::OK();
+}
+
+Status OpineDb::OpenDatabase(const std::string& dir) {
+  Timer timer;
+  storage::SnapshotStore store(dir);
+  auto snapshot = store.Recover();
+  if (!snapshot.ok()) {
+    OPINEDB_METRIC_COUNT("storage.snapshot.load_failures", 1);
+    return snapshot.status();
+  }
+  const std::string* schema_payload = snapshot->Find(kSchemaSection);
+  const std::string* summaries_payload = snapshot->Find(kSummariesSection);
+  if (schema_payload == nullptr || summaries_payload == nullptr) {
+    OPINEDB_METRIC_COUNT("storage.snapshot.load_failures", 1);
+    return Status::DataLoss(
+        "snapshot generation " + std::to_string(snapshot->generation) +
+        " verified but lacks a schema/summaries section");
+  }
+
+  // Parse and vet the whole snapshot before touching any engine state:
+  // a payload that fails to decode leaves the engine exactly as it was.
+  std::istringstream schema_stream(*schema_payload);
+  auto schema = LoadSchema(&schema_stream);
+  if (!schema.ok()) {
+    OPINEDB_METRIC_COUNT("storage.snapshot.load_failures", 1);
+    return schema.status();
+  }
+  std::istringstream summaries_stream(*summaries_payload);
+  // Summaries bind marker-cell pointers into schema->attributes' heap
+  // buffer; the vector moves below transfer that buffer wholesale, so
+  // the bindings survive into schema_.
+  auto tables = LoadSummaries(*schema, &summaries_stream);
+  if (!tables.ok()) {
+    OPINEDB_METRIC_COUNT("storage.snapshot.load_failures", 1);
+    return tables.status();
+  }
+  const size_t snapshot_entities =
+      tables->summaries.empty() ? 0 : tables->summaries[0].size();
+  if (snapshot_entities != corpus_.num_entities()) {
+    OPINEDB_METRIC_COUNT("storage.snapshot.load_failures", 1);
+    return Status::InvalidArgument(
+        "snapshot covers " + std::to_string(snapshot_entities) +
+        " entities but this engine's corpus has " +
+        std::to_string(corpus_.num_entities()));
+  }
+
+  std::unique_lock<std::shared_mutex> lock(reconfig_mu_);
+  schema_ = std::move(*schema);
+  tables_.summaries = std::move(tables->summaries);
+  // Summaries are the queryable state; the extraction relation was not
+  // persisted and anything left from the pre-open build describes the
+  // old schema/tables.
+  tables_.extractions.clear();
+  tables_.extraction_attribute.clear();
+  tables_.extraction_marker.clear();
+  tables_.extraction_margin.clear();
+  RebuildDerivedState();
+  // Cached degree lists were computed against the replaced summaries.
+  if (degree_cache_ != nullptr) degree_cache_->Clear();
+  snapshot_generation_.store(snapshot->generation,
+                             std::memory_order_relaxed);
+  OPINEDB_METRIC_COUNT("storage.snapshot.loads", 1);
+  OPINEDB_METRIC_GAUGE_SET("storage.snapshot.generation",
+                           static_cast<double>(snapshot->generation));
+  OPINEDB_METRIC_LATENCY_MS("storage.snapshot.load_ms",
+                            timer.ElapsedMillis());
+  return Status::OK();
 }
 
 double OpineDb::HeuristicDegree(const std::vector<double>& features) const {
@@ -332,6 +443,19 @@ Result<QueryResult> OpineDb::ExecuteQuery(const SubjectiveQuery& query,
   output.stats.threads_used = pool_ != nullptr ? pool_->num_threads() : 1;
   query_span.AddAttribute("threads",
                           static_cast<uint64_t>(output.stats.threads_used));
+  // "Which data am I serving": the snapshot generation behind the
+  // summaries (0 = built in-process, never saved/loaded) and the degree
+  // cache's invalidation epoch, so traces correlate with Reaggregate /
+  // OpenDatabase events. Recorded only when a store/cache is in play so
+  // pre-persistence trace goldens stay unchanged.
+  const uint64_t snapshot_generation =
+      snapshot_generation_.load(std::memory_order_relaxed);
+  if (snapshot_generation > 0) {
+    query_span.AddAttribute("snapshot_generation", snapshot_generation);
+  }
+  if (degree_cache_ != nullptr) {
+    query_span.AddAttribute("cache_epoch", degree_cache_->epoch());
+  }
   auto table_result = catalog_.GetTable(query.table);
   if (!table_result.ok()) return table_result.status();
   const storage::Table* table = *table_result;
@@ -460,6 +584,16 @@ Result<QueryResult> OpineDb::ExecuteQuery(const SubjectiveQuery& query,
     OPINEDB_METRIC_LATENCY_MS("engine.scoring_ms", output.stats.scoring_ms);
     OPINEDB_METRIC_LATENCY_MS("engine.rank_ms", output.stats.rank_ms);
     OPINEDB_METRIC_LATENCY_MS("engine.total_ms", output.stats.total_ms);
+    // Served-state gauges (see the span attributes above): operators
+    // scrape these to tell which snapshot generation and which cache
+    // epoch answered recent queries.
+    OPINEDB_METRIC_GAUGE_SET("storage.snapshot.generation",
+                             static_cast<double>(snapshot_generation));
+    if (degree_cache_ != nullptr) {
+      OPINEDB_METRIC_GAUGE_SET(
+          "engine.cache_epoch",
+          static_cast<double>(degree_cache_->epoch()));
+    }
     // The metric macros cache their instrument in a function-local
     // static, so each plan kind gets its own literal call site.
     switch (physical.kind) {

@@ -1,6 +1,7 @@
 #ifndef OPINEDB_CORE_ENGINE_H_
 #define OPINEDB_CORE_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <shared_mutex>
@@ -233,6 +234,37 @@ class OpineDb {
   /// Serialized against in-flight queries by the reconfiguration lock.
   void AttachDegreeCache(DegreeCache* cache);
 
+  /// Persists the queryable state — schema + marker summaries, per §4:
+  /// the extraction relation is re-derivable and is not saved — as a new
+  /// checksummed snapshot generation in directory `dir` (created if
+  /// needed) via storage::SnapshotStore's atomic commit protocol. Holds
+  /// the reconfiguration lock exclusively, so the saved pair is a
+  /// consistent cut that serializes against Reaggregate and in-flight
+  /// queries. See docs/PERSISTENCE.md.
+  Status SaveDatabase(const std::string& dir) const;
+
+  /// Replaces this engine's schema and summaries with the newest fully
+  /// valid snapshot generation in `dir`, verifying every checksum on the
+  /// way in (corrupt newer generations are skipped; if nothing valid
+  /// remains this returns the store's typed NotFound/DataLoss error).
+  /// The snapshot is parsed and vetted completely before any engine
+  /// state changes — on any error the engine is untouched. The loaded
+  /// summaries must cover exactly this engine's corpus entities
+  /// (InvalidArgument otherwise). After a successful open the
+  /// extraction relation is empty, so a later Reaggregate would rebuild
+  /// summaries from nothing — re-extract from the corpus instead. An
+  /// attached degree cache is cleared (its lists described the old
+  /// summaries).
+  Status OpenDatabase(const std::string& dir);
+
+  /// Generation committed by the last SaveDatabase or served by the
+  /// last OpenDatabase (0 = this engine never touched a snapshot
+  /// store). Exported as the storage.snapshot.generation gauge and as
+  /// the root query span's snapshot_generation attribute.
+  uint64_t snapshot_generation() const {
+    return snapshot_generation_.load(std::memory_order_relaxed);
+  }
+
   // ----------------------------------------------------------- access.
   const text::ReviewCorpus& corpus() const { return corpus_; }
   const SubjectiveSchema& schema() const { return schema_; }
@@ -306,6 +338,11 @@ class OpineDb {
   std::unique_ptr<ThreadPool> pool_;
   /// Optional degree cache consulted by ExecuteQuery (not owned).
   DegreeCache* degree_cache_ = nullptr;
+  /// Snapshot generation last saved/loaded; see snapshot_generation().
+  /// Atomic so queries (shared lock) can read it while SaveDatabase
+  /// (exclusive lock) is the writer; mutable because SaveDatabase is
+  /// logically const.
+  mutable std::atomic<uint64_t> snapshot_generation_{0};
   /// Reconfiguration lock: ExecuteQuery / PredicateDegreeOfTruth hold it
   /// shared for their whole run; Reaggregate, SetNumThreads,
   /// SetTraceLevel, AttachDegreeCache and TrainMembership hold it

@@ -2,6 +2,7 @@
 
 #include <limits>
 #include <string>
+#include <unordered_set>
 
 namespace opinedb::core {
 
@@ -9,7 +10,11 @@ namespace {
 
 constexpr char kSchemaMagic[] = "opinedb-schema";
 constexpr char kSummariesMagic[] = "opinedb-summaries";
-constexpr int kVersion = 1;
+constexpr int kSchemaVersion = 1;
+/// v2: every summary row is prefixed with its entity id, so duplicate
+/// or missing rows are detectable instead of silently shifting every
+/// later entity's summaries by one slot.
+constexpr int kSummariesVersion = 2;
 
 /// Plausibility bounds on deserialized sizes. A corrupt or truncated
 /// stream must produce a ParseError, not a multi-gigabyte allocation:
@@ -19,6 +24,7 @@ constexpr int kVersion = 1;
 constexpr size_t kMaxStringLength = 1u << 20;     // 1 MiB per string.
 constexpr size_t kMaxCentroidDim = 1u << 16;      // 65536 dims.
 constexpr size_t kMaxProvenance = 1u << 26;       // 67M review ids.
+constexpr size_t kMaxEntities = 1u << 26;         // 67M entities.
 
 /// Netstring-style string encoding: "<length>:<bytes>" — robust to
 /// spaces inside markers and phrases.
@@ -46,7 +52,7 @@ Result<std::string> ReadString(std::istream* in) {
 }  // namespace
 
 Status SaveSchema(const SubjectiveSchema& schema, std::ostream* out) {
-  *out << kSchemaMagic << ' ' << kVersion << '\n';
+  *out << kSchemaMagic << ' ' << kSchemaVersion << '\n';
   WriteString(schema.objective_table, out);
   *out << ' ';
   WriteString(schema.key_column, out);
@@ -88,7 +94,7 @@ Result<SubjectiveSchema> LoadSchema(std::istream* in) {
   if (!(*in >> magic >> version) || magic != kSchemaMagic) {
     return Status::ParseError("not an opinedb schema file");
   }
-  if (version != kVersion) {
+  if (version != kSchemaVersion) {
     return Status::NotSupported("schema version " +
                                 std::to_string(version));
   }
@@ -104,10 +110,18 @@ Result<SubjectiveSchema> LoadSchema(std::istream* in) {
   if (!(*in >> num_attributes)) {
     return Status::ParseError("bad attribute count");
   }
+  std::unordered_set<std::string> seen_names;
   for (size_t a = 0; a < num_attributes; ++a) {
     SubjectiveAttribute attribute;
     auto name = ReadString(in);
     if (!name.ok()) return name.status();
+    // Attribute names are the schema's keys (AttributeIndex resolves by
+    // name); a duplicate would make every later lookup silently bind to
+    // the first occurrence and shadow the second.
+    if (!seen_names.insert(*name).second) {
+      return Status::InvalidArgument("duplicate attribute \"" + *name +
+                                     "\" in schema");
+    }
     attribute.name = *name;
     attribute.summary_type.name = *name;
     char kind = 0;
@@ -143,13 +157,18 @@ Result<SubjectiveSchema> LoadSchema(std::istream* in) {
 Status SaveSummaries(const SubjectiveTables& tables, std::ostream* out) {
   // Full double precision so reload is bit-exact.
   out->precision(std::numeric_limits<double>::max_digits10);
-  *out << kSummariesMagic << ' ' << kVersion << '\n';
+  *out << kSummariesMagic << ' ' << kSummariesVersion << '\n';
   *out << tables.summaries.size() << ' '
        << (tables.summaries.empty() ? 0 : tables.summaries[0].size())
        << '\n';
   for (const auto& per_entity : tables.summaries) {
-    for (const auto& summary : per_entity) {
-      *out << summary.num_markers() << ' ' << summary.unmatched_count();
+    for (size_t entity = 0; entity < per_entity.size(); ++entity) {
+      const auto& summary = per_entity[entity];
+      // Each row names its entity (v2): the loader can then reject
+      // duplicated or out-of-range rows instead of letting one slip
+      // shift every later summary onto the wrong entity.
+      *out << entity << ' ' << summary.num_markers() << ' '
+           << summary.unmatched_count();
       const size_t dim =
           summary.num_markers() > 0 ? summary.cell(0).centroid.size() : 0;
       *out << ' ' << dim << '\n';
@@ -178,7 +197,7 @@ Result<SubjectiveTables> LoadSummaries(const SubjectiveSchema& schema,
   if (!(*in >> magic >> version) || magic != kSummariesMagic) {
     return Status::ParseError("not an opinedb summaries file");
   }
-  if (version != kVersion) {
+  if (version != kSummariesVersion) {
     return Status::NotSupported("summaries version " +
                                 std::to_string(version));
   }
@@ -192,16 +211,40 @@ Result<SubjectiveTables> LoadSummaries(const SubjectiveSchema& schema,
         "schema has " + std::to_string(schema.num_attributes()) +
         " attributes, file has " + std::to_string(num_attributes));
   }
+  // The loader preallocates per-entity slots; cap the count before a
+  // corrupt header turns into a multi-gigabyte allocation.
+  if (num_entities > kMaxEntities) {
+    return Status::ParseError("implausible entity count " +
+                              std::to_string(num_entities));
+  }
   SubjectiveTables tables;
   tables.summaries.resize(num_attributes);
   for (size_t a = 0; a < num_attributes; ++a) {
+    // Rows carry explicit entity ids; track which slots have been
+    // filled so a duplicated row is an error, not a last-wins
+    // overwrite (and, by pigeonhole over num_entities rows, a
+    // duplicate is also the only way a slot could stay empty).
+    std::vector<MarkerSummary> loaded(num_entities);
+    std::vector<char> seen(num_entities, 0);
     for (size_t e = 0; e < num_entities; ++e) {
+      size_t entity = 0;
       size_t markers = 0;
       double unmatched = 0.0;
       size_t dim = 0;
-      if (!(*in >> markers >> unmatched >> dim)) {
+      if (!(*in >> entity >> markers >> unmatched >> dim)) {
         return Status::ParseError("bad summary header");
       }
+      if (entity >= num_entities) {
+        return Status::ParseError(
+            "entity row " + std::to_string(entity) + " out of range in " +
+            schema.attributes[a].name);
+      }
+      if (seen[entity]) {
+        return Status::InvalidArgument(
+            "duplicate entity row " + std::to_string(entity) + " in " +
+            schema.attributes[a].name);
+      }
+      seen[entity] = 1;
       if (dim > kMaxCentroidDim) {
         return Status::ParseError("implausible centroid dimension " +
                                   std::to_string(dim));
@@ -239,8 +282,9 @@ Result<SubjectiveTables> LoadSummaries(const SubjectiveSchema& schema,
         summary.RestoreCell(m, std::move(cell));
       }
       summary.SetUnmatchedCount(unmatched);
-      tables.summaries[a].push_back(std::move(summary));
+      loaded[entity] = std::move(summary);
     }
+    tables.summaries[a] = std::move(loaded);
   }
   std::string sentinel;
   if (!(*in >> sentinel) || sentinel != "end") {

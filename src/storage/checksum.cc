@@ -1,0 +1,70 @@
+#include "storage/checksum.h"
+
+#include <array>
+
+namespace opinedb::storage {
+
+namespace {
+
+/// Four 256-entry tables for slice-by-4, generated once at startup from
+/// the reflected Castagnoli polynomial. Table 0 alone is the classic
+/// byte-at-a-time table; tables 1..3 fold four bytes per step.
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 4> t;
+
+  Tables() {
+    constexpr uint32_t kPoly = 0x82f63b78u;  // 0x1EDC6F41 reflected.
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xff];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xff];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xff];
+    }
+  }
+};
+
+const Tables& GetTables() {
+  static const Tables* tables = new Tables();  // Leaked: process lifetime.
+  return *tables;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const Tables& tables = GetTables();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  // Byte-at-a-time until nothing remains or we can take 4-byte steps.
+  // Bytes are assembled explicitly (no reinterpret_cast loads), so the
+  // loop is alignment- and endianness-safe — this decoder runs under
+  // ubsan in CI.
+  while (n >= 4) {
+    const uint32_t word = static_cast<uint32_t>(p[0]) |
+                          (static_cast<uint32_t>(p[1]) << 8) |
+                          (static_cast<uint32_t>(p[2]) << 16) |
+                          (static_cast<uint32_t>(p[3]) << 24);
+    crc ^= word;
+    crc = tables.t[3][crc & 0xff] ^ tables.t[2][(crc >> 8) & 0xff] ^
+          tables.t[1][(crc >> 16) & 0xff] ^ tables.t[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n > 0) {
+    crc = (crc >> 8) ^ tables.t[0][(crc ^ *p) & 0xff];
+    ++p;
+    --n;
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+}  // namespace opinedb::storage

@@ -1,0 +1,45 @@
+#ifndef OPINEDB_STORAGE_CHECKSUM_H_
+#define OPINEDB_STORAGE_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace opinedb::storage {
+
+/// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected). The snapshot
+/// container checksums every section payload and the whole file with it:
+/// CRC32C detects all single-bit errors, all double-bit errors within
+/// its design distance and any burst up to 32 bits — exactly the torn
+/// write / bit-rot failure modes the recovery path must catch.
+///
+/// Software slice-by-4 implementation: no SSE4.2 dependency, ~1 GB/s,
+/// far faster than the iostream codecs it protects.
+uint32_t Crc32c(const void* data, size_t n);
+
+/// Incremental form: extends `crc` (a value previously returned by
+/// Crc32c / Crc32cExtend) over `n` more bytes.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+inline uint32_t Crc32c(std::string_view bytes) {
+  return Crc32c(bytes.data(), bytes.size());
+}
+
+/// Masking (the LevelDB/RocksDB idiom): a file that embeds CRCs of data
+/// which itself contains CRCs risks accidental fixed points (a CRC of a
+/// buffer containing that same CRC). Stored checksums are masked; verify
+/// with UnmaskCrc before comparing.
+inline uint32_t MaskCrc(uint32_t crc) {
+  constexpr uint32_t kMaskDelta = 0xa282ead8u;
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+
+inline uint32_t UnmaskCrc(uint32_t masked) {
+  constexpr uint32_t kMaskDelta = 0xa282ead8u;
+  const uint32_t rot = masked - kMaskDelta;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace opinedb::storage
+
+#endif  // OPINEDB_STORAGE_CHECKSUM_H_

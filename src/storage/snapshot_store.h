@@ -1,0 +1,127 @@
+#ifndef OPINEDB_STORAGE_SNAPSHOT_STORE_H_
+#define OPINEDB_STORAGE_SNAPSHOT_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace opinedb::storage {
+
+/// One named payload inside a snapshot (e.g. "schema", "summaries").
+/// Payloads are opaque bytes; the store checksums them, it does not
+/// interpret them.
+struct SnapshotSection {
+  std::string name;
+  std::string payload;
+};
+
+/// The result of a successful recovery: the newest fully valid
+/// generation plus what had to be skipped to find it.
+struct LoadedSnapshot {
+  uint64_t generation = 0;
+  std::vector<SnapshotSection> sections;
+  /// Newer generations that existed on disk but failed verification
+  /// (torn, truncated, bit-flipped). Zero on a clean open.
+  size_t skipped_generations = 0;
+  /// What the MANIFEST pointed at (0 when missing or invalid). Purely
+  /// informational: after a crash between the data and manifest renames
+  /// this lags `generation` by one, which operators can alert on.
+  uint64_t manifest_generation = 0;
+
+  /// Payload of the section named `name`, or nullptr if absent.
+  const std::string* Find(const std::string& name) const;
+};
+
+/// A directory-based, crash-safe snapshot store.
+///
+/// Layout:
+///
+///   <dir>/gen-000000000000N.snap   one immutable snapshot per commit
+///   <dir>/MANIFEST                 checksummed pointer to the intended
+///                                  current generation
+///   <dir>/*.tmp                    in-flight writes (ignored by
+///                                  recovery, swept by the next commit)
+///
+/// Every file is a framed container (see docs/PERSISTENCE.md):
+/// magic+version header, length-prefixed sections each carrying a
+/// CRC32C, and a footer with a whole-file CRC32C. Commit() is strictly
+/// atomic: write gen-N.tmp, fsync, rename into place, fsync the
+/// directory, then update MANIFEST through the same tmp+rename dance.
+/// A crash at any point leaves either the old current generation or the
+/// new one — never a half-visible state.
+///
+/// Recover() trusts nothing: it scans candidate generations newest
+/// first (the MANIFEST, when it verifies, only serves as a starting
+/// hint), verifies every section checksum and the file checksum, and
+/// returns the newest generation that verifies end to end. Torn writes,
+/// truncations, bit flips and stray tmp files therefore yield a clean
+/// older generation, or a typed error — never UB, a throw, or silently
+/// wrong data:
+///   - Status::NotFound   the directory holds no snapshot at all
+///                        (a fresh store);
+///   - Status::DataLoss   snapshots exist but none verifies.
+///
+/// Thread safety: a SnapshotStore is stateless between calls (every
+/// call re-reads the directory); distinct instances over the same
+/// directory are safe for concurrent Recover(), but concurrent
+/// Commit()s must be serialized externally (OpineDb::SaveDatabase does
+/// so with the engine reconfiguration lock).
+class SnapshotStore {
+ public:
+  explicit SnapshotStore(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// Commits `sections` as the next generation (max existing + 1).
+  /// Creates the directory if needed. Returns the committed generation
+  /// number. On error the store is unchanged up to stray tmp/corrupt
+  /// files that the next Commit/Recover tolerates by construction.
+  Result<uint64_t> Commit(const std::vector<SnapshotSection>& sections);
+
+  /// Recovers the newest fully valid generation (see class comment).
+  Result<LoadedSnapshot> Recover() const;
+
+  /// Generation numbers of every gen-*.snap present (ascending, no
+  /// validity check). Empty vector on a missing/empty directory.
+  std::vector<uint64_t> ListGenerations() const;
+
+  /// Removes all but the `keep` newest generation files (validity is
+  /// not checked — recovery already skips invalid ones, and keeping
+  /// more than one generation is exactly what makes fallback possible;
+  /// keep >= 2 is recommended). Never touches MANIFEST or tmp files.
+  Status GarbageCollect(size_t keep);
+
+  /// "gen-%013llu.snap" — zero-padded so lexicographic order equals
+  /// numeric order in directory listings.
+  static std::string GenerationFileName(uint64_t generation);
+
+  /// Parses a generation file name; returns false for anything else
+  /// (tmp files, MANIFEST, stray droppings).
+  static bool ParseGenerationFileName(const std::string& name,
+                                      uint64_t* generation);
+
+  /// Serializes sections into the framed container format (exposed for
+  /// tests and the corruption fuzzer; Commit uses it internally).
+  static std::string EncodeContainer(
+      const std::vector<SnapshotSection>& sections);
+
+  /// Verifies and decodes a framed container. Any violation — bad
+  /// magic, unknown version, truncation, section CRC, file CRC,
+  /// trailing garbage, implausible lengths — is a clean ParseError /
+  /// NotSupported; never a throw or an oversized allocation.
+  static Result<std::vector<SnapshotSection>> DecodeContainer(
+      std::string_view bytes);
+
+ private:
+  Status WriteFileAtomic(const std::string& final_name,
+                         const std::string& bytes, bool is_manifest);
+  std::string PathTo(const std::string& name) const;
+
+  std::string dir_;
+};
+
+}  // namespace opinedb::storage
+
+#endif  // OPINEDB_STORAGE_SNAPSHOT_STORE_H_

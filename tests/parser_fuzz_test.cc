@@ -29,6 +29,13 @@ const std::vector<std::string>& SeedCorpus() {
       "select * from hotels where price_pn <= 120.5 limit 3;",
       "select * from t where a != 1 or b <> 2 or c > -3",
       "select * from hotels",
+      // EXPLAIN-prefixed seeds: mutations probe the statement-prefix
+      // path (truncated keyword, doubled EXPLAIN, EXPLAIN spliced into
+      // the middle of a clause, ...).
+      "explain select * from hotels where \"clean room\" limit 10",
+      "EXPLAIN select * from hotels where (\"quiet street\" or "
+      "\"lively bar\") and price_pn < 300 limit 5",
+      "explain select * from restaurants where not \"slow service\";",
   };
   return corpus;
 }
@@ -197,6 +204,17 @@ TEST(ParserFuzzTest, NegativeComparisonLiteralStillParses) {
 TEST(ParserFuzzTest, UnterminatedQuotesAreParseErrors) {
   EXPECT_FALSE(ParseSubjectiveSql("select * from t where \"open").ok());
   EXPECT_FALSE(ParseSubjectiveSql("select * from t where x = 'open").ok());
+}
+
+TEST(ParserFuzzTest, ExplainPrefixSetsFlag) {
+  auto result = ParseSubjectiveSql(
+      "explain select * from hotels where \"clean room\" limit 10");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->explain);
+  EXPECT_EQ(result->table, "hotels");
+  // A bare EXPLAIN with nothing to explain is an error, not a crash.
+  EXPECT_FALSE(ParseSubjectiveSql("explain").ok());
+  EXPECT_FALSE(ParseSubjectiveSql("explain explain select * from t").ok());
 }
 
 TEST(ParserFuzzTest, DeeplyNestedParensDoNotCrash) {

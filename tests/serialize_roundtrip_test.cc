@@ -2,6 +2,7 @@
 // load cycle must be bit-exact (doubles compared with EXPECT_EQ, no
 // tolerance), and corrupt or truncated streams must produce clean
 // Status errors — never exceptions, crashes, or huge allocations.
+#include <random>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -217,9 +218,9 @@ TEST(SerializeRoundtripTest, ImplausibleStringLengthIsParseError) {
 TEST(SerializeRoundtripTest, ImplausibleDimensionIsParseError) {
   const SubjectiveSchema schema = MakeSchema();
   // Valid header for schema (2 attributes, 1 entity), then a summary
-  // claiming a ludicrous centroid dimension.
+  // row (entity 0) claiming a ludicrous centroid dimension.
   std::stringstream stream(
-      "opinedb-summaries 1\n2 1\n3 0 999999999999\n");
+      "opinedb-summaries 2\n2 1\n0 3 0 999999999999\n");
   auto loaded = LoadSummaries(schema, &stream);
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
@@ -229,7 +230,7 @@ TEST(SerializeRoundtripTest, ImplausibleProvenanceCountIsParseError) {
   const SubjectiveSchema schema = MakeSchema();
   // One marker cell whose provenance count would allocate gigabytes.
   std::stringstream stream(
-      "opinedb-summaries 1\n2 1\n3 0 1\n1 0 0 99999999999\n");
+      "opinedb-summaries 2\n2 1\n0 3 0 1\n1 0 0 99999999999\n");
   auto loaded = LoadSummaries(schema, &stream);
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
@@ -237,10 +238,179 @@ TEST(SerializeRoundtripTest, ImplausibleProvenanceCountIsParseError) {
 
 TEST(SerializeRoundtripTest, AttributeCountMismatchIsInvalidArgument) {
   const SubjectiveSchema schema = MakeSchema();  // 2 attributes.
-  std::stringstream stream("opinedb-summaries 1\n5 1\n");
+  std::stringstream stream("opinedb-summaries 2\n5 1\n");
   auto loaded = LoadSummaries(schema, &stream);
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeRoundtripTest, ImplausibleEntityCountIsParseError) {
+  const SubjectiveSchema schema = MakeSchema();
+  // The loader preallocates per-entity slots, so a corrupt entity count
+  // must be rejected before it turns into a giant allocation.
+  std::stringstream stream("opinedb-summaries 2\n2 99999999999\n");
+  auto loaded = LoadSummaries(schema, &stream);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+// ------------------------------------------------ Duplicate-key rows.
+
+TEST(SerializeRoundtripTest, DuplicateAttributeNameIsInvalidArgument) {
+  SubjectiveSchema schema = MakeSchema();
+  schema.attributes[1].name = schema.attributes[0].name;
+  schema.attributes[1].summary_type.name = schema.attributes[0].name;
+  std::stringstream stream;
+  // The saver is a dumb encoder; the loader is the gatekeeper.
+  ASSERT_TRUE(SaveSchema(schema, &stream).ok());
+  auto loaded = LoadSchema(&stream);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  // The error must name the offending key.
+  EXPECT_NE(loaded.status().message().find("room_cleanliness"),
+            std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(SerializeRoundtripTest, DuplicateEntityRowIsInvalidArgument) {
+  const SubjectiveSchema schema = MakeSchema();
+  // Two entities, but both rows of attribute 0 claim entity 0 (dim 0,
+  // three empty marker cells each, matching the schema's marker count).
+  std::stringstream stream(
+      "opinedb-summaries 2\n2 2\n"
+      "0 3 0.5 0\n1 0 0\n1 0 0\n1 0 0\n"
+      "0 3 0.5 0\n");
+  auto loaded = LoadSummaries(schema, &stream);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("duplicate entity row 0"),
+            std::string::npos)
+      << loaded.status().ToString();
+  EXPECT_NE(loaded.status().message().find("room_cleanliness"),
+            std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(SerializeRoundtripTest, OutOfRangeEntityRowIsParseError) {
+  const SubjectiveSchema schema = MakeSchema();
+  std::stringstream stream(
+      "opinedb-summaries 2\n2 2\n"
+      "0 3 0.5 0\n1 0 0\n1 0 0\n1 0 0\n"
+      "7 3 0.5 0\n");
+  auto loaded = LoadSummaries(schema, &stream);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  EXPECT_NE(loaded.status().message().find("out of range"),
+            std::string::npos)
+      << loaded.status().ToString();
+}
+
+// --------------------------------------- Byte / bit flip fuzzing.
+//
+// Beyond truncation: flip one byte (or one bit) at a random offset of a
+// valid stream. Every mutation must either load as a clean Status error
+// or load successfully into a value that re-serializes stably — never
+// crash, throw, or hang. A flip can land in serialized whitespace or a
+// numeral and still parse; "stable" means save(load(mutated)) is a
+// fixed point of a further load/save cycle.
+
+template <typename LoadFn, typename SaveFn>
+void FuzzFlips(const std::string& golden, uint32_t seed, bool bit_level,
+               const LoadFn& load, const SaveFn& save) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<size_t> pick_offset(0, golden.size() - 1);
+  std::uniform_int_distribution<int> pick_bit(0, 7);
+  std::uniform_int_distribution<int> pick_byte(1, 255);
+  constexpr int kTrials = 2000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::string mutated = golden;
+    const size_t offset = pick_offset(rng);
+    if (bit_level) {
+      mutated[offset] = static_cast<char>(
+          static_cast<unsigned char>(mutated[offset]) ^ (1u << pick_bit(rng)));
+    } else {
+      mutated[offset] = static_cast<char>(
+          static_cast<unsigned char>(mutated[offset]) ^ pick_byte(rng));
+    }
+    ASSERT_NO_THROW({
+      auto loaded = load(mutated);
+      if (loaded.ok()) {
+        const std::string once = save(*loaded);
+        auto reloaded = load(once);
+        ASSERT_TRUE(reloaded.ok())
+            << "reload of accepted mutation failed at offset " << offset
+            << ": " << reloaded.status().ToString();
+        EXPECT_EQ(save(*reloaded), once)
+            << "unstable round trip for mutation at offset " << offset;
+      }
+    }) << "mutation at offset " << offset << " (trial " << trial << ")";
+  }
+}
+
+TEST(SerializeRoundtripTest, SchemaSurvivesRandomByteFlips) {
+  std::stringstream stream;
+  ASSERT_TRUE(SaveSchema(MakeSchema(), &stream).ok());
+  const auto load = [](const std::string& bytes) {
+    std::stringstream in(bytes);
+    return LoadSchema(&in);
+  };
+  const auto save = [](const SubjectiveSchema& schema) {
+    std::stringstream out;
+    EXPECT_TRUE(SaveSchema(schema, &out).ok());
+    return out.str();
+  };
+  FuzzFlips(stream.str(), /*seed=*/0x5eed0001, /*bit_level=*/false, load,
+            save);
+}
+
+TEST(SerializeRoundtripTest, SchemaSurvivesRandomBitFlips) {
+  std::stringstream stream;
+  ASSERT_TRUE(SaveSchema(MakeSchema(), &stream).ok());
+  const auto load = [](const std::string& bytes) {
+    std::stringstream in(bytes);
+    return LoadSchema(&in);
+  };
+  const auto save = [](const SubjectiveSchema& schema) {
+    std::stringstream out;
+    EXPECT_TRUE(SaveSchema(schema, &out).ok());
+    return out.str();
+  };
+  FuzzFlips(stream.str(), /*seed=*/0x5eed0002, /*bit_level=*/true, load,
+            save);
+}
+
+TEST(SerializeRoundtripTest, SummariesSurviveRandomByteFlips) {
+  const SubjectiveSchema schema = MakeSchema();
+  std::stringstream stream;
+  ASSERT_TRUE(SaveSummaries(MakeSummaries(schema), &stream).ok());
+  const auto load = [&schema](const std::string& bytes) {
+    std::stringstream in(bytes);
+    return LoadSummaries(schema, &in);
+  };
+  const auto save = [](const SubjectiveTables& tables) {
+    std::stringstream out;
+    EXPECT_TRUE(SaveSummaries(tables, &out).ok());
+    return out.str();
+  };
+  FuzzFlips(stream.str(), /*seed=*/0x5eed0003, /*bit_level=*/false, load,
+            save);
+}
+
+TEST(SerializeRoundtripTest, SummariesSurviveRandomBitFlips) {
+  const SubjectiveSchema schema = MakeSchema();
+  std::stringstream stream;
+  ASSERT_TRUE(SaveSummaries(MakeSummaries(schema), &stream).ok());
+  const auto load = [&schema](const std::string& bytes) {
+    std::stringstream in(bytes);
+    return LoadSummaries(schema, &in);
+  };
+  const auto save = [](const SubjectiveTables& tables) {
+    std::stringstream out;
+    EXPECT_TRUE(SaveSummaries(tables, &out).ok());
+    return out.str();
+  };
+  FuzzFlips(stream.str(), /*seed=*/0x5eed0004, /*bit_level=*/true, load,
+            save);
 }
 
 }  // namespace
