@@ -14,7 +14,10 @@
 // cache, writing BENCH_planner.json (skip with
 // OPINEDB_SKIP_PLANNER_SWEEP=1), and a snapshot-store sweep times
 // SaveDatabase / OpenDatabase / corrupted-generation fallback recovery,
-// writing BENCH_snapshot.json (skip with OPINEDB_SKIP_SNAPSHOT_SWEEP=1).
+// writing BENCH_snapshot.json (skip with OPINEDB_SKIP_SNAPSHOT_SWEEP=1),
+// and a result/interpretation-cache sweep times a zipfian repeat mix
+// cold, warm and post-Reaggregate, writing BENCH_cache.json (skip with
+// OPINEDB_SKIP_CACHE_SWEEP=1).
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
@@ -27,6 +30,9 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
+#include "cache/cache_config.h"
+#include "cache/interpretation_cache.h"
+#include "cache/result_cache.h"
 #include "common/rng.h"
 #include "common/timer.h"
 #include "core/degree_cache.h"
@@ -625,6 +631,160 @@ void RunSnapshotSweep() {
          fallback_ms - open_ms);
 }
 
+// ----------------------------------------------------- Cache sweep.
+
+/// Cold / warm / post-Reaggregate timings of a zipfian repeat mix over
+/// ~40 distinct queries (docs/CACHING.md). "Cold" is the cache-disabled
+/// engine; "fill" is the first cache-enabled pass (misses + fills);
+/// "warm" is the steady-state pass the result cache exists for; the
+/// post-Reaggregate pass prices the recovery after a wholesale epoch
+/// invalidation. Hit rates come from both the cache counters and the
+/// engine.cache.* metrics (the sweep runs at trace_level=stats so the
+/// counters publish).
+void RunCacheSweep() {
+  printf("\nCache sweep: zipfian repeat mix, cold vs warm vs "
+         "post-Reaggregate on the seed hotel dataset...\n");
+  auto artifacts =
+      eval::BuildArtifacts(datagen::HotelDomain(), bench::HotelBuildOptions());
+  core::OpineDb& db = *artifacts.db;
+  db.SetTraceLevel(obs::TraceLevel::kStats);
+  const int repeats = std::max(bench::Repeats(), 5);
+
+  // ~40 distinct queries; zipfian rank weights 1/(rank+1) concentrate
+  // most of the 400-execution stream on the head of the list.
+  constexpr size_t kDistinct = 40;
+  constexpr size_t kStream = 400;
+  // Each predicate appears at two different LIMITs: distinct result-
+  // cache keys, shared interpretation-cache keys — so the sweep
+  // exercises both layers (an interp hit under a result miss).
+  std::vector<std::string> queries;
+  for (size_t i = 0; i < kDistinct; ++i) {
+    const size_t limit = (i < kDistinct / 2) ? 5 + i % 3 : 10 + i % 3;
+    queries.push_back(
+        "select * from hotels where \"" +
+        artifacts.pool[(i % (kDistinct / 2)) % artifacts.pool.size()].text +
+        "\" limit " + std::to_string(limit));
+  }
+  std::vector<double> weights(kDistinct);
+  double total_weight = 0.0;
+  for (size_t i = 0; i < kDistinct; ++i) {
+    weights[i] = 1.0 / static_cast<double>(i + 1);
+    total_weight += weights[i];
+  }
+  std::vector<size_t> stream;
+  stream.reserve(kStream);
+  Rng rng(7);
+  for (size_t q = 0; q < kStream; ++q) {
+    double pick = rng.Uniform() * total_weight;
+    size_t idx = 0;
+    while (idx + 1 < kDistinct && pick > weights[idx]) {
+      pick -= weights[idx];
+      ++idx;
+    }
+    stream.push_back(idx);
+  }
+
+  auto run_stream = [&] {
+    for (const size_t idx : stream) {
+      auto result = db.Execute(queries[idx]);
+      if (!result.ok()) {
+        fprintf(stderr, "query failed: %s\n",
+                result.status().ToString().c_str());
+        std::exit(1);
+      }
+    }
+  };
+
+  // Cold: no caches at all — every execution pays the full cascade.
+  const double cold_ms = BestOfMs(repeats, run_stream);
+
+  // Fill: first cache-enabled pass (misses + insert cost), measured
+  // once — repeating it would measure warm hits.
+  cache::CacheConfig config;
+  config.enable_interpretation = true;
+  config.enable_results = true;
+  config.result_cache_bytes = 32u << 20;
+  db.ConfigureCaches(config);
+  const double fill_ms = TimeMs(run_stream);
+
+  // Warm: the steady state. Every repeat serves from the result cache.
+  const double warm_ms = BestOfMs(repeats, run_stream);
+  const uint64_t warm_hits = db.result_cache()->hits();
+  const uint64_t warm_misses = db.result_cache()->misses();
+  const uint64_t interp_hits = db.interpretation_cache()->hits();
+  const uint64_t interp_misses = db.interpretation_cache()->misses();
+  const double hit_rate =
+      static_cast<double>(warm_hits) /
+      static_cast<double>(std::max<uint64_t>(warm_hits + warm_misses, 1));
+
+  // Post-Reaggregate: the epoch bump empties everything; one recovery
+  // pass re-fills (same options, so the summaries are bit-identical —
+  // this prices pure invalidation, not new data).
+  db.Reaggregate(db.options().aggregation);
+  if (db.result_cache()->size() != 0) {
+    fprintf(stderr, "Reaggregate left the result cache populated\n");
+    std::exit(1);
+  }
+  const double recovery_ms = TimeMs(run_stream);
+
+  const double speedup = cold_ms / std::max(warm_ms, 1e-9);
+  db.ConfigureCaches(cache::CacheConfig());
+  db.SetTraceLevel(obs::TraceLevel::kOff);
+
+  auto& metrics = obs::MetricsRegistry::Global();
+  const double metric_hits = metrics.GetCounter("engine.cache.hit")->Value();
+  const double metric_misses =
+      metrics.GetCounter("engine.cache.miss")->Value();
+  const double metric_interp_hits =
+      metrics.GetCounter("engine.cache.interp_hit")->Value();
+
+  printf("  cold %8.2f ms  fill %8.2f ms  warm %8.2f ms  "
+         "post-reaggregate %8.2f ms  (warm speedup %.1fx, hit rate "
+         "%.3f)\n",
+         cold_ms, fill_ms, warm_ms, recovery_ms, speedup, hit_rate);
+  if (speedup < 10.0) {
+    fprintf(stderr,
+            "warm speedup %.1fx below the 10x acceptance floor\n", speedup);
+    std::exit(1);
+  }
+
+  FILE* out = fopen("BENCH_cache.json", "w");
+  if (out == nullptr) {
+    fprintf(stderr, "cannot write BENCH_cache.json\n");
+    std::exit(1);
+  }
+  fprintf(out, "{\n");
+  fprintf(out, "  \"bench\": \"cache_sweep\",\n");
+  fprintf(out, "  \"dataset\": \"hotel_seed\",\n");
+  fprintf(out, "  \"hardware_concurrency\": %u,\n",
+          std::thread::hardware_concurrency());
+  fprintf(out, "  \"repeats\": %d,\n", repeats);
+  fprintf(out, "  \"distinct_queries\": %zu,\n", kDistinct);
+  fprintf(out, "  \"stream_length\": %zu,\n", kStream);
+  fprintf(out, "  \"result_cache_bytes\": %u,\n", 32u << 20);
+  fprintf(out, "  \"cold_stream_ms\": %g,\n", cold_ms);
+  fprintf(out, "  \"fill_stream_ms\": %g,\n", fill_ms);
+  fprintf(out, "  \"warm_stream_ms\": %g,\n", warm_ms);
+  fprintf(out, "  \"post_reaggregate_stream_ms\": %g,\n", recovery_ms);
+  fprintf(out, "  \"warm_speedup\": %g,\n", speedup);
+  fprintf(out, "  \"result_cache_hits\": %llu,\n",
+          static_cast<unsigned long long>(warm_hits));
+  fprintf(out, "  \"result_cache_misses\": %llu,\n",
+          static_cast<unsigned long long>(warm_misses));
+  fprintf(out, "  \"result_cache_hit_rate\": %g,\n", hit_rate);
+  fprintf(out, "  \"interp_cache_hits\": %llu,\n",
+          static_cast<unsigned long long>(interp_hits));
+  fprintf(out, "  \"interp_cache_misses\": %llu,\n",
+          static_cast<unsigned long long>(interp_misses));
+  fprintf(out, "  \"metric_engine_cache_hit\": %g,\n", metric_hits);
+  fprintf(out, "  \"metric_engine_cache_miss\": %g,\n", metric_misses);
+  fprintf(out, "  \"metric_engine_cache_interp_hit\": %g\n",
+          metric_interp_hits);
+  fprintf(out, "}\n");
+  fclose(out);
+  printf("  wrote BENCH_cache.json (warm speedup %.1fx)\n", speedup);
+}
+
 }  // namespace
 }  // namespace opinedb
 
@@ -648,6 +808,10 @@ int main(int argc, char** argv) {
   const char* skip_snapshot = std::getenv("OPINEDB_SKIP_SNAPSHOT_SWEEP");
   if (skip_snapshot == nullptr || skip_snapshot[0] == '0') {
     opinedb::RunSnapshotSweep();
+  }
+  const char* skip_cache = std::getenv("OPINEDB_SKIP_CACHE_SWEEP");
+  if (skip_cache == nullptr || skip_cache[0] == '0') {
+    opinedb::RunCacheSweep();
   }
   return 0;
 }

@@ -36,6 +36,11 @@ inline constexpr const char* kSites[] = {
     "score.text_fallback",   // OpineDb::TextFallbackDegree entry.
     "score.alloc",           // Degree-list allocation in SubjectiveScoreOp.
     "ta.round",              // ThresholdAlgorithmTopK round loop.
+    "cache.interp_lookup",   // Interpretation-cache consult (ExecuteQuery
+                             // prologue / PredicateDegreeOfTruth).
+    "cache.interp_insert",   // Interpretation-cache fill.
+    "cache.result_lookup",   // Result-cache consult in ExecuteQuery.
+    "cache.result_insert",   // Result-cache fill after execution.
 };
 
 /// Storage fault sites (the snapshot commit protocol). These live in a

@@ -32,6 +32,16 @@ bool EndsWith(std::string_view s, std::string_view suffix);
 /// True if `needle` occurs in `haystack` (case-sensitive).
 bool Contains(std::string_view haystack, std::string_view needle);
 
+/// Canonical form of a subjective predicate for cache keying: ASCII
+/// lower-cased, leading/trailing whitespace stripped, interior
+/// whitespace runs collapsed to one space. Safe as a cache key because
+/// every consumer of predicate text (phrase embedding, sentiment,
+/// interpretation, BM25 fallback) tokenizes it with the lowercasing
+/// Tokenizer first, which is invariant under exactly these rewrites.
+/// Punctuation is kept: dropping it would also be tokenizer-invariant,
+/// but intra-word characters ("don't") are not, so we stay conservative.
+std::string NormalizePredicate(std::string_view s);
+
 }  // namespace opinedb
 
 #endif  // OPINEDB_COMMON_STRING_UTIL_H_

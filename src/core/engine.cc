@@ -5,7 +5,10 @@
 #include <mutex>
 #include <sstream>
 
+#include "cache/interpretation_cache.h"
+#include "cache/result_cache.h"
 #include "common/fault.h"
+#include "common/string_util.h"
 #include "common/timer.h"
 #include "core/degree_cache.h"
 #include "core/exec_ops.h"
@@ -24,8 +27,11 @@ double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
 /// Section names inside a database snapshot container.
 constexpr char kSchemaSection[] = "schema";
 constexpr char kSummariesSection[] = "summaries";
+constexpr char kInterpCacheSection[] = "interp_cache";
 
 }  // namespace
+
+OpineDb::~OpineDb() = default;
 
 std::unique_ptr<OpineDb> OpineDb::Build(
     text::ReviewCorpus corpus, SubjectiveSchema schema,
@@ -42,6 +48,13 @@ std::unique_ptr<OpineDb> OpineDb::Build(
   }
   if (ThreadPool::ResolveThreads(options.num_threads) > 1) {
     db.pool_ = std::make_unique<ThreadPool>(options.num_threads);
+  }
+  if (options.cache.enable_interpretation) {
+    db.interp_cache_ = std::make_unique<cache::InterpretationCache>();
+  }
+  if (options.cache.enable_results) {
+    db.result_cache_ =
+        std::make_unique<cache::ResultCache>(options.cache.result_cache_bytes);
   }
 
   // 1. Tokenize reviews; build the review index (one document per
@@ -169,7 +182,48 @@ Status OpineDb::TrainMembership(
   }
   std::unique_lock<std::shared_mutex> lock(reconfig_mu_);
   membership_ = MembershipModel::Train(tuples, seed);
+  // A new membership model changes every degree of truth the engine
+  // emits: cached results, interpretations-with-degrees and degree
+  // lists all describe the old model. (The degree-cache clear here is a
+  // bugfix — TrainMembership previously left stale lists resident.)
+  InvalidateCachesLocked();
   return Status::OK();
+}
+
+void OpineDb::InvalidateCachesLocked() {
+  const uint64_t epoch =
+      cache_epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (result_cache_ != nullptr) result_cache_->Clear();
+  if (interp_cache_ != nullptr) interp_cache_->Clear();
+  if (degree_cache_ != nullptr) {
+    // The exclusive reconfiguration lock provides the external
+    // synchronization Clear() demands (no concurrent readers, no
+    // outstanding references).
+    degree_cache_->Clear();
+    OPINEDB_METRIC_GAUGE_SET("engine.cache_epoch",
+                             static_cast<double>(degree_cache_->epoch()));
+  }
+  OPINEDB_METRIC_GAUGE_SET("engine.cache.epoch", static_cast<double>(epoch));
+}
+
+void OpineDb::ConfigureCaches(const cache::CacheConfig& config) {
+  std::unique_lock<std::shared_mutex> lock(reconfig_mu_);
+  options_.cache = config;
+  if (config.enable_interpretation) {
+    if (interp_cache_ == nullptr) {
+      interp_cache_ = std::make_unique<cache::InterpretationCache>();
+    }
+  } else {
+    interp_cache_.reset();
+  }
+  if (config.enable_results) {
+    // Always rebuilt: the byte budget is a constructor parameter, and a
+    // fresh empty cache is cheap next to any real serving mix.
+    result_cache_ =
+        std::make_unique<cache::ResultCache>(config.result_cache_bytes);
+  } else {
+    result_cache_.reset();
+  }
 }
 
 void OpineDb::Reaggregate(const AggregationOptions& aggregation) {
@@ -181,15 +235,10 @@ void OpineDb::Reaggregate(const AggregationOptions& aggregation) {
   tables_ = aggregator_->Build(corpus_, std::move(extractions), aggregation,
                                pool_.get());
   RebuildDerivedState();
-  // The cached degree lists were computed against the old summaries;
-  // serving them now would silently ignore the re-aggregation. The
-  // exclusive lock provides the external synchronization Clear()
-  // demands (no concurrent readers, no outstanding references).
-  if (degree_cache_ != nullptr) {
-    degree_cache_->Clear();
-    OPINEDB_METRIC_GAUGE_SET("engine.cache_epoch",
-                             static_cast<double>(degree_cache_->epoch()));
-  }
+  // Every cached artifact (results, interpretations, degree lists) was
+  // computed against the old summaries; serving any of them now would
+  // silently ignore the re-aggregation.
+  InvalidateCachesLocked();
 }
 
 void OpineDb::SetNumThreads(size_t num_threads) {
@@ -234,6 +283,19 @@ Status OpineDb::SaveDatabase(const std::string& dir) const {
   sections[0].payload = std::move(schema_bytes).str();
   sections[1].name = kSummariesSection;
   sections[1].payload = std::move(summaries_bytes).str();
+  // A warm interpretation cache rides along so a reopened database
+  // serves warm (docs/CACHING.md). Derived data: older snapshots
+  // without the section (and engines without the layer) stay valid,
+  // and OpenDatabase treats a corrupt section as a cold open.
+  if (interp_cache_ != nullptr && interp_cache_->size() > 0) {
+    std::ostringstream interp_bytes;
+    status = cache::SaveInterpretationCache(*interp_cache_, &interp_bytes);
+    if (!status.ok()) return status;
+    storage::SnapshotSection interp_section;
+    interp_section.name = kInterpCacheSection;
+    interp_section.payload = std::move(interp_bytes).str();
+    sections.push_back(std::move(interp_section));
+  }
   storage::SnapshotStore store(dir);
   auto generation = store.Commit(sections);
   if (!generation.ok()) {
@@ -304,8 +366,29 @@ Status OpineDb::OpenDatabase(const std::string& dir) {
   tables_.extraction_marker.clear();
   tables_.extraction_margin.clear();
   RebuildDerivedState();
-  // Cached degree lists were computed against the replaced summaries.
-  if (degree_cache_ != nullptr) degree_cache_->Clear();
+  // Every cache layer described the replaced summaries; the epoch bump
+  // invalidates them wholesale.
+  InvalidateCachesLocked();
+  // Warm-start the interpretation cache from the snapshot's optional
+  // section, tagged with the fresh epoch. Strictly an optimization:
+  // an old-format snapshot (no section) or a corrupt payload opens
+  // cold, never fails the open — unlike schema/summaries, this data is
+  // re-derivable by simply executing queries.
+  if (interp_cache_ != nullptr) {
+    const std::string* interp_payload = snapshot->Find(kInterpCacheSection);
+    if (interp_payload != nullptr) {
+      std::istringstream interp_stream(*interp_payload);
+      const Status warm = cache::LoadInterpretationCache(
+          &interp_stream, cache_epoch_.load(std::memory_order_relaxed),
+          interp_cache_.get());
+      if (warm.ok()) {
+        OPINEDB_METRIC_COUNT("engine.cache.warm_entries",
+                             interp_cache_->size());
+      } else {
+        OPINEDB_METRIC_COUNT("engine.cache.warm_load_failures", 1);
+      }
+    }
+  }
   snapshot_generation_.store(snapshot->generation,
                              std::memory_order_relaxed);
   OPINEDB_METRIC_COUNT("storage.snapshot.loads", 1);
@@ -373,13 +456,49 @@ double OpineDb::PredicateDegreeOfTruth(const std::string& predicate,
   // Top-level entry point (like ExecuteQuery): hold the reconfiguration
   // lock shared so tables_/interpreter_ cannot be rebuilt mid-call.
   std::shared_lock<std::shared_mutex> reconfig_lock(reconfig_mu_);
-  const auto interpretation = interpreter_->Interpret(predicate);
+  const uint64_t cache_epoch = cache_epoch_.load(std::memory_order_relaxed);
+  std::string cache_key;
+  PredicateInterpretation interpretation;
+  embedding::Vec rep;
+  double senti = 0.0;
+  bool cached = false;
+  if (interp_cache_ != nullptr) {
+    cache_key = NormalizePredicate(predicate);
+    try {
+      OPINEDB_FAULT("cache.interp_lookup");
+      cache::InterpretationCache::Entry entry;
+      if (interp_cache_->Lookup(cache_key, cache_epoch, &entry)) {
+        interpretation = std::move(entry.interpretation);
+        rep = std::move(entry.rep);
+        senti = entry.sentiment;
+        cached = true;
+      }
+    } catch (const std::exception&) {
+      OPINEDB_METRIC_COUNT("engine.fallback.interp_cache", 1);
+    }
+  }
+  if (!cached) interpretation = interpreter_->Interpret(predicate);
   if (interpretation.method == InterpretMethod::kTextFallback ||
       interpretation.atoms.empty()) {
     return TextFallbackDegree(predicate, entity);
   }
-  const embedding::Vec rep = embedder_->Represent(predicate);
-  const double senti = analyzer_.ScorePhrase(predicate);
+  if (!cached) {
+    rep = embedder_->Represent(predicate);
+    senti = analyzer_.ScorePhrase(predicate);
+    if (interp_cache_ != nullptr && !interpretation.degraded) {
+      try {
+        OPINEDB_FAULT("cache.interp_insert");
+        cache::InterpretationCache::Entry entry;
+        entry.interpretation = interpretation;
+        entry.rep = rep;
+        entry.sentiment = senti;
+        entry.epoch = cache_epoch;
+        interp_cache_->Insert(cache_key, std::move(entry));
+      } catch (const std::exception&) {
+        OPINEDB_METRIC_COUNT("engine.fallback.interp_cache", 1);
+      }
+    }
+  }
   double acc = 0.0;
   bool first = true;
   for (const auto& atom : interpretation.atoms) {
@@ -460,6 +579,64 @@ Result<QueryResult> OpineDb::ExecuteQuery(const SubjectiveQuery& query,
   if (!table_result.ok()) return table_result.status();
   const storage::Table* table = *table_result;
 
+  // ----------------------------------------------------- result cache.
+  // Consulted before planning: a hit skips the whole pipeline. EXPLAIN
+  // and forced-plan queries bypass the cache entirely (EXPLAIN wants
+  // this execution's plan text; a forced shape wants this execution's
+  // work — serving either from cache would answer a different
+  // question). The epoch is read once up front; mutators bump it under
+  // the exclusive reconfiguration lock, so it cannot move mid-query.
+  const uint64_t cache_epoch = cache_epoch_.load(std::memory_order_relaxed);
+  const bool result_cacheable = result_cache_ != nullptr && !query.explain &&
+                                options_.force_plan == PlanForce::kAuto;
+  bool result_cache_fault = false;
+  std::string cache_key;
+  if (result_cacheable) {
+    cache_key = CanonicalQueryKey(query);
+    query_span.AddAttribute("query_fingerprint",
+                            cache::ResultCache::Fingerprint(cache_key));
+    try {
+      OPINEDB_FAULT("cache.result_lookup");
+      cache::CachedResult hit;
+      if (result_cache_->Lookup(cache_key, cache_epoch, &hit)) {
+        // Bit-identical to execution by the differential cache-
+        // equivalence contract (docs/CACHING.md): results and
+        // interpretations are the fill-time values, `plan` reports the
+        // shape that produced them, and stats/trace are this call's
+        // own (nothing executed, so the phase timings stay zero).
+        output.results = std::move(hit.results);
+        output.interpretations = std::move(hit.interpretations);
+        output.plan = hit.plan;
+        output.stats.result_cache_hit = true;
+        query_span.AddAttribute("result_cache", "hit");
+        query_span.AddAttribute("plan", PlanKindName(output.plan));
+        output.stats.total_ms = total.ElapsedMillis();
+        if (options_.trace_level >= obs::TraceLevel::kStats) {
+          OPINEDB_METRIC_COUNT("engine.queries", 1);
+          OPINEDB_METRIC_COUNT("engine.cache.hit", 1);
+          OPINEDB_METRIC_LATENCY_MS("engine.total_ms",
+                                    output.stats.total_ms);
+          OPINEDB_METRIC_GAUGE_SET(
+              "engine.cache.bytes",
+              static_cast<double>(result_cache_->bytes()));
+          OPINEDB_METRIC_GAUGE_SET("engine.cache.epoch",
+                                   static_cast<double>(cache_epoch));
+        }
+        return output;
+      }
+      query_span.AddAttribute("result_cache", "miss");
+      if (options_.trace_level >= obs::TraceLevel::kStats) {
+        OPINEDB_METRIC_COUNT("engine.cache.miss", 1);
+      }
+    } catch (const std::exception&) {
+      // Cache machinery unusable: answer by full execution (complete
+      // and bit-identical, but off the preferred path → degraded), and
+      // keep this query out of the cache.
+      result_cache_fault = true;
+      OPINEDB_METRIC_COUNT("engine.fallback.result_cache", 1);
+    }
+  }
+
   // ------------------------------------------------------------- plan.
   // Lower the parsed AST into its logical view, then pick the physical
   // operator chain. Every plan shape is bit-identical to the dense scan
@@ -492,6 +669,30 @@ Result<QueryResult> OpineDb::ExecuteQuery(const SubjectiveQuery& query,
     for (size_t c = 0; c < num_conditions; ++c) {
       const Condition& condition = query.conditions[c];
       if (condition.kind != Condition::Kind::kSubjective) continue;
+      // Interpretation-cache consult: the cascade output is a pure
+      // function of (normalized predicate, epoch), so a hit skips the
+      // w2v / co-occurrence lookups and the embedding prologue whole.
+      std::string interp_key;
+      bool interp_cached = false;
+      if (interp_cache_ != nullptr) {
+        interp_key = NormalizePredicate(condition.subjective);
+        try {
+          OPINEDB_FAULT("cache.interp_lookup");
+          cache::InterpretationCache::Entry entry;
+          if (interp_cache_->Lookup(interp_key, cache_epoch, &entry)) {
+            output.interpretations[c] = std::move(entry.interpretation);
+            reps[c] = std::move(entry.rep);
+            sentis[c] = entry.sentiment;
+            interp_cached = true;
+            OPINEDB_METRIC_COUNT("engine.cache.interp_hit", 1);
+          } else {
+            OPINEDB_METRIC_COUNT("engine.cache.interp_miss", 1);
+          }
+        } catch (const std::exception&) {
+          OPINEDB_METRIC_COUNT("engine.fallback.interp_cache", 1);
+        }
+      }
+      if (interp_cached) continue;
       try {
         OPINEDB_FAULT("interpret.embed");
         output.interpretations[c] =
@@ -506,7 +707,24 @@ Result<QueryResult> OpineDb::ExecuteQuery(const SubjectiveQuery& query,
         output.interpretations[c].degraded = true;
         OPINEDB_METRIC_COUNT("engine.fallback.interpret", 1);
       }
-      if (output.interpretations[c].degraded) degraded = true;
+      if (output.interpretations[c].degraded) {
+        degraded = true;
+      } else if (interp_cache_ != nullptr && deadline == nullptr) {
+        // Fill only full-fidelity entries: a degraded interpretation
+        // would be served forever while the underlying fault is long
+        // gone, and a deadline-shaped one may have skipped stages.
+        try {
+          OPINEDB_FAULT("cache.interp_insert");
+          cache::InterpretationCache::Entry entry;
+          entry.interpretation = output.interpretations[c];
+          entry.rep = reps[c];
+          entry.sentiment = sentis[c];
+          entry.epoch = cache_epoch;
+          interp_cache_->Insert(interp_key, std::move(entry));
+        } catch (const std::exception&) {
+          OPINEDB_METRIC_COUNT("engine.fallback.interp_cache", 1);
+        }
+      }
     }
   }
   output.stats.interpret_ms = phase.ElapsedMillis();
@@ -564,7 +782,8 @@ Result<QueryResult> OpineDb::ExecuteQuery(const SubjectiveQuery& query,
                             e.what());
   }
   output.partial = ctx.partial;
-  output.degraded = degraded || ctx.degraded.load(std::memory_order_relaxed);
+  output.degraded = degraded || result_cache_fault ||
+                    ctx.degraded.load(std::memory_order_relaxed);
   if (output.partial) {
     query_span.AddAttribute("partial", true);
     OPINEDB_METRIC_COUNT("engine.deadline_exceeded", 1);
@@ -594,6 +813,10 @@ Result<QueryResult> OpineDb::ExecuteQuery(const SubjectiveQuery& query,
           "engine.cache_epoch",
           static_cast<double>(degree_cache_->epoch()));
     }
+    if (result_cache_ != nullptr || interp_cache_ != nullptr) {
+      OPINEDB_METRIC_GAUGE_SET("engine.cache.epoch",
+                               static_cast<double>(cache_epoch));
+    }
     // The metric macros cache their instrument in a function-local
     // static, so each plan kind gets its own literal call site.
     switch (physical.kind) {
@@ -606,6 +829,34 @@ Result<QueryResult> OpineDb::ExecuteQuery(const SubjectiveQuery& query,
       case PlanKind::kTaTopK:
         OPINEDB_METRIC_COUNT("engine.plan.ta_topk", 1);
         break;
+    }
+  }
+  // --------------------------------------------------------- cache fill.
+  // Only full-fidelity answers are cacheable: a partial result reflects
+  // this call's deadline, a degraded one reflects a transient failure —
+  // both would be served verbatim (and wrongly marked clean) on a hit.
+  // The fault site sits before any cache mutation, so a fired fill
+  // fault leaves the cache exactly as it was.
+  if (result_cacheable && !result_cache_fault && !output.partial &&
+      !output.degraded) {
+    try {
+      OPINEDB_FAULT("cache.result_insert");
+      cache::CachedResult value;
+      value.results = output.results;
+      value.interpretations = output.interpretations;
+      value.plan = output.plan;
+      const size_t evicted =
+          result_cache_->Insert(cache_key, cache_epoch, std::move(value));
+      if (options_.trace_level >= obs::TraceLevel::kStats) {
+        if (evicted > 0) {
+          OPINEDB_METRIC_COUNT("engine.cache.evict", evicted);
+        }
+        OPINEDB_METRIC_GAUGE_SET(
+            "engine.cache.bytes",
+            static_cast<double>(result_cache_->bytes()));
+      }
+    } catch (const std::exception&) {
+      OPINEDB_METRIC_COUNT("engine.fallback.result_cache", 1);
     }
   }
   return output;

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/cache_config.h"
 #include "common/deadline.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
@@ -27,6 +28,11 @@
 #include "sentiment/analyzer.h"
 #include "storage/table.h"
 #include "text/corpus.h"
+
+namespace opinedb::cache {
+class InterpretationCache;
+class ResultCache;
+}  // namespace opinedb::cache
 
 namespace opinedb::core {
 
@@ -68,6 +74,9 @@ struct EngineOptions {
   /// to the automatic choice; every shape is bit-identical, so this
   /// only trades work — used by plan-equivalence tests and ablations.
   PlanForce force_plan = PlanForce::kAuto;
+  /// Result / interpretation caching (both layers default OFF; see
+  /// docs/CACHING.md). Reconfigurable at runtime via ConfigureCaches.
+  cache::CacheConfig cache;
 };
 
 /// Per-query observability façade (threads, work, cache traffic and
@@ -94,6 +103,9 @@ struct ExecutionStats {
   double rank_ms = 0.0;
   /// End-to-end wall time of ExecuteQuery.
   double total_ms = 0.0;
+  /// True when the whole result was served from the result cache (the
+  /// per-phase timings above are then all zero: nothing executed).
+  bool result_cache_hit = false;
 };
 
 /// Per-call serving controls. Default-constructed = no limits, which is
@@ -234,6 +246,29 @@ class OpineDb {
   /// Serialized against in-flight queries by the reconfiguration lock.
   void AttachDegreeCache(DegreeCache* cache);
 
+  /// Reconfigures the result / interpretation cache layers (creating,
+  /// resizing or destroying them). Fresh layers start empty; the cache
+  /// epoch is untouched — reconfiguring caches is not a data mutation.
+  /// Serialized against in-flight queries by the reconfiguration lock.
+  void ConfigureCaches(const cache::CacheConfig& config);
+
+  /// Monotone invalidation epoch of the caching layers: bumped exactly
+  /// once by every mutation of served data (Reaggregate, OpenDatabase,
+  /// TrainMembership) under the exclusive reconfiguration lock, and by
+  /// nothing else (SetNumThreads / SetTraceLevel / AttachDegreeCache /
+  /// ConfigureCaches reconfigure execution, not data). Cache entries are
+  /// tagged with the epoch they were filled at; a mismatch is a miss.
+  uint64_t cache_epoch() const {
+    return cache_epoch_.load(std::memory_order_relaxed);
+  }
+
+  /// The cache layers, or nullptr when disabled (for tests / metrics
+  /// scrapers; the engine consults them internally).
+  cache::InterpretationCache* interpretation_cache() const {
+    return interp_cache_.get();
+  }
+  cache::ResultCache* result_cache() const { return result_cache_.get(); }
+
   /// Persists the queryable state — schema + marker summaries, per §4:
   /// the extraction relation is re-derivable and is not saved — as a new
   /// checksummed snapshot generation in directory `dir` (created if
@@ -311,11 +346,18 @@ class OpineDb {
   OpineDb(const OpineDb&) = delete;
   OpineDb& operator=(const OpineDb&) = delete;
 
+  // Out-of-line: the cache layers are forward-declared here.
+  ~OpineDb();
+
  private:
   OpineDb() = default;
 
   void RebuildDerivedState();
   double HeuristicDegree(const std::vector<double>& features) const;
+  /// The single epoch-bump point: advances cache_epoch_ once and clears
+  /// every cache layer (result, interpretation, attached degree cache).
+  /// Requires reconfig_mu_ held exclusively.
+  void InvalidateCachesLocked();
 
   text::ReviewCorpus corpus_;
   SubjectiveSchema schema_;
@@ -338,6 +380,15 @@ class OpineDb {
   std::unique_ptr<ThreadPool> pool_;
   /// Optional degree cache consulted by ExecuteQuery (not owned).
   DegreeCache* degree_cache_ = nullptr;
+  /// Optional caching layers (nullptr when disabled); both are
+  /// internally thread-safe, and creation/destruction happens only
+  /// under the exclusive reconfiguration lock.
+  std::unique_ptr<cache::InterpretationCache> interp_cache_;
+  std::unique_ptr<cache::ResultCache> result_cache_;
+  /// See cache_epoch(). Atomic so queries (shared lock) read it without
+  /// synchronizing with each other; mutators bump it under the
+  /// exclusive lock, so a query never observes a torn epoch/state pair.
+  std::atomic<uint64_t> cache_epoch_{0};
   /// Snapshot generation last saved/loaded; see snapshot_generation().
   /// Atomic so queries (shared lock) can read it while SaveDatabase
   /// (exclusive lock) is the writer; mutable because SaveDatabase is

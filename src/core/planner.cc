@@ -1,7 +1,9 @@
 #include "core/planner.h"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "common/string_util.h"
 #include "core/degree_cache.h"
 
 namespace opinedb::core {
@@ -137,6 +139,102 @@ PhysicalPlan SelectPlan(const SubjectiveQuery& query,
       break;
   }
   return plan;
+}
+
+namespace {
+
+/// Length-prefixed text: "<length>:<bytes>". Keeps the key grammar
+/// unambiguous no matter what bytes a column name, string literal or
+/// predicate contains.
+void AppendSized(std::string_view s, std::string* out) {
+  out->append(std::to_string(s.size()));
+  out->push_back(':');
+  out->append(s);
+}
+
+void AppendCanonicalCondition(const Condition& condition, std::string* out) {
+  if (condition.kind == Condition::Kind::kObjective) {
+    const storage::ColumnPredicate& predicate = condition.objective;
+    out->append("o(");
+    AppendSized(predicate.column, out);
+    out->append(storage::CompareOpSymbol(predicate.op));
+    switch (predicate.literal.type()) {
+      case storage::ValueType::kNull:
+        out->append("null");
+        break;
+      case storage::ValueType::kInt:
+      case storage::ValueType::kDouble: {
+        // Through the numeric view, with round-trip precision: `150`
+        // and `150.0` compare equal in the executor (Value::Compare is
+        // numeric across int/double), so they must share a key.
+        char buffer[40];
+        std::snprintf(buffer, sizeof(buffer), "n%.17g",
+                      predicate.literal.AsNumber());
+        out->append(buffer);
+        break;
+      }
+      case storage::ValueType::kString:
+        out->push_back('v');
+        AppendSized(predicate.literal.AsString(), out);
+        break;
+    }
+    out->push_back(')');
+  } else {
+    out->append("s(");
+    AppendSized(NormalizePredicate(condition.subjective), out);
+    out->push_back(')');
+  }
+}
+
+/// Renders the WHERE tree preserving structure and child order exactly
+/// (see the fold-order note on CanonicalQueryKey), with each leaf
+/// expanded to its canonical condition.
+void AppendCanonicalExpr(const fuzzy::Expr* node,
+                         const std::vector<Condition>& conditions,
+                         std::string* out) {
+  switch (node->kind()) {
+    case fuzzy::Expr::Kind::kLeaf: {
+      const size_t c = node->leaf_index();
+      out->push_back('[');
+      if (c < conditions.size()) {
+        AppendCanonicalCondition(conditions[c], out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case fuzzy::Expr::Kind::kAnd:
+    case fuzzy::Expr::Kind::kOr:
+      out->push_back('(');
+      out->push_back(node->kind() == fuzzy::Expr::Kind::kAnd ? '&' : '|');
+      for (const auto& child : node->children()) {
+        AppendCanonicalExpr(child.get(), conditions, out);
+      }
+      out->push_back(')');
+      return;
+    case fuzzy::Expr::Kind::kNot:
+      out->append("(!");
+      for (const auto& child : node->children()) {
+        AppendCanonicalExpr(child.get(), conditions, out);
+      }
+      out->push_back(')');
+      return;
+  }
+}
+
+}  // namespace
+
+std::string CanonicalQueryKey(const SubjectiveQuery& query) {
+  std::string key = "q1;t=";
+  AppendSized(query.table, &key);
+  key.append(";l=");
+  key.append(std::to_string(query.limit));
+  key.append(";w=");
+  if (query.where == nullptr) {
+    key.push_back('-');
+  } else {
+    AppendCanonicalExpr(query.where.get(), query.conditions, &key);
+  }
+  return key;
 }
 
 const char* PlanKindName(PlanKind kind) {

@@ -98,6 +98,21 @@ PhysicalPlan SelectPlan(const SubjectiveQuery& query,
 /// Stable lowercase name of a plan shape ("dense_scan", ...).
 const char* PlanKindName(PlanKind kind);
 
+/// Renders the canonical cache key of a parsed query: table, limit and
+/// the WHERE tree with every condition in canonical form — subjective
+/// predicates normalized (NormalizePredicate), numeric literals rendered
+/// through their numeric value (so `150` and `150.0` merge, exactly the
+/// equivalence storage::Value::Compare already implements), strings
+/// length-prefixed so no crafted literal can collide with the grammar.
+/// Two queries with the same key are indistinguishable to execution at a
+/// fixed epoch; the key deliberately preserves the WHERE tree's exact
+/// structure and child order because the fuzzy fold order is
+/// floating-point-significant (a ⊗ b ⊗ c reassociated changes bits).
+/// EXPLAIN, trace level and force_plan are not part of the key — the
+/// engine bypasses the result cache for EXPLAIN and forced plans, and
+/// rebuilds observability fresh on every hit.
+std::string CanonicalQueryKey(const SubjectiveQuery& query);
+
 /// Renders the chosen plan as the multi-line EXPLAIN text (stable
 /// format, pinned by trace_golden_test).
 std::string ExplainPlan(const SubjectiveQuery& query,

@@ -27,6 +27,8 @@
 
 #include <gtest/gtest.h>
 
+#include "cache/cache_config.h"
+#include "cache/interpretation_cache.h"
 #include "common/fault.h"
 #include "common/rng.h"
 #include "core/engine.h"
@@ -552,6 +554,98 @@ TEST_F(EnginePersistenceTest, EntityCountMismatchIsInvalidArgument) {
   ASSERT_FALSE(status.ok());
   EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
   ExpectBitIdentical(golden, MustExecute(Sql()));
+}
+
+// ----------------------- interpretation-cache snapshot section (§5g).
+
+/// Enables both caches, runs one query to warm the interpretation
+/// cache, and returns the warm entry count.
+size_t WarmCaches(core::OpineDb* db, const std::string& sql) {
+  cache::CacheConfig on;
+  on.enable_interpretation = true;
+  on.enable_results = true;
+  db->ConfigureCaches(on);
+  auto warm = db->Execute(sql);
+  EXPECT_TRUE(warm.ok()) << warm.status().ToString();
+  return db->interpretation_cache()->size();
+}
+
+TEST_F(EnginePersistenceTest, WarmInterpretationCacheSurvivesSaveOpen) {
+  const size_t warm_entries = WarmCaches(&db(), Sql());
+  ASSERT_GT(warm_entries, 0u);
+  const auto golden = MustExecute(Sql());
+
+  ASSERT_TRUE(db().SaveDatabase(dir()).ok());
+  ASSERT_TRUE(db().OpenDatabase(dir()).ok());
+
+  // The reopened engine is warm: the saved entries are resident at the
+  // fresh epoch, and the first post-open query is an interp-cache hit.
+  EXPECT_EQ(db().interpretation_cache()->size(), warm_entries);
+  const uint64_t hits_before = db().interpretation_cache()->hits();
+  ExpectBitIdentical(golden, MustExecute(Sql()));
+  EXPECT_GT(db().interpretation_cache()->hits(), hits_before)
+      << "the reopened engine recomputed an interpretation it had saved";
+
+  // With the warm cache resident, save -> open -> save still produces
+  // byte-identical container payloads (the section serializer is
+  // deterministic and loading loses nothing).
+  ASSERT_TRUE(db().SaveDatabase(dir()).ok());
+  const std::string first =
+      ReadFileBytes(dir_ / SnapshotStore::GenerationFileName(1));
+  const std::string second =
+      ReadFileBytes(dir_ / SnapshotStore::GenerationFileName(2));
+  EXPECT_EQ(first, second);
+  db().ConfigureCaches(cache::CacheConfig());
+}
+
+TEST_F(EnginePersistenceTest, OldFormatSnapshotOpensColdWithoutError) {
+  // A snapshot written before the cache layer existed (here: saved with
+  // caches disabled, so no "interp_cache" section) must open on a
+  // cache-enabled engine without error — just cold.
+  const auto golden = MustExecute(Sql());
+  ASSERT_TRUE(db().SaveDatabase(dir()).ok());
+
+  cache::CacheConfig on;
+  on.enable_interpretation = true;
+  on.enable_results = true;
+  db().ConfigureCaches(on);
+  ASSERT_TRUE(db().OpenDatabase(dir()).ok());
+  EXPECT_EQ(db().interpretation_cache()->size(), 0u);
+  ExpectBitIdentical(golden, MustExecute(Sql()));
+  db().ConfigureCaches(cache::CacheConfig());
+}
+
+TEST_F(EnginePersistenceTest, CorruptInterpSectionOpensColdGracefully) {
+  // The interpretation cache is derived data: a snapshot whose
+  // container verifies but whose interp payload fails to decode must
+  // open cold, not fail the open (unlike schema/summaries corruption).
+  ASSERT_GT(WarmCaches(&db(), Sql()), 0u);
+  const auto golden = MustExecute(Sql());
+  ASSERT_TRUE(db().SaveDatabase(dir()).ok());
+
+  // Rebuild generation 2 with the interp payload truncated mid-entry —
+  // the container checksums are valid, only the section is garbage.
+  SnapshotStore store(dir());
+  auto loaded = store.Recover();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  bool mangled = false;
+  std::vector<SnapshotSection> sections = loaded->sections;
+  for (auto& section : sections) {
+    if (section.name != "interp_cache") continue;
+    ASSERT_GT(section.payload.size(), 8u);
+    section.payload.resize(section.payload.size() / 2);
+    mangled = true;
+  }
+  ASSERT_TRUE(mangled) << "warm save did not write an interp_cache section";
+  ASSERT_TRUE(store.Commit(sections).ok());
+
+  ASSERT_TRUE(db().OpenDatabase(dir()).ok())
+      << "derived-data corruption must never fail the open";
+  EXPECT_EQ(db().snapshot_generation(), 2u);
+  EXPECT_EQ(db().interpretation_cache()->size(), 0u)
+      << "a half-decoded interp payload left entries resident";
+  ExpectBitIdentical(golden, MustExecute(Sql()));
+  db().ConfigureCaches(cache::CacheConfig());
 }
 
 }  // namespace

@@ -2,7 +2,8 @@
 //
 // Every named site in fault::kSites is armed against every plan shape
 // (dense scan, text-fallback scan, filtered scan, cold cached scan,
-// warm TA top-k). The contract under test:
+// warm TA top-k, result/interpretation-cached serving). The contract
+// under test:
 //
 //  - no injected fault ever crashes, hangs, or leaks a query — every
 //    Execute returns ok() with sane, finite scores (graceful
@@ -27,6 +28,9 @@
 
 #include <gtest/gtest.h>
 
+#include "cache/cache_config.h"
+#include "cache/interpretation_cache.h"
+#include "cache/result_cache.h"
 #include "common/fault.h"
 #include "core/degree_cache.h"
 #include "core/engine.h"
@@ -180,6 +184,26 @@ std::vector<Shape> MakeShapes(core::OpineDb& db,
                       db.AttachDegreeCache(nullptr);
                       return run;
                     }});
+  shapes.push_back(
+      {"result_cached", [&db, arm, dense_sql](const std::string& site) {
+         // Fresh result + interpretation caches; the first execution
+         // walks the fill sites (interp_lookup miss, interp_insert,
+         // result_lookup miss, result_insert), the measured second
+         // execution serves the hit path. Cache faults leave the
+         // measured result bit-identical either way: a fill fault only
+         // forces the second execution back onto the full pipeline.
+         cache::CacheConfig on;
+         on.enable_interpretation = true;
+         on.enable_results = true;
+         db.ConfigureCaches(on);
+         db.mutable_options()->force_plan = core::PlanForce::kAuto;
+         arm(site);
+         auto warm = db.Execute(dense_sql);
+         EXPECT_TRUE(warm.ok()) << warm.status().ToString();
+         auto run = db.Execute(dense_sql);
+         db.ConfigureCaches(cache::CacheConfig());
+         return run;
+       }});
   return shapes;
 }
 
@@ -297,6 +321,94 @@ TEST_F(FaultInjectionTest, FaultsNeverPoisonTheDegreeCache) {
   ExpectBitIdentical(*reference, *repaired);
   EXPECT_TRUE(cache.Contains(atom_preds[0]));
   db().AttachDegreeCache(nullptr);
+}
+
+// A fault at the result-cache fill site must leave the cache exactly as
+// it was (the site sits before any mutation): the faulted query is
+// still correct, nothing stale becomes resident, and the next unfaulted
+// query repairs the cache with a clean entry that then serves
+// bit-identical hits.
+TEST_F(FaultInjectionTest, FaultsNeverPoisonTheResultCache) {
+  const auto atom_preds = AtomPredicates(1);
+  ASSERT_FALSE(atom_preds.empty());
+  const std::string sql =
+      "select * from hotels where \"" + atom_preds[0] + "\" limit 5";
+  auto reference = db().Execute(sql);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  cache::CacheConfig on;
+  on.enable_results = true;
+  db().ConfigureCaches(on);
+  fault::Arm("cache.result_insert", 1);
+  auto run = db().Execute(sql);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_GT(fault::HitCount("cache.result_insert"), 0u);
+  ExpectBitIdentical(*reference, *run);
+  EXPECT_EQ(db().result_cache()->size(), 0u);
+  EXPECT_EQ(db().result_cache()->bytes(), 0u);
+  fault::DisarmAll();
+  auto repaired = db().Execute(sql);
+  ASSERT_TRUE(repaired.ok()) << repaired.status().ToString();
+  EXPECT_FALSE(repaired->degraded);
+  ExpectBitIdentical(*reference, *repaired);
+  EXPECT_EQ(db().result_cache()->size(), 1u);
+  auto hit = db().Execute(sql);
+  ASSERT_TRUE(hit.ok()) << hit.status().ToString();
+  EXPECT_TRUE(hit->stats.result_cache_hit);
+  ExpectBitIdentical(*reference, *hit);
+  db().ConfigureCaches(cache::CacheConfig());
+}
+
+// Same contract for the interpretation-cache fill, plus the lookup-side
+// fault: a failed consult serves the answer by full execution (reported
+// as degraded — off the preferred path) and never caches it.
+TEST_F(FaultInjectionTest, FaultsNeverPoisonTheInterpretationCache) {
+  const auto atom_preds = AtomPredicates(1);
+  ASSERT_FALSE(atom_preds.empty());
+  const std::string sql =
+      "select * from hotels where \"" + atom_preds[0] + "\" limit 5";
+  auto reference = db().Execute(sql);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  cache::CacheConfig on;
+  on.enable_interpretation = true;
+  db().ConfigureCaches(on);
+  fault::Arm("cache.interp_insert", 1);
+  auto run = db().Execute(sql);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_GT(fault::HitCount("cache.interp_insert"), 0u);
+  EXPECT_FALSE(run->degraded);  // The fill failure is invisible.
+  ExpectBitIdentical(*reference, *run);
+  EXPECT_EQ(db().interpretation_cache()->size(), 0u);
+  fault::DisarmAll();
+  auto repaired = db().Execute(sql);
+  ASSERT_TRUE(repaired.ok()) << repaired.status().ToString();
+  ExpectBitIdentical(*reference, *repaired);
+  EXPECT_EQ(db().interpretation_cache()->size(), 1u);
+  db().ConfigureCaches(cache::CacheConfig());
+}
+
+// Result-cache lookup fault: the engine answers by full execution —
+// complete, bit-identical, flagged degraded — and keeps the query out
+// of the cache for this serving.
+TEST_F(FaultInjectionTest, ResultCacheLookupFaultFallsBackToExecution) {
+  const auto atom_preds = AtomPredicates(1);
+  ASSERT_FALSE(atom_preds.empty());
+  const std::string sql =
+      "select * from hotels where \"" + atom_preds[0] + "\" limit 5";
+  auto reference = db().Execute(sql);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  cache::CacheConfig on;
+  on.enable_results = true;
+  db().ConfigureCaches(on);
+  fault::Arm("cache.result_lookup", 1);
+  auto run = db().Execute(sql);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_GT(fault::HitCount("cache.result_lookup"), 0u);
+  EXPECT_TRUE(run->degraded);
+  EXPECT_FALSE(run->stats.result_cache_hit);
+  ExpectBitIdentical(*reference, *run);
+  EXPECT_EQ(db().result_cache()->size(), 0u);
+  fault::DisarmAll();
+  db().ConfigureCaches(cache::CacheConfig());
 }
 
 }  // namespace

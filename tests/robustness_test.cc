@@ -13,6 +13,7 @@
 //    value in [0, 1].
 #include <atomic>
 #include <cmath>
+#include <filesystem>
 #include <limits>
 #include <string>
 #include <thread>
@@ -20,6 +21,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cache/cache_config.h"
 #include "core/degree_cache.h"
 #include "core/engine.h"
 #include "core/membership.h"
@@ -207,6 +209,87 @@ TEST_F(RobustnessTest, MembershipDegreeOfTruthClamps) {
   EXPECT_TRUE(std::isfinite(d));
   EXPECT_GE(d, 0.0);
   EXPECT_LE(d, 1.0);
+}
+
+// Regression (the ISSUE-6 epoch-audit fix): TrainMembership replaces
+// the membership model — every cached degree list and cached query
+// result was computed through the old model. Before the fix it cleared
+// neither; an attached degree cache kept serving stale degrees exactly
+// like the pre-fix Reaggregate bug above.
+TEST_F(RobustnessTest, TrainMembershipInvalidatesAttachedDegreeCache) {
+  core::DegreeCache cache(&db());
+  db().AttachDegreeCache(&cache);
+  auto warm = db().Execute(Sql());
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  ASSERT_GT(cache.size(), 0u);
+  const uint64_t epoch_before = cache.epoch();
+
+  const auto tuples = eval::MakeMembershipTuples(
+      db(), artifacts_->domain, artifacts_->pool, 200, true, 99);
+  ASSERT_TRUE(db().TrainMembership(tuples, 9).ok());
+
+  EXPECT_EQ(cache.size(), 0u)
+      << "TrainMembership left degree lists computed through the old "
+         "membership model resident in the cache";
+  EXPECT_GT(cache.epoch(), epoch_before);
+
+  // End-to-end: cached serving agrees with cache-free serving over the
+  // retrained model.
+  auto with_cache = db().Execute(Sql());
+  ASSERT_TRUE(with_cache.ok()) << with_cache.status().ToString();
+  db().AttachDegreeCache(nullptr);
+  auto without_cache = db().Execute(Sql());
+  ASSERT_TRUE(without_cache.ok()) << without_cache.status().ToString();
+  ExpectBitIdentical(*without_cache, *with_cache);
+}
+
+// The epoch audit, pinned: every mutation of served data bumps the
+// cache epoch exactly once; execution-reconfig operations bump it
+// exactly zero times. The differential harness relies on this contract
+// (cache_equivalence_test tracks the epoch in lockstep across both
+// engines); this is the narrow unit statement of the same rule.
+TEST_F(RobustnessTest, EveryMutationBumpsCacheEpochExactlyOnce) {
+  const core::AggregationOptions original = db().options().aggregation;
+  uint64_t epoch = db().cache_epoch();
+
+  // Reaggregate: +1, regardless of whether the options changed.
+  db().Reaggregate(original);
+  EXPECT_EQ(db().cache_epoch(), ++epoch);
+
+  // TrainMembership: +1.
+  const auto tuples = eval::MakeMembershipTuples(
+      db(), artifacts_->domain, artifacts_->pool, 200, true, 42);
+  ASSERT_TRUE(db().TrainMembership(tuples, 6).ok());
+  EXPECT_EQ(db().cache_epoch(), ++epoch);
+
+  // Execution reconfiguration: +0 — the served data did not change, so
+  // warm caches stay valid across all of these.
+  db().SetNumThreads(4);
+  db().SetNumThreads(1);
+  db().SetTraceLevel(obs::TraceLevel::kStats);
+  db().SetTraceLevel(obs::TraceLevel::kOff);
+  core::DegreeCache cache(&db());
+  db().AttachDegreeCache(&cache);
+  db().AttachDegreeCache(nullptr);
+  db().ConfigureCaches(cache::CacheConfig());
+  EXPECT_EQ(db().cache_epoch(), epoch);
+
+  // Queries: +0.
+  auto run = db().Execute(Sql());
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(db().cache_epoch(), epoch);
+
+  // SaveDatabase alone: +0 (a consistent read). OpenDatabase: +1 — the
+  // served tables were replaced wholesale.
+  const auto dir =
+      std::filesystem::path(::testing::TempDir()) / "epoch_audit_snapshot";
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  ASSERT_TRUE(db().SaveDatabase(dir.string()).ok());
+  EXPECT_EQ(db().cache_epoch(), epoch);
+  ASSERT_TRUE(db().OpenDatabase(dir.string()).ok());
+  EXPECT_EQ(db().cache_epoch(), ++epoch);
+  std::filesystem::remove_all(dir, ec);
 }
 
 }  // namespace
