@@ -1,0 +1,379 @@
+// Serving-path load driver: measures the HTTP front door end to end on
+// the seed hotel dataset and writes BENCH_serving.json.
+//
+// Two phases over the same zipfian query mix the cache sweep uses
+// (~40 distinct queries, rank weights 1/(rank+1)):
+//
+//  1. Closed loop: N persistent keep-alive clients issue requests
+//     back-to-back for a fixed window, at N = 1, 2, 4, 8, 16. Each
+//     step records throughput and the p50/p99/p999 request latency;
+//     the best throughput across steps is the max sustainable QPS.
+//  2. Open loop at 2x saturation: a dispatcher pool fires
+//     one-connection-per-request arrivals paced at twice the measured
+//     max QPS against a deliberately small admission queue. Overload
+//     must surface as fast 429 sheds — bounded, counted, and reported
+//     as the shed rate — never as latency collapse or errors.
+//
+// Knobs: OPINEDB_SERVING_SECONDS (window per step, default 2),
+// OPINEDB_SERVING_OPEN_SECONDS (open-loop window, default 2).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "core/engine.h"
+#include "server/http_client.h"
+#include "server/server.h"
+
+namespace opinedb {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsEnv(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  if (env != nullptr) return std::atof(env);
+  return fallback;
+}
+
+double ElapsedSeconds(Clock::time_point since) {
+  return std::chrono::duration<double>(Clock::now() - since).count();
+}
+
+/// The zipfian request mix: ~40 distinct /query bodies, heavy head.
+struct Workload {
+  std::vector<std::string> bodies;
+  std::vector<double> weights;
+  double total_weight = 0.0;
+
+  size_t Pick(Rng* rng) const {
+    double pick = rng->Uniform() * total_weight;
+    size_t idx = 0;
+    while (idx + 1 < bodies.size() && pick > weights[idx]) {
+      pick -= weights[idx];
+      ++idx;
+    }
+    return idx;
+  }
+};
+
+Workload MakeWorkload(const eval::DomainArtifacts& artifacts) {
+  constexpr size_t kDistinct = 40;
+  Workload workload;
+  for (size_t i = 0; i < kDistinct; ++i) {
+    const size_t limit = (i < kDistinct / 2) ? 5 + i % 3 : 10 + i % 3;
+    const std::string sql =
+        "select * from hotels where \"" +
+        artifacts.pool[(i % (kDistinct / 2)) % artifacts.pool.size()].text +
+        "\" limit " + std::to_string(limit);
+    std::string body = "{\"sql\": ";
+    JsonEscapeAppend(sql, &body);
+    body += "}";
+    workload.bodies.push_back(std::move(body));
+    workload.weights.push_back(1.0 / static_cast<double>(i + 1));
+    workload.total_weight += workload.weights.back();
+  }
+  return workload;
+}
+
+double Percentile(std::vector<double>* sorted_inout, double q) {
+  if (sorted_inout->empty()) return 0.0;
+  std::sort(sorted_inout->begin(), sorted_inout->end());
+  const size_t n = sorted_inout->size();
+  const size_t idx = std::min(
+      n - 1, static_cast<size_t>(std::ceil(q * static_cast<double>(n))) -
+                 (q > 0.0 ? 1 : 0));
+  return (*sorted_inout)[idx];
+}
+
+struct ClosedLoopResult {
+  size_t clients = 0;
+  size_t requests = 0;
+  size_t failures = 0;
+  size_t reconnects = 0;  // keep-alive cap closes; not failures
+  double seconds = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+};
+
+ClosedLoopResult RunClosedLoop(uint16_t port, const Workload& workload,
+                               size_t clients, double seconds) {
+  std::atomic<size_t> requests{0};
+  std::atomic<size_t> failures{0};
+  std::atomic<size_t> reconnects{0};
+  std::mutex latencies_mu;
+  std::vector<double> latencies;
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(100 + c);
+      server::HttpClient client;
+      if (!client.Connect("127.0.0.1", port).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      std::vector<double> local;
+      while (ElapsedSeconds(start) < seconds) {
+        const std::string& body = workload.bodies[workload.Pick(&rng)];
+        const auto begin = Clock::now();
+        auto response = client.Post("/query", body);
+        if (!response.ok()) {
+          // Expected when the server closes at its keep-alive request
+          // cap; transport errors on a live connection would repeat and
+          // show up as a failed reconnect.
+          reconnects.fetch_add(1);
+          if (!client.Connect("127.0.0.1", port).ok()) {
+            failures.fetch_add(1);
+            return;
+          }
+          continue;
+        }
+        if (response->status != 200) {
+          failures.fetch_add(1);
+          continue;
+        }
+        local.push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() - begin)
+                .count());
+        requests.fetch_add(1);
+      }
+      std::lock_guard<std::mutex> lock(latencies_mu);
+      latencies.insert(latencies.end(), local.begin(), local.end());
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  ClosedLoopResult result;
+  result.clients = clients;
+  result.requests = requests.load();
+  result.failures = failures.load();
+  result.reconnects = reconnects.load();
+  result.seconds = ElapsedSeconds(start);
+  result.qps = result.seconds > 0.0
+                   ? static_cast<double>(result.requests) / result.seconds
+                   : 0.0;
+  result.p50_ms = Percentile(&latencies, 0.50);
+  result.p99_ms = Percentile(&latencies, 0.99);
+  result.p999_ms = Percentile(&latencies, 0.999);
+  return result;
+}
+
+struct OpenLoopResult {
+  double target_qps = 0.0;
+  size_t attempts = 0;
+  size_t served = 0;
+  size_t shed = 0;
+  size_t errors = 0;
+  double seconds = 0.0;
+  double shed_rate = 0.0;
+  double shed_p99_ms = 0.0;  // 429s must be fast: that is the point.
+};
+
+/// Paced arrivals at `target_qps`, one fresh connection per request so
+/// admission control sees every arrival. A dispatcher pool consumes a
+/// global tick schedule; when the server is saturated the pool falls
+/// behind, which is exactly the overload the bounded queue sheds.
+OpenLoopResult RunOpenLoop(uint16_t port, const Workload& workload,
+                           double target_qps, double seconds) {
+  OpenLoopResult result;
+  result.target_qps = target_qps;
+  const size_t total =
+      static_cast<size_t>(std::max(1.0, target_qps * seconds));
+  const double interval = 1.0 / target_qps;
+  std::atomic<size_t> next_tick{0};
+  std::atomic<size_t> served{0}, shed{0}, errors{0};
+  std::mutex shed_mu;
+  std::vector<double> shed_latencies;
+  // Enough blocking dispatchers to keep arrivals ahead of service even
+  // on a small box: they spend their time parked in connect/recv, so
+  // this is deliberately not scaled to hardware_concurrency (on a
+  // single-core runner that would cap outstanding requests below the
+  // admission queue depth and overload could never materialize).
+  const size_t dispatchers = 32;
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(dispatchers);
+  for (size_t d = 0; d < dispatchers; ++d) {
+    threads.emplace_back([&, d] {
+      Rng rng(500 + d);
+      for (;;) {
+        const size_t tick = next_tick.fetch_add(1);
+        if (tick >= total) return;
+        const double due = static_cast<double>(tick) * interval;
+        const double now = ElapsedSeconds(start);
+        if (due > now) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(due - now));
+        }
+        server::HttpClient client;
+        if (!client.Connect("127.0.0.1", port).ok()) {
+          errors.fetch_add(1);
+          continue;
+        }
+        const auto begin = Clock::now();
+        auto response =
+            client.Post("/query", workload.bodies[workload.Pick(&rng)]);
+        if (!response.ok()) {
+          errors.fetch_add(1);
+        } else if (response->status == 200) {
+          served.fetch_add(1);
+        } else if (response->status == 429) {
+          shed.fetch_add(1);
+          const double ms = std::chrono::duration<double, std::milli>(
+                                Clock::now() - begin)
+                                .count();
+          std::lock_guard<std::mutex> lock(shed_mu);
+          shed_latencies.push_back(ms);
+        } else {
+          errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  result.attempts = total;
+  result.served = served.load();
+  result.shed = shed.load();
+  result.errors = errors.load();
+  result.seconds = ElapsedSeconds(start);
+  result.shed_rate =
+      static_cast<double>(result.shed) / static_cast<double>(total);
+  result.shed_p99_ms = Percentile(&shed_latencies, 0.99);
+  return result;
+}
+
+int Main() {
+  printf("Serving bench: building the seed hotel dataset...\n");
+  auto artifacts =
+      eval::BuildArtifacts(datagen::HotelDomain(), bench::HotelBuildOptions());
+  const Workload workload = MakeWorkload(artifacts);
+  const double step_seconds = SecondsEnv("OPINEDB_SERVING_SECONDS", 2.0);
+  const double open_seconds = SecondsEnv("OPINEDB_SERVING_OPEN_SECONDS", 2.0);
+
+  server::QueryServerOptions options;
+  options.httpd.num_workers = 4;
+  options.httpd.queue_capacity = 16;
+  server::QueryServer query_server(artifacts.db.get(), options);
+  {
+    const Status started = query_server.Start();
+    if (!started.ok()) {
+      fprintf(stderr, "server start failed: %s\n",
+              started.ToString().c_str());
+      return 1;
+    }
+  }
+  printf("Server up on 127.0.0.1:%u (%zu workers, queue %zu)\n",
+         query_server.port(), options.httpd.num_workers,
+         options.httpd.queue_capacity);
+
+  // Warm-up pass so embeddings/indexes are paged in before timing.
+  (void)RunClosedLoop(query_server.port(), workload, 2, 0.5);
+
+  const size_t kClientSteps[] = {1, 2, 4, 8, 16};
+  std::vector<ClosedLoopResult> closed;
+  const ClosedLoopResult* best = nullptr;
+  for (const size_t clients : kClientSteps) {
+    closed.push_back(RunClosedLoop(query_server.port(), workload, clients,
+                                   step_seconds));
+    const auto& step = closed.back();
+    printf("  closed loop  clients=%2zu  qps=%8.1f  p50=%6.2fms  "
+           "p99=%6.2fms  p99.9=%6.2fms  failures=%zu\n",
+           step.clients, step.qps, step.p50_ms, step.p99_ms, step.p999_ms,
+           step.failures);
+    if (best == nullptr || step.qps > best->qps) best = &closed.back();
+  }
+  const double max_qps = best->qps;
+  query_server.Stop();
+
+  // Open-loop overload phase against a deliberately constrained front
+  // door (one worker, a small admission queue) over the same database.
+  // A multi-worker server on a quiet machine can absorb 2x the
+  // closed-loop throughput without its queue ever filling, which would
+  // measure nothing; the constrained door guarantees the arrival rate
+  // actually exceeds service capacity so the shed path is exercised.
+  server::QueryServerOptions constrained = options;
+  constrained.httpd.num_workers = 1;
+  constrained.httpd.queue_capacity = 8;
+  server::QueryServer overload_server(artifacts.db.get(), constrained);
+  if (!overload_server.Start().ok()) {
+    fprintf(stderr, "overload server start failed\n");
+    return 1;
+  }
+  const ClosedLoopResult single_worker = RunClosedLoop(
+      overload_server.port(), workload, 4, std::max(0.5, step_seconds / 2));
+  printf("Constrained door saturation: %.1f qps (1 worker, queue %zu)\n",
+         single_worker.qps, constrained.httpd.queue_capacity);
+  const OpenLoopResult open =
+      RunOpenLoop(overload_server.port(), workload, 2.0 * single_worker.qps,
+                  open_seconds);
+  printf("  open loop 2x: attempts=%zu served=%zu shed=%zu errors=%zu  "
+         "shed_rate=%.3f  shed_p99=%.2fms over %.2fs\n",
+         open.attempts, open.served, open.shed, open.errors, open.shed_rate,
+         open.shed_p99_ms, open.seconds);
+  overload_server.Stop();
+
+  FILE* out = fopen("BENCH_serving.json", "w");
+  if (out == nullptr) {
+    fprintf(stderr, "cannot write BENCH_serving.json\n");
+    return 1;
+  }
+  fprintf(out, "{\n");
+  fprintf(out, "  \"bench\": \"serving\",\n");
+  fprintf(out, "  \"dataset\": \"hotel_seed\",\n");
+  fprintf(out, "  \"workers\": %zu,\n", options.httpd.num_workers);
+  fprintf(out, "  \"queue_capacity\": %zu,\n", options.httpd.queue_capacity);
+  fprintf(out, "  \"step_seconds\": %.2f,\n", step_seconds);
+  fprintf(out, "  \"closed_loop\": [\n");
+  for (size_t i = 0; i < closed.size(); ++i) {
+    const auto& step = closed[i];
+    fprintf(out,
+            "    {\"clients\": %zu, \"requests\": %zu, \"failures\": %zu, "
+            "\"reconnects\": %zu, \"qps\": %.2f, \"p50_ms\": %.3f, "
+            "\"p99_ms\": %.3f, \"p999_ms\": %.3f}%s\n",
+            step.clients, step.requests, step.failures, step.reconnects,
+            step.qps, step.p50_ms, step.p99_ms, step.p999_ms,
+            i + 1 < closed.size() ? "," : "");
+  }
+  fprintf(out, "  ],\n");
+  fprintf(out, "  \"max_sustainable_qps\": %.2f,\n", max_qps);
+  fprintf(out, "  \"best_clients\": %zu,\n", best->clients);
+  fprintf(out, "  \"p50_ms\": %.3f,\n", best->p50_ms);
+  fprintf(out, "  \"p99_ms\": %.3f,\n", best->p99_ms);
+  fprintf(out, "  \"p999_ms\": %.3f,\n", best->p999_ms);
+  fprintf(out, "  \"open_loop_2x\": {\n");
+  fprintf(out, "    \"workers\": %zu,\n", constrained.httpd.num_workers);
+  fprintf(out, "    \"queue_capacity\": %zu,\n",
+          constrained.httpd.queue_capacity);
+  fprintf(out, "    \"saturation_qps\": %.2f,\n", single_worker.qps);
+  fprintf(out, "    \"target_qps\": %.2f,\n", open.target_qps);
+  fprintf(out, "    \"seconds\": %.2f,\n", open.seconds);
+  fprintf(out, "    \"attempts\": %zu,\n", open.attempts);
+  fprintf(out, "    \"served\": %zu,\n", open.served);
+  fprintf(out, "    \"shed\": %zu,\n", open.shed);
+  fprintf(out, "    \"errors\": %zu,\n", open.errors);
+  fprintf(out, "    \"shed_rate\": %.4f,\n", open.shed_rate);
+  fprintf(out, "    \"shed_p99_ms\": %.3f\n", open.shed_p99_ms);
+  fprintf(out, "  }\n");
+  fprintf(out, "}\n");
+  fclose(out);
+  printf("Wrote BENCH_serving.json (max sustainable %.1f qps)\n", max_qps);
+  return 0;
+}
+
+}  // namespace
+}  // namespace opinedb
+
+int main() { return opinedb::Main(); }

@@ -1,0 +1,78 @@
+// Serves a synthetic hotel domain over the HTTP front door
+// (docs/SERVING.md): builds the database, starts the query server with
+// a per-request deadline ceiling, fires a few requests at itself to
+// show the surface, then (with --listen) stays up for manual curl.
+//
+//   ./build/examples/serve_hotels            # self-demo, then exits
+//   ./build/examples/serve_hotels --listen   # keep serving on :8080
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "datagen/domain_spec.h"
+#include "eval/experiment.h"
+#include "server/http_client.h"
+#include "server/server.h"
+
+using namespace opinedb;
+
+namespace {
+
+void Show(server::HttpClient* client, const std::string& method,
+          const std::string& target, const std::string& body) {
+  printf("----------------------------------------------------------\n");
+  printf("%s %s", method.c_str(), target.c_str());
+  if (!body.empty()) printf("  %s", body.c_str());
+  printf("\n");
+  auto response = method == "GET" ? client->Get(target)
+                                  : client->Post(target, body);
+  if (!response.ok()) {
+    printf("  transport error: %s\n", response.status().ToString().c_str());
+    return;
+  }
+  printf("HTTP %d\n%s\n", response->status, response->body.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool listen = argc > 1 && std::strcmp(argv[1], "--listen") == 0;
+
+  printf("Building the synthetic hotel domain (a minute of training)...\n");
+  eval::BuildOptions build;
+  build.generator.num_entities = 40;
+  build.generator.seed = 42;
+  build.seed = 42;
+  auto artifacts = eval::BuildArtifacts(datagen::HotelDomain(), build);
+  artifacts.db->SetTraceLevel(obs::TraceLevel::kStats);  // enable /metrics
+
+  server::QueryServerOptions options;
+  options.httpd.port = listen ? 8080 : 0;  // 0 = ephemeral
+  options.max_deadline_ms = 5000;          // operator ceiling per request
+  server::QueryServer server(artifacts.db.get(), options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  printf("Serving on http://127.0.0.1:%u\n", server.port());
+
+  server::HttpClient client;
+  if (!client.Connect("127.0.0.1", server.port()).ok()) return 1;
+  Show(&client, "POST", "/query",
+       "{\"sql\": \"select * from hotels where \\\"clean room\\\" and "
+       "\\\"friendly staff\\\" limit 3\", \"deadline_ms\": 500}");
+  Show(&client, "POST", "/explain",
+       "{\"sql\": \"select * from hotels where \\\"clean room\\\" limit 3\"}");
+  Show(&client, "GET", "/healthz", "");
+  Show(&client, "GET", "/metrics", "");
+
+  if (listen) {
+    printf("Listening; try the curl lines from README.md. Ctrl-C to quit.\n");
+    for (;;) pause();
+  }
+  server.Stop();
+  printf("Done.\n");
+  return 0;
+}

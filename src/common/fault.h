@@ -60,6 +60,21 @@ inline constexpr const char* kStorageSites[] = {
     "storage.bitflip",          // Post-write single-bit media corruption.
 };
 
+/// Serving-layer fault sites (src/server/httpd.cc). Like kStorageSites
+/// these live outside kSites because their blast radius differs: a
+/// fired server site must degrade exactly one connection or response —
+/// accept drops the new connection, read abandons the in-flight
+/// request, write substitutes a well-formed 500 WITHOUT poisoning the
+/// keep-alive stream, and shed forces the admission-control 429 path.
+/// tests/fault_injection_test.cc sweeps this list over a live loopback
+/// server and asserts each entry is reachable.
+inline constexpr const char* kServerSites[] = {
+    "server.accept",  // Acceptor, just after ::accept.
+    "server.read",    // Worker, before each ::recv.
+    "server.write",   // Worker, before response serialization.
+    "server.shed",    // Acceptor admission decision (forces a 429).
+};
+
 /// True when the library was compiled with fault injection
 /// (OPINEDB_ENABLE_FAULT_INJECTION); release builds compile the macro
 /// out entirely and this returns false.

@@ -32,6 +32,13 @@ bool EndsWith(std::string_view s, std::string_view suffix);
 /// True if `needle` occurs in `haystack` (case-sensitive).
 bool Contains(std::string_view haystack, std::string_view needle);
 
+/// Appends `s` to `out` as a double-quoted JSON string literal,
+/// escaping quotes, backslashes and control bytes. The one JSON string
+/// encoder shared by the metrics scrape, trace export and the query
+/// server's result rendering, so every JSON surface escapes
+/// identically.
+void JsonEscapeAppend(std::string_view s, std::string* out);
+
 /// Canonical form of a subjective predicate for cache keying: ASCII
 /// lower-cased, leading/trailing whitespace stripped, interior
 /// whitespace runs collapsed to one space. Safe as a cache key because

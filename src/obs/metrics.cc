@@ -5,6 +5,8 @@
 #include <functional>
 #include <thread>
 
+#include "common/string_util.h"
+
 namespace opinedb::obs {
 
 namespace {
@@ -19,35 +21,6 @@ std::string FormatDouble(double value) {
   return buffer;
 }
 
-void AppendJsonString(const std::string& s, std::string* out) {
-  out->push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        *out += "\\\"";
-        break;
-      case '\\':
-        *out += "\\\\";
-        break;
-      case '\n':
-        *out += "\\n";
-        break;
-      case '\t':
-        *out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
-                        static_cast<unsigned>(c));
-          *out += buffer;
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-  out->push_back('"');
-}
 
 }  // namespace
 
@@ -152,7 +125,7 @@ std::string MetricsRegistry::ToJson() const {
     if (!first) out += ',';
     first = false;
     out += "\n    ";
-    AppendJsonString(name, &out);
+    JsonEscapeAppend(name, &out);
     out += ": " + std::to_string(counter->Value());
   }
   out += first ? "},\n" : "\n  },\n";
@@ -162,7 +135,7 @@ std::string MetricsRegistry::ToJson() const {
     if (!first) out += ',';
     first = false;
     out += "\n    ";
-    AppendJsonString(name, &out);
+    JsonEscapeAppend(name, &out);
     out += ": " + FormatDouble(gauge->Value());
   }
   out += first ? "},\n" : "\n  },\n";
@@ -172,7 +145,7 @@ std::string MetricsRegistry::ToJson() const {
     if (!first) out += ',';
     first = false;
     out += "\n    ";
-    AppendJsonString(name, &out);
+    JsonEscapeAppend(name, &out);
     out += ": {\"bounds\": [";
     const auto& bounds = histogram->bounds();
     for (size_t i = 0; i < bounds.size(); ++i) {

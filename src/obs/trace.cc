@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/string_util.h"
+
 namespace opinedb::obs {
 
 namespace {
@@ -18,35 +20,6 @@ std::string FormatDouble(double value) {
   return buffer;
 }
 
-void AppendJsonString(std::string_view s, std::string* out) {
-  out->push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        *out += "\\\"";
-        break;
-      case '\\':
-        *out += "\\\\";
-        break;
-      case '\n':
-        *out += "\\n";
-        break;
-      case '\t':
-        *out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
-                        static_cast<unsigned>(c));
-          *out += buffer;
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-  out->push_back('"');
-}
 
 }  // namespace
 
@@ -174,15 +147,15 @@ std::string TraceBuffer::ToJson() const {
     out += ", \"parent_id\": " + std::to_string(span.parent_id);
     out += ", \"seq\": " + std::to_string(span.seq);
     out += ", \"name\": ";
-    AppendJsonString(span.name, &out);
+    JsonEscapeAppend(span.name, &out);
     out += ", \"start_ms\": " + FormatDouble(span.start_ms);
     out += ", \"duration_ms\": " + FormatDouble(span.duration_ms);
     out += ", \"attributes\": {";
     for (size_t a = 0; a < span.attributes.size(); ++a) {
       if (a > 0) out += ", ";
-      AppendJsonString(span.attributes[a].first, &out);
+      JsonEscapeAppend(span.attributes[a].first, &out);
       out += ": ";
-      AppendJsonString(span.attributes[a].second, &out);
+      JsonEscapeAppend(span.attributes[a].second, &out);
     }
     out += "}}";
   }

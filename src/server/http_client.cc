@@ -1,0 +1,200 @@
+#include "server/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace opinedb::server {
+
+namespace {
+
+/// Offset just past the first blank line, or npos (CRLF or bare LF).
+size_t FindHeaderEnd(std::string_view buffer) {
+  for (size_t i = 0; i < buffer.size(); ++i) {
+    if (buffer[i] != '\n') continue;
+    if (i + 1 < buffer.size() && buffer[i + 1] == '\n') return i + 2;
+    if (i + 2 < buffer.size() && buffer[i + 1] == '\r' &&
+        buffer[i + 2] == '\n') {
+      return i + 3;
+    }
+  }
+  return std::string_view::npos;
+}
+
+}  // namespace
+
+std::string_view HttpClient::Response::Header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return value;
+  }
+  return {};
+}
+
+HttpClient::~HttpClient() { Close(); }
+
+Status HttpClient::Connect(const std::string& host, uint16_t port,
+                           int timeout_ms) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  timeval timeout{};
+  timeout.tv_sec = timeout_ms / 1000;
+  timeout.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad host: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status =
+        Status::Internal(std::string("connect: ") + std::strerror(errno));
+    Close();
+    return status;
+  }
+  buffer_.clear();
+  return Status::OK();
+}
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Status HttpClient::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::Internal("not connected");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      const Status status =
+          Status::Internal(std::string("send: ") + std::strerror(errno));
+      Close();
+      return status;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<HttpClient::Response> HttpClient::Request(
+    const std::string& method, const std::string& target,
+    const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  std::string wire = method + " " + target + " HTTP/1.1\r\n";
+  wire += "Host: opinedb\r\n";
+  wire += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  for (const auto& [name, value] : headers) {
+    wire += name + ": " + value + "\r\n";
+  }
+  wire += "\r\n";
+  wire += body;
+  Status status = SendRaw(wire);
+  if (!status.ok()) return status;
+  return ReadResponse();
+}
+
+Result<HttpClient::Response> HttpClient::ReadResponse() {
+  if (fd_ < 0) return Status::Internal("not connected");
+  char chunk[8192];
+  // Read until the header block is complete.
+  size_t header_end;
+  while ((header_end = FindHeaderEnd(buffer_)) == std::string_view::npos) {
+    if (buffer_.size() > (1u << 20)) {
+      Close();
+      return Status::Internal("response header block too large");
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      Close();
+      return Status::Internal("connection closed before response headers");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+
+  Response response;
+  size_t content_length = 0;
+  {
+    const std::string_view block =
+        std::string_view(buffer_).substr(0, header_end);
+    size_t start = 0;
+    bool first = true;
+    while (start < block.size()) {
+      size_t nl = block.find('\n', start);
+      if (nl == std::string_view::npos) break;
+      std::string_view line = block.substr(start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      start = nl + 1;
+      if (first) {
+        first = false;
+        // "HTTP/1.1 200 OK"
+        const size_t sp = line.find(' ');
+        if (sp == std::string_view::npos || line.size() < sp + 4) {
+          Close();
+          return Status::ParseError("bad status line");
+        }
+        response.status = 0;
+        for (size_t i = sp + 1; i < line.size() && line[i] != ' '; ++i) {
+          if (line[i] < '0' || line[i] > '9') {
+            Close();
+            return Status::ParseError("bad status code");
+          }
+          response.status = response.status * 10 + (line[i] - '0');
+        }
+        continue;
+      }
+      if (line.empty()) break;
+      const size_t colon = line.find(':');
+      if (colon == std::string_view::npos) continue;
+      const std::string name = ToLower(line.substr(0, colon));
+      const std::string value(Trim(line.substr(colon + 1)));
+      if (name == "content-length") {
+        content_length = 0;
+        for (const char c : value) {
+          if (c < '0' || c > '9') {
+            Close();
+            return Status::ParseError("bad content-length");
+          }
+          content_length = content_length * 10 + static_cast<size_t>(c - '0');
+        }
+      }
+      response.headers.emplace_back(name, value);
+    }
+  }
+
+  // Read the body.
+  while (buffer_.size() - header_end < content_length) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      Close();
+      return Status::Internal("connection closed mid-body");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+  response.body = buffer_.substr(header_end, content_length);
+  buffer_.erase(0, header_end + content_length);
+  return response;
+}
+
+}  // namespace opinedb::server

@@ -1,0 +1,81 @@
+#ifndef OPINEDB_SERVER_HTTP_CLIENT_H_
+#define OPINEDB_SERVER_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace opinedb::server {
+
+/// A minimal blocking HTTP/1.1 client over one TCP connection, shared
+/// by the serving tests, the fault sweep and the load driver. Supports
+/// keep-alive reuse (Request() may be called repeatedly on one
+/// connection) and raw byte injection for protocol-abuse tests.
+class HttpClient {
+ public:
+  struct Response {
+    int status = 0;
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    /// First header value for `name` (lower-case), or "" if absent.
+    std::string_view Header(std::string_view name) const;
+  };
+
+  HttpClient() = default;
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+  HttpClient(HttpClient&& other) noexcept
+      : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+    other.fd_ = -1;
+  }
+  HttpClient& operator=(HttpClient&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      buffer_ = std::move(other.buffer_);
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  Status Connect(const std::string& host, uint16_t port,
+                 int timeout_ms = 10000);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one request and reads the full response. On any transport
+  /// or framing error the connection is closed and an error status
+  /// returned (a shed or reset connection surfaces here, not as UB).
+  Result<Response> Request(
+      const std::string& method, const std::string& target,
+      const std::string& body = "",
+      const std::vector<std::pair<std::string, std::string>>& headers = {});
+
+  /// Convenience wrappers.
+  Result<Response> Get(const std::string& target) {
+    return Request("GET", target);
+  }
+  Result<Response> Post(const std::string& target, const std::string& body) {
+    return Request("POST", target, body);
+  }
+
+  /// Writes raw bytes (no framing) — for malformed-request tests.
+  Status SendRaw(std::string_view bytes);
+  /// Reads one response after SendRaw.
+  Result<Response> ReadResponse();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // Unconsumed bytes beyond the last response.
+};
+
+}  // namespace opinedb::server
+
+#endif  // OPINEDB_SERVER_HTTP_CLIENT_H_

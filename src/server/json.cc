@@ -1,0 +1,309 @@
+#include "server/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+namespace opinedb::server {
+namespace {
+
+bool IsJsonWhitespace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+/// Appends a Unicode code point as UTF-8.
+void AppendCodePoint(uint32_t cp, std::string* out) {
+  if (cp <= 0x7F) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp <= 0x7FF) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp <= 0xFFFF) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+}  // namespace
+
+/// The parser object holds the cursor so the recursive value parser
+/// stays readable; every byte access goes through the bounds-checked
+/// Peek/Take pair.
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  Result<JsonValue> Run() {
+    JsonValue value;
+    Status status = ParseValue(&value, 0);
+    if (!status.ok()) return status;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing bytes after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Fail(const std::string& what) const {
+    return Status::ParseError("json: " + what + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && IsJsonWhitespace(Peek())) ++pos_;
+  }
+
+  bool Consume(char c) {
+    if (AtEnd() || Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.size() - pos_ < literal.size()) return false;
+    if (text_.compare(pos_, literal.size(), literal) != 0) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Status ParseValue(JsonValue* out, size_t depth) {
+    SkipWhitespace();
+    if (AtEnd()) return Fail("unexpected end of input");
+    const char c = Peek();
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->kind_ = JsonValue::Kind::kString;
+        return ParseString(&out->string_);
+      case 't':
+        if (!ConsumeLiteral("true")) return Fail("bad literal");
+        out->kind_ = JsonValue::Kind::kBool;
+        out->bool_ = true;
+        return Status::OK();
+      case 'f':
+        if (!ConsumeLiteral("false")) return Fail("bad literal");
+        out->kind_ = JsonValue::Kind::kBool;
+        out->bool_ = false;
+        return Status::OK();
+      case 'n':
+        if (!ConsumeLiteral("null")) return Fail("bad literal");
+        out->kind_ = JsonValue::Kind::kNull;
+        return Status::OK();
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber(out);
+        return Fail(std::string("unexpected byte '") + c + "'");
+    }
+  }
+
+  Status ParseObject(JsonValue* out, size_t depth) {
+    if (depth >= max_depth_) return Fail("nesting too deep");
+    ++pos_;  // '{'
+    out->kind_ = JsonValue::Kind::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '"') return Fail("expected object key");
+      std::string key;
+      Status status = ParseString(&key);
+      if (!status.ok()) return status;
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected ':'");
+      JsonValue value;
+      status = ParseValue(&value, depth + 1);
+      if (!status.ok()) return status;
+      out->members_.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, size_t depth) {
+    if (depth >= max_depth_) return Fail("nesting too deep");
+    ++pos_;  // '['
+    out->kind_ = JsonValue::Kind::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    for (;;) {
+      JsonValue value;
+      Status status = ParseValue(&value, depth + 1);
+      if (!status.ok()) return status;
+      out->items_.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (text_.size() - pos_ < 4) return Fail("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + i];
+      uint32_t digit;
+      if (c >= '0' && c <= '9') {
+        digit = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        digit = 10 + (c - 'a');
+      } else if (c >= 'A' && c <= 'F') {
+        digit = 10 + (c - 'A');
+      } else {
+        return Fail("bad \\u escape digit");
+      }
+      value = (value << 4) | digit;
+    }
+    pos_ += 4;
+    *out = value;
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // opening '"'
+    out->clear();
+    for (;;) {
+      if (AtEnd()) return Fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(Peek());
+      ++pos_;
+      if (c == '"') return Status::OK();
+      if (c < 0x20) return Fail("raw control byte in string");
+      if (c != '\\') {
+        out->push_back(static_cast<char>(c));
+        continue;
+      }
+      if (AtEnd()) return Fail("truncated escape");
+      const char esc = Peek();
+      ++pos_;
+      switch (esc) {
+        case '"':  out->push_back('"');  break;
+        case '\\': out->push_back('\\'); break;
+        case '/':  out->push_back('/');  break;
+        case 'b':  out->push_back('\b'); break;
+        case 'f':  out->push_back('\f'); break;
+        case 'n':  out->push_back('\n'); break;
+        case 'r':  out->push_back('\r'); break;
+        case 't':  out->push_back('\t'); break;
+        case 'u': {
+          uint32_t cp = 0;
+          Status status = ParseHex4(&cp);
+          if (!status.ok()) return status;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate must follow.
+            if (!ConsumeLiteral("\\u")) return Fail("unpaired surrogate");
+            uint32_t low = 0;
+            status = ParseHex4(&low);
+            if (!status.ok()) return status;
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Fail("unpaired surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Fail("unpaired surrogate");
+          }
+          AppendCodePoint(cp, out);
+          break;
+        }
+        default:
+          return Fail("bad escape");
+      }
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+      // sign consumed
+    }
+    if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return Fail("bad number");
+    }
+    if (Peek() == '0') {
+      ++pos_;  // A leading zero must stand alone.
+    } else {
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (!AtEnd() && Peek() == '.') {
+      ++pos_;
+      if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Fail("bad fraction");
+      }
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Fail("bad exponent");
+      }
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    // The span is already validated digit by digit, so strtod cannot
+    // read past it; copy to guarantee NUL termination.
+    const std::string span(text_.substr(start, pos_ - start));
+    errno = 0;
+    const double value = std::strtod(span.c_str(), nullptr);
+    if (!std::isfinite(value)) return Fail("number out of range");
+    out->kind_ = JsonValue::Kind::kNumber;
+    out->number_ = value;
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  size_t max_depth_;
+};
+
+Result<JsonValue> JsonValue::Parse(std::string_view text, size_t max_depth) {
+  return JsonParser(text, max_depth).Run();
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  const JsonValue* found = nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) found = &value;
+  }
+  return found;
+}
+
+std::optional<std::string> JsonValue::GetString(std::string_view key) const {
+  const JsonValue* value = Find(key);
+  if (value == nullptr || !value->is_string()) return std::nullopt;
+  return value->AsString();
+}
+
+std::optional<double> JsonValue::GetNumber(std::string_view key) const {
+  const JsonValue* value = Find(key);
+  if (value == nullptr || !value->is_number()) return std::nullopt;
+  return value->AsNumber();
+}
+
+std::optional<bool> JsonValue::GetBool(std::string_view key) const {
+  const JsonValue* value = Find(key);
+  if (value == nullptr || !value->is_bool()) return std::nullopt;
+  return value->AsBool();
+}
+
+}  // namespace opinedb::server

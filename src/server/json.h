@@ -1,0 +1,81 @@
+#ifndef OPINEDB_SERVER_JSON_H_
+#define OPINEDB_SERVER_JSON_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace opinedb::server {
+
+/// A minimal immutable JSON document, parsed by a strict recursive-
+/// descent parser with a hard nesting-depth limit. This is the decoder
+/// behind every request body the query server accepts, so it is written
+/// for hostile input: no recursion past `max_depth`, no over-reads
+/// (every advance is bounds-checked against the input view), and every
+/// malformed byte produces a typed ParseError instead of UB. The
+/// 10k-request fuzz suite (tests/http_fuzz_test.cc) hammers exactly this
+/// entry point under ASan/UBSan.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+
+  /// Parses one complete JSON document; trailing whitespace is allowed,
+  /// any other trailing byte is an error. `max_depth` bounds nesting of
+  /// arrays/objects (a 100k-'[' body must not consume 100k stack
+  /// frames).
+  static Result<JsonValue> Parse(std::string_view text,
+                                 size_t max_depth = 64);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Scalar accessors; defaulted when the kind does not match.
+  bool AsBool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double AsNumber(double fallback = 0.0) const {
+    return is_number() ? number_ : fallback;
+  }
+  const std::string& AsString() const { return string_; }
+
+  /// Container accessors (empty for non-containers).
+  const std::vector<JsonValue>& items() const { return items_; }
+  /// Object members in source order (later duplicates win in Find).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Object member lookup (nullptr when absent or not an object). With
+  /// duplicate keys the last occurrence wins, matching common decoders.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Typed object-member conveniences for flat request bodies.
+  std::optional<std::string> GetString(std::string_view key) const;
+  std::optional<double> GetNumber(std::string_view key) const;
+  std::optional<bool> GetBool(std::string_view key) const;
+
+ private:
+  friend class JsonParser;
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+}  // namespace opinedb::server
+
+#endif  // OPINEDB_SERVER_JSON_H_

@@ -1,0 +1,196 @@
+#include "server/server.h"
+
+#include <utility>
+
+#include "common/fault.h"
+#include "common/string_util.h"
+#include "core/result_json.h"
+#include "obs/metrics.h"
+#include "server/json.h"
+
+namespace opinedb::server {
+
+namespace {
+
+/// Pulls a boolean request flag from the query string or the body
+/// ("?stats=1" and {"stats": true} are equivalent).
+bool RequestFlag(const HttpRequest& request, const JsonValue& body,
+                 std::string_view key) {
+  if (request.QueryFlag(key)) return true;
+  if (const JsonValue* member = body.Find(key)) return member->AsBool(false);
+  return false;
+}
+
+}  // namespace
+
+QueryServer::QueryServer(core::OpineDb* db, QueryServerOptions options)
+    : db_(db), options_(std::move(options)) {
+  httpd_ = std::make_unique<Httpd>(
+      options_.httpd,
+      [this](const HttpRequest& request) { return Handle(request); });
+}
+
+Status QueryServer::Start() { return httpd_->Start(); }
+
+void QueryServer::Stop() { httpd_->Stop(); }
+
+HttpResponse QueryServer::Handle(const HttpRequest& request) {
+  const std::string& path = request.path;
+  if (path == "/query") {
+    if (request.method != "POST") {
+      return HttpResponse::Error(405, "POST required");
+    }
+    return HandleQuery(request);
+  }
+  if (path == "/explain") {
+    if (request.method != "POST") {
+      return HttpResponse::Error(405, "POST required");
+    }
+    return HandleExplain(request);
+  }
+  if (path == "/metrics") {
+    if (request.method != "GET" && request.method != "HEAD") {
+      return HttpResponse::Error(405, "GET required");
+    }
+    return HandleMetrics();
+  }
+  if (path == "/healthz") {
+    if (request.method != "GET" && request.method != "HEAD") {
+      return HttpResponse::Error(405, "GET required");
+    }
+    return HandleHealth();
+  }
+  if (path == "/admin/snapshot/save" || path == "/admin/snapshot/open") {
+    if (request.method != "POST") {
+      return HttpResponse::Error(405, "POST required");
+    }
+    return HandleSnapshot(request, path == "/admin/snapshot/save");
+  }
+  return HttpResponse::Error(404, "no such route: " + path);
+}
+
+HttpResponse QueryServer::HandleQuery(const HttpRequest& request) {
+  Result<JsonValue> body = JsonValue::Parse(request.body);
+  if (!body.ok()) {
+    return HttpResponse::Error(400, body.status().message());
+  }
+  if (!body->is_object()) {
+    return HttpResponse::Error(400, "request body must be a JSON object");
+  }
+  const std::optional<std::string> sql = body->GetString("sql");
+  if (!sql.has_value() || sql->empty()) {
+    return HttpResponse::Error(400, "missing required field: sql");
+  }
+
+  // Map the request budget onto QueryControl. An absent field means
+  // the operator default; an explicit 0 is a zero budget (the query
+  // expires at its first checkpoint and returns a partial result); a
+  // request above the operator's ceiling gets the ceiling.
+  std::optional<double> budget;
+  if (options_.default_deadline_ms > 0.0) {
+    budget = options_.default_deadline_ms;
+  }
+  if (const std::optional<double> requested = body->GetNumber("deadline_ms")) {
+    if (!(*requested >= 0.0)) {  // Also rejects NaN.
+      return HttpResponse::Error(400, "deadline_ms must be >= 0");
+    }
+    budget = *requested;
+  }
+  if (options_.max_deadline_ms > 0.0 &&
+      (!budget.has_value() || *budget > options_.max_deadline_ms)) {
+    budget = options_.max_deadline_ms;
+  }
+  core::QueryControl control;
+  if (budget.has_value()) {
+    control.deadline = QueryDeadline::AfterMillis(*budget);
+  }
+
+  Result<core::QueryResult> result = db_->Execute(*sql, control);
+  if (!result.ok()) {
+    return HttpResponse::Error(400, result.status().message());
+  }
+  if (result->partial) {
+    OPINEDB_METRIC_COUNT("server.deadline_expired", 1);
+  }
+
+  core::ResultJsonOptions json_options;
+  json_options.include_stats = RequestFlag(request, *body, "stats");
+  json_options.include_trace = RequestFlag(request, *body, "trace");
+  if (const JsonValue* member = body->Find("interpretations")) {
+    json_options.include_interpretations = member->AsBool(true);
+  }
+  return HttpResponse::Json(200, core::ResultToJson(*result, json_options));
+}
+
+HttpResponse QueryServer::HandleExplain(const HttpRequest& request) {
+  Result<JsonValue> body = JsonValue::Parse(request.body);
+  if (!body.ok()) {
+    return HttpResponse::Error(400, body.status().message());
+  }
+  std::optional<std::string> sql =
+      body->is_object() ? body->GetString("sql") : std::nullopt;
+  if (!sql.has_value() || sql->empty()) {
+    return HttpResponse::Error(400, "missing required field: sql");
+  }
+  // /explain is sugar for an EXPLAIN statement; accept either spelling.
+  std::string statement = *sql;
+  const std::string lowered = ToLower(Trim(statement));
+  if (lowered.rfind("explain", 0) != 0) {
+    statement = "explain " + statement;
+  }
+  Result<core::QueryResult> result = db_->Execute(statement);
+  if (!result.ok()) {
+    return HttpResponse::Error(400, result.status().message());
+  }
+  std::string out = "{\n  \"plan\": ";
+  JsonEscapeAppend(core::PlanKindName(result->plan), &out);
+  out += ",\n  \"plan_text\": ";
+  JsonEscapeAppend(result->plan_text, &out);
+  out += "\n}\n";
+  return HttpResponse::Json(200, std::move(out));
+}
+
+HttpResponse QueryServer::HandleMetrics() const {
+  return HttpResponse::Json(200, obs::MetricsRegistry::Global().ToJson());
+}
+
+HttpResponse QueryServer::HandleHealth() const {
+  std::string out = "{\"status\": \"ok\"";
+  out += ", \"entities\": " + std::to_string(db_->corpus().num_entities());
+  out += ", \"snapshot_generation\": " +
+         std::to_string(db_->snapshot_generation());
+  out += ", \"cache_epoch\": " + std::to_string(db_->cache_epoch());
+  out += "}\n";
+  return HttpResponse::Json(200, std::move(out));
+}
+
+HttpResponse QueryServer::HandleSnapshot(const HttpRequest& request,
+                                         bool save) {
+  std::string dir = options_.snapshot_dir;
+  if (!request.body.empty()) {
+    Result<JsonValue> body = JsonValue::Parse(request.body);
+    if (!body.ok()) {
+      return HttpResponse::Error(400, body.status().message());
+    }
+    if (body->is_object()) {
+      if (const std::optional<std::string> requested = body->GetString("dir")) {
+        dir = *requested;
+      }
+    }
+  }
+  if (dir.empty()) {
+    return HttpResponse::Error(
+        400, "no snapshot directory: pass {\"dir\": ...} or configure one");
+  }
+  const Status status = save ? db_->SaveDatabase(dir) : db_->OpenDatabase(dir);
+  if (!status.ok()) {
+    // Surface storage-layer failures as 500 (the request was well
+    // formed; the store was not).
+    return HttpResponse::Error(500, status.message());
+  }
+  std::string out = "{\"generation\": " +
+                    std::to_string(db_->snapshot_generation()) + "}\n";
+  return HttpResponse::Json(200, std::move(out));
+}
+
+}  // namespace opinedb::server

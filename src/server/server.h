@@ -1,0 +1,77 @@
+#ifndef OPINEDB_SERVER_SERVER_H_
+#define OPINEDB_SERVER_SERVER_H_
+
+#include <memory>
+#include <string>
+
+#include "core/engine.h"
+#include "server/httpd.h"
+
+namespace opinedb::server {
+
+/// Query-server configuration on top of the transport options.
+struct QueryServerOptions {
+  HttpdOptions httpd;
+  /// Upper clamp on the per-request `deadline_ms` budget (0 = no
+  /// clamp). A client asking for more gets the clamp, so one request
+  /// can never hold a worker past the operator's ceiling.
+  double max_deadline_ms = 0.0;
+  /// Deadline applied when the request names none (0 = unlimited).
+  double default_deadline_ms = 0.0;
+  /// Directory used by /admin/snapshot/{save,open} when the request
+  /// body names none. Admin snapshot routes answer 400 when neither
+  /// names a directory.
+  std::string snapshot_dir;
+};
+
+/// The OpineDB front door: routes HTTP onto one engine.
+///
+///   POST /query                  {"sql": ..., "deadline_ms"?, "stats"?}
+///                                → core::ResultToJson document; honors
+///                                  ?trace=1 / ?stats=1 request flags
+///   POST /explain                {"sql": ...} → {"plan_text": ...}
+///   GET  /metrics                MetricsRegistry::Global().ToJson()
+///   GET  /healthz                {"status","entities",
+///                                 "snapshot_generation","cache_epoch"}
+///   POST /admin/snapshot/save    {"dir"?} → {"generation": N}
+///   POST /admin/snapshot/open    {"dir"?} → {"generation": N}
+///
+/// Queries run on Httpd worker threads; the engine's shared
+/// reconfiguration lock makes concurrent Execute calls safe, and the
+/// admin snapshot routes serialize against in-flight queries inside
+/// the engine itself. A request-level `deadline_ms` maps onto
+/// core::QueryControl, so an over-budget query returns 200 with
+/// `partial: true` and exact-prefix scores instead of an error (the
+/// server.deadline_expired counter tracks how often). See
+/// docs/SERVING.md for schemas and the admission-control ladder.
+class QueryServer {
+ public:
+  /// `db` must outlive the server. The engine's trace level governs
+  /// metrics publication and trace capture exactly as embedded.
+  explicit QueryServer(core::OpineDb* db,
+                       QueryServerOptions options = QueryServerOptions());
+
+  Status Start();
+  void Stop();
+  uint16_t port() const { return httpd_->port(); }
+  Httpd& httpd() { return *httpd_; }
+
+  /// The routing function, exposed so tests can drive it without a
+  /// socket (the loopback suites go through real sockets).
+  HttpResponse Handle(const HttpRequest& request);
+
+ private:
+  HttpResponse HandleQuery(const HttpRequest& request);
+  HttpResponse HandleExplain(const HttpRequest& request);
+  HttpResponse HandleMetrics() const;
+  HttpResponse HandleHealth() const;
+  HttpResponse HandleSnapshot(const HttpRequest& request, bool save);
+
+  core::OpineDb* db_;
+  QueryServerOptions options_;
+  std::unique_ptr<Httpd> httpd_;
+};
+
+}  // namespace opinedb::server
+
+#endif  // OPINEDB_SERVER_SERVER_H_

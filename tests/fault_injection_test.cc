@@ -32,10 +32,14 @@
 #include "cache/interpretation_cache.h"
 #include "cache/result_cache.h"
 #include "common/fault.h"
+#include "common/string_util.h"
 #include "core/degree_cache.h"
 #include "core/engine.h"
+#include "core/result_json.h"
 #include "datagen/domain_spec.h"
 #include "eval/experiment.h"
+#include "server/http_client.h"
+#include "server/server.h"
 
 namespace opinedb {
 namespace {
@@ -409,6 +413,132 @@ TEST_F(FaultInjectionTest, ResultCacheLookupFaultFallsBackToExecution) {
   EXPECT_EQ(db().result_cache()->size(), 0u);
   fault::DisarmAll();
   db().ConfigureCaches(cache::CacheConfig());
+}
+
+// ------------------------------------------------- Serving-layer sites.
+// The kServerSites catalog (common/fault.h) is swept over a live
+// loopback server. The blast-radius contract: a fired server site
+// degrades exactly one connection or response — never the server, and
+// never a *different* connection's request.
+
+TEST_F(FaultInjectionTest, ServerAcceptFaultDropsOneConnectionOnly) {
+  server::QueryServer query_server(&db());
+  ASSERT_TRUE(query_server.Start().ok());
+  fault::Arm("server.accept", 1);
+  server::HttpClient dropped;
+  ASSERT_TRUE(dropped.Connect("127.0.0.1", query_server.port()).ok());
+  // The faulted accept closes the connection before any response.
+  auto failed = dropped.Get("/healthz");
+  EXPECT_FALSE(failed.ok());
+  EXPECT_GT(fault::HitCount("server.accept"), 0u);
+  // The very next connection is served normally.
+  server::HttpClient next;
+  ASSERT_TRUE(next.Connect("127.0.0.1", query_server.port()).ok());
+  auto served = next.Get("/healthz");
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_EQ(served->status, 200);
+  query_server.Stop();
+}
+
+TEST_F(FaultInjectionTest, ServerReadFaultAbandonsOneRequestOnly) {
+  server::QueryServer query_server(&db());
+  ASSERT_TRUE(query_server.Start().ok());
+  fault::Arm("server.read", 1);
+  server::HttpClient dropped;
+  ASSERT_TRUE(dropped.Connect("127.0.0.1", query_server.port()).ok());
+  auto failed = dropped.Get("/healthz");
+  EXPECT_FALSE(failed.ok());
+  EXPECT_GT(fault::HitCount("server.read"), 0u);
+  server::HttpClient next;
+  ASSERT_TRUE(next.Connect("127.0.0.1", query_server.port()).ok());
+  auto served = next.Get("/healthz");
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_EQ(served->status, 200);
+  query_server.Stop();
+}
+
+// The satellite contract named in the catalog: a fault during response
+// write substitutes a well-formed 500 and must NOT poison the reused
+// connection — the next request on the same keep-alive stream parses
+// and serves normally, bit-identical to embedded execution.
+TEST_F(FaultInjectionTest, ServerWriteFaultDoesNotPoisonReusedConnection) {
+  const auto atom_preds = AtomPredicates(1);
+  ASSERT_FALSE(atom_preds.empty());
+  const std::string sql =
+      "select * from hotels where \"" + atom_preds[0] + "\" limit 5";
+  auto reference = db().Execute(sql);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  const std::string expected = core::ResultToJson(*reference);
+  std::string body = "{\"sql\": ";
+  JsonEscapeAppend(sql, &body);
+  body += "}";
+
+  server::QueryServer query_server(&db());
+  ASSERT_TRUE(query_server.Start().ok());
+  server::HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", query_server.port()).ok());
+  fault::Arm("server.write", 1);
+  auto faulted = client.Post("/query", body);
+  ASSERT_TRUE(faulted.ok()) << faulted.status().ToString();
+  EXPECT_EQ(faulted->status, 500);
+  EXPECT_GT(fault::HitCount("server.write"), 0u);
+  fault::DisarmAll();
+  // Same connection, next request: served as if nothing happened.
+  auto repaired = client.Post("/query", body);
+  ASSERT_TRUE(repaired.ok()) << repaired.status().ToString();
+  EXPECT_EQ(repaired->status, 200);
+  EXPECT_EQ(repaired->body, expected);
+  query_server.Stop();
+}
+
+TEST_F(FaultInjectionTest, ServerShedFaultForcesThe429Path) {
+  server::QueryServer query_server(&db());
+  ASSERT_TRUE(query_server.Start().ok());
+  fault::Arm("server.shed", 1);
+  server::HttpClient shed;
+  ASSERT_TRUE(shed.Connect("127.0.0.1", query_server.port()).ok());
+  ASSERT_TRUE(shed.SendRaw("GET /healthz HTTP/1.1\r\n\r\n").ok());
+  auto response = shed.ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 429);
+  EXPECT_EQ(response->Header("retry-after"), "1");
+  EXPECT_GT(fault::HitCount("server.shed"), 0u);
+  EXPECT_EQ(query_server.httpd().shed_count(), 1u);
+  // Admission recovers immediately once the site disarms (one-shot).
+  server::HttpClient next;
+  ASSERT_TRUE(next.Connect("127.0.0.1", query_server.port()).ok());
+  auto served = next.Get("/healthz");
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_EQ(served->status, 200);
+  query_server.Stop();
+}
+
+// Catalog liveness for kServerSites, mirroring the kSites sweep: every
+// entry must be reachable through the loopback server — a stale entry
+// or dead OPINEDB_FAULT site fails loudly.
+TEST_F(FaultInjectionTest, EveryServerSiteIsReachable) {
+  server::QueryServer query_server(&db());
+  ASSERT_TRUE(query_server.Start().ok());
+  for (const char* site : fault::kServerSites) {
+    SCOPED_TRACE(site);
+    fault::DisarmAll();
+    fault::Arm(site, 1);
+    server::HttpClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", query_server.port()).ok());
+    // Whatever the site does to this request — drop, 500, 429 — it
+    // must fire, and the server must keep serving afterwards.
+    (void)client.Get("/healthz");
+    EXPECT_GT(fault::HitCount(site), 0u)
+        << "catalog entry never reached: " << site
+        << " (stale kServerSites entry or dead OPINEDB_FAULT site)";
+    fault::DisarmAll();
+    server::HttpClient after;
+    ASSERT_TRUE(after.Connect("127.0.0.1", query_server.port()).ok());
+    auto served = after.Get("/healthz");
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    EXPECT_EQ(served->status, 200);
+  }
+  query_server.Stop();
 }
 
 }  // namespace

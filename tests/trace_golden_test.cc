@@ -4,7 +4,9 @@
 // interpreter chose for every subjective predicate. Pinning the stage
 // (word2vec / cooccurrence / text_fallback) turns a silent behavioral
 // drift in the Fig. 5 cascade into a loud test failure.
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -15,6 +17,9 @@
 #include "eval/experiment.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "server/http_client.h"
+#include "server/json.h"
+#include "server/server.h"
 
 namespace opinedb {
 namespace {
@@ -383,6 +388,123 @@ TEST_F(TraceGoldenTest, StatsLevelPublishesRegistryMetrics) {
             scored_before + db->corpus().num_entities());
   // The ExecutionStats façade and the registry agree.
   EXPECT_EQ(result->stats.entities_scored, db->corpus().num_entities());
+}
+
+// ------------------------------------------- Traces over the wire.
+// The query server forwards TraceBuffer::ToJson verbatim when the
+// client asks (?trace=1) and the engine runs at kFull. Pin the served
+// span tree's schema and the cascade content so the HTTP surface
+// cannot drift away from the embedded one.
+
+TEST_F(TraceGoldenTest, ServedTraceSpanTreeMatchesGoldenSchema) {
+  core::OpineDb* db = hotel_->db.get();
+  db->SetTraceLevel(obs::TraceLevel::kFull);
+  server::QueryServer query_server(db);
+  ASSERT_TRUE(query_server.Start().ok());
+  server::HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", query_server.port()).ok());
+  const char* body =
+      "{\"sql\": \"select * from hotels where \\\"clean room\\\" "
+      "limit 5\"}";
+
+  // Without the flag the document has no trace section at all.
+  auto plain = client.Post("/query", body);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  ASSERT_EQ(plain->status, 200);
+  EXPECT_EQ(plain->body.find("\"trace\""), std::string::npos);
+
+  auto traced = client.Post("/query?trace=1", body);
+  ASSERT_TRUE(traced.ok()) << traced.status().ToString();
+  ASSERT_EQ(traced->status, 200);
+  auto doc = server::JsonValue::Parse(traced->body);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const server::JsonValue* trace = doc->Find("trace");
+  ASSERT_NE(trace, nullptr);
+  ASSERT_TRUE(trace->is_array());
+  ASSERT_FALSE(trace->items().empty());
+
+  // Schema pin: every span renders exactly these seven fields, with
+  // attributes as a string-to-string object.
+  const char* const kSpanFields[] = {"id",       "parent_id",   "seq",
+                                     "name",     "start_ms",
+                                     "duration_ms", "attributes"};
+  std::map<std::string, const server::JsonValue*> by_name;
+  for (const server::JsonValue& span : trace->items()) {
+    ASSERT_TRUE(span.is_object());
+    ASSERT_EQ(span.members().size(), 7u);
+    for (const char* field : kSpanFields) {
+      ASSERT_NE(span.Find(field), nullptr) << "span missing " << field;
+    }
+    EXPECT_TRUE(span.Find("attributes")->is_object());
+    by_name[*span.GetString("name")] = &span;
+  }
+
+  // Content pin: the cascade skeleton serves intact, parented as in
+  // TraceTreeHasExpectedShape, with the golden stage decision.
+  for (const char* name :
+       {"execute_query", "interpret", "interpret.predicate",
+        "interpret.word2vec", "score", "score.condition", "combine_rank"}) {
+    EXPECT_TRUE(by_name.count(name)) << "served trace lost span " << name;
+  }
+  const server::JsonValue* root = by_name["execute_query"];
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->GetNumber("parent_id"), std::make_optional(0.0));
+  EXPECT_EQ(root->Find("attributes")->GetString("plan"),
+            std::make_optional<std::string>("dense_scan"));
+  const server::JsonValue* predicate = by_name["interpret.predicate"];
+  ASSERT_NE(predicate, nullptr);
+  EXPECT_EQ(predicate->Find("attributes")->GetString("predicate"),
+            std::make_optional<std::string>("clean room"));
+  EXPECT_EQ(predicate->Find("attributes")->GetString("stage"),
+            std::make_optional<std::string>("word2vec"));
+  EXPECT_EQ(predicate->GetNumber("parent_id"),
+            by_name["interpret"]->GetNumber("id"));
+
+  // The served span tree is the embedded one: same names, same
+  // parent/child edges (timings differ run to run, structure may not).
+  auto embedded = db->Execute(
+      "select * from hotels where \"clean room\" limit 5");
+  ASSERT_TRUE(embedded.ok());
+  ASSERT_NE(embedded->trace, nullptr);
+  std::multiset<std::string> served_edges, embedded_edges;
+  std::map<double, std::string> served_names;
+  for (const server::JsonValue& span : trace->items()) {
+    served_names[*span.GetNumber("id")] = *span.GetString("name");
+  }
+  for (const server::JsonValue& span : trace->items()) {
+    const double parent = *span.GetNumber("parent_id");
+    served_edges.insert(*span.GetString("name") + "<-" +
+                        (parent == 0 ? "root" : served_names[parent]));
+  }
+  std::map<uint64_t, std::string> embedded_names;
+  for (const auto& span : embedded->trace->Snapshot()) {
+    embedded_names[span.id] = span.name;
+  }
+  for (const auto& span : embedded->trace->Snapshot()) {
+    embedded_edges.insert(
+        span.name + "<-" +
+        (span.parent_id == 0 ? "root" : embedded_names[span.parent_id]));
+  }
+  EXPECT_EQ(served_edges, embedded_edges);
+  query_server.Stop();
+}
+
+TEST_F(TraceGoldenTest, TraceFlagWithoutFullLevelServesNoTrace) {
+  core::OpineDb* db = restaurant_->db.get();
+  db->SetTraceLevel(obs::TraceLevel::kOff);
+  server::QueryServer query_server(db);
+  ASSERT_TRUE(query_server.Start().ok());
+  server::HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", query_server.port()).ok());
+  auto response = client.Post(
+      "/query?trace=1",
+      "{\"sql\": \"select * from restaurants where \\\"delicious "
+      "food\\\" limit 5\"}");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_EQ(response->status, 200);
+  // The flag asks; only the engine's level grants. No trace section.
+  EXPECT_EQ(response->body.find("\"trace\""), std::string::npos);
+  query_server.Stop();
 }
 
 TEST_F(TraceGoldenTest, TraceLevelFullResultsIdenticalToOff) {
