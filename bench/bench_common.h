@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "datagen/domain_spec.h"
@@ -60,6 +61,24 @@ inline int QueriesPerCell(int fallback = 60) {
   const char* env = std::getenv("OPINEDB_QUERIES");
   if (env != nullptr) return std::atoi(env);
   return fallback;
+}
+
+/// Worker threads the engine actually runs with for a requested count
+/// (EngineOptions::num_threads semantics: 0 = hardware concurrency).
+inline size_t ResolvedThreads(size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+/// Emits the host/parallelism fields every BENCH_*.json records, so a
+/// result file is interpretable without knowing the machine it ran on:
+/// the hardware concurrency and the thread count the bench actually
+/// used (for sweeps, the widest point).
+inline void WriteHostFields(FILE* out, size_t threads_used) {
+  fprintf(out, "  \"hardware_concurrency\": %u,\n",
+          std::thread::hardware_concurrency());
+  fprintf(out, "  \"threads_used\": %zu,\n", threads_used);
 }
 
 /// Renders a numeric vector as a JSON array ("[1.5, 2.25]") for the

@@ -302,11 +302,10 @@ void RunParallelSweep() {
     fprintf(stderr, "cannot write BENCH_parallel.json\n");
     std::exit(1);
   }
-  const unsigned hw = std::thread::hardware_concurrency();
   fprintf(out, "{\n");
   fprintf(out, "  \"bench\": \"parallel_sweep\",\n");
   fprintf(out, "  \"dataset\": \"hotel_seed\",\n");
-  fprintf(out, "  \"hardware_concurrency\": %u,\n", hw);
+  bench::WriteHostFields(out, threads.back());
   fprintf(out, "  \"repeats\": %d,\n", repeats);
   fprintf(out, "  \"threads\": %s,\n", bench::JsonArray(threads).c_str());
   fprintf(out, "  \"precompute_markers_ms\": %s,\n",
@@ -405,8 +404,7 @@ void RunObsOverheadSweep() {
   fprintf(out, "{\n");
   fprintf(out, "  \"bench\": \"obs_overhead_sweep\",\n");
   fprintf(out, "  \"dataset\": \"hotel_seed\",\n");
-  fprintf(out, "  \"hardware_concurrency\": %u,\n",
-          std::thread::hardware_concurrency());
+  bench::WriteHostFields(out, bench::ResolvedThreads(0));
   fprintf(out, "  \"repeats\": %d,\n", repeats);
   fprintf(out, "  \"queries_per_sweep\": %zu,\n", queries.size());
   fprintf(out, "  \"execute_query_ms_off\": %g,\n", off_ms);
@@ -517,8 +515,7 @@ void RunPlannerSweep() {
   fprintf(out, "{\n");
   fprintf(out, "  \"bench\": \"planner_sweep\",\n");
   fprintf(out, "  \"dataset\": \"hotel_seed\",\n");
-  fprintf(out, "  \"hardware_concurrency\": %u,\n",
-          std::thread::hardware_concurrency());
+  bench::WriteHostFields(out, bench::ResolvedThreads(0));
   fprintf(out, "  \"repeats\": %d,\n", repeats);
   fprintf(out, "  \"num_entities\": %zu,\n", num_entities);
   fprintf(out, "  \"price_cutoffs\": %s,\n",
@@ -617,8 +614,7 @@ void RunSnapshotSweep() {
   fprintf(out, "{\n");
   fprintf(out, "  \"bench\": \"snapshot_sweep\",\n");
   fprintf(out, "  \"dataset\": \"hotel_seed\",\n");
-  fprintf(out, "  \"hardware_concurrency\": %u,\n",
-          std::thread::hardware_concurrency());
+  bench::WriteHostFields(out, bench::ResolvedThreads(0));
   fprintf(out, "  \"repeats\": %d,\n", repeats);
   fprintf(out, "  \"snapshot_bytes\": %zu,\n", snapshot_bytes);
   fprintf(out, "  \"save_database_ms\": %g,\n", save_ms);
@@ -756,8 +752,7 @@ void RunCacheSweep() {
   fprintf(out, "{\n");
   fprintf(out, "  \"bench\": \"cache_sweep\",\n");
   fprintf(out, "  \"dataset\": \"hotel_seed\",\n");
-  fprintf(out, "  \"hardware_concurrency\": %u,\n",
-          std::thread::hardware_concurrency());
+  bench::WriteHostFields(out, bench::ResolvedThreads(0));
   fprintf(out, "  \"repeats\": %d,\n", repeats);
   fprintf(out, "  \"distinct_queries\": %zu,\n", kDistinct);
   fprintf(out, "  \"stream_length\": %zu,\n", kStream);

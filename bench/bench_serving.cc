@@ -333,6 +333,7 @@ int Main() {
   fprintf(out, "{\n");
   fprintf(out, "  \"bench\": \"serving\",\n");
   fprintf(out, "  \"dataset\": \"hotel_seed\",\n");
+  opinedb::bench::WriteHostFields(out, options.httpd.num_workers);
   fprintf(out, "  \"workers\": %zu,\n", options.httpd.num_workers);
   fprintf(out, "  \"queue_capacity\": %zu,\n", options.httpd.queue_capacity);
   fprintf(out, "  \"step_seconds\": %.2f,\n", step_seconds);

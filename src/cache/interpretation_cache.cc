@@ -71,14 +71,17 @@ Result<core::InterpretMethod> MethodFromChar(char c) {
 
 }  // namespace
 
+InterpretationCache::InterpretationCache(size_t num_shards)
+    : shards_(std::max<size_t>(1, num_shards)) {}
+
 InterpretationCache::Shard& InterpretationCache::ShardFor(
     const std::string& key) {
-  return shards_[std::hash<std::string>{}(key) % kNumShards];
+  return shards_[std::hash<std::string>{}(key) % shards_.size()];
 }
 
 const InterpretationCache::Shard& InterpretationCache::ShardFor(
     const std::string& key) const {
-  return shards_[std::hash<std::string>{}(key) % kNumShards];
+  return shards_[std::hash<std::string>{}(key) % shards_.size()];
 }
 
 bool InterpretationCache::Lookup(const std::string& key, uint64_t epoch,

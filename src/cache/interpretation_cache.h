@@ -8,6 +8,7 @@
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/result.h"
 #include "core/interpreter.h"
@@ -41,7 +42,9 @@ class InterpretationCache {
     uint64_t epoch = 0;
   };
 
-  InterpretationCache() = default;
+  /// `num_shards` is clamped to at least 1; the count is fixed for the
+  /// cache's lifetime (the engine rebuilds the layer to change it).
+  explicit InterpretationCache(size_t num_shards = 16);
   InterpretationCache(const InterpretationCache&) = delete;
   InterpretationCache& operator=(const InterpretationCache&) = delete;
 
@@ -62,6 +65,9 @@ class InterpretationCache {
   /// Resident entries across all shards.
   size_t size() const;
 
+  /// Lock-striping width this cache was built with.
+  size_t num_shards() const { return shards_.size(); }
+
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
 
@@ -71,8 +77,6 @@ class InterpretationCache {
   friend Status LoadInterpretationCache(std::istream* in, uint64_t epoch,
                                         InterpretationCache* cache);
 
-  static constexpr size_t kNumShards = 16;
-
   struct Shard {
     mutable std::shared_mutex mu;
     std::unordered_map<std::string, Entry> map;
@@ -81,7 +85,8 @@ class InterpretationCache {
   Shard& ShardFor(const std::string& key);
   const Shard& ShardFor(const std::string& key) const;
 
-  Shard shards_[kNumShards];
+  /// Sized once at construction; never resized (shards own mutexes).
+  std::vector<Shard> shards_;
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
 };

@@ -1,10 +1,13 @@
 #include "cache/result_cache.h"
 
+#include <algorithm>
+
 namespace opinedb::cache {
 
-ResultCache::ResultCache(size_t byte_budget)
+ResultCache::ResultCache(size_t byte_budget, size_t num_shards)
     : byte_budget_(byte_budget),
-      shard_budget_(byte_budget / kNumShards) {}
+      shard_budget_(byte_budget / std::max<size_t>(1, num_shards)),
+      shards_(std::max<size_t>(1, num_shards)) {}
 
 uint64_t ResultCache::Fingerprint(std::string_view key) {
   // FNV-1a, 64-bit.
@@ -34,7 +37,7 @@ size_t ResultCache::ApproxBytes(const std::string& key,
 
 bool ResultCache::Lookup(const std::string& key, uint64_t epoch,
                          CachedResult* out) {
-  Shard& shard = shards_[Fingerprint(key) % kNumShards];
+  Shard& shard = shards_[Fingerprint(key) % shards_.size()];
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.map.find(key);
@@ -57,7 +60,7 @@ size_t ResultCache::Insert(const std::string& key, uint64_t epoch,
                            CachedResult value) {
   const size_t entry_bytes = ApproxBytes(key, value);
   if (entry_bytes > shard_budget_) return 0;  // Never cacheable.
-  Shard& shard = shards_[Fingerprint(key) % kNumShards];
+  Shard& shard = shards_[Fingerprint(key) % shards_.size()];
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(key);
   if (it != shard.map.end()) EraseLocked(&shard, it);

@@ -30,15 +30,17 @@ struct CachedResult {
 /// epoch bump; the per-entry epoch tag makes a stale entry a miss even
 /// if a clear raced a reader.
 ///
-/// Sharding: a key lives in shard Fingerprint(key) % kNumShards, each
-/// shard owns budget/kNumShards bytes and its own mutex + LRU list, so
+/// Sharding: a key lives in shard Fingerprint(key) % num_shards, each
+/// shard owns budget/num_shards bytes and its own mutex + LRU list, so
 /// eviction pressure in one shard never touches entries in another.
 /// Entries larger than one shard's budget are never cached. Lookups are
 /// exclusive per shard (a hit touches the LRU list) but copy the value
 /// out, so no references escape the lock.
 class ResultCache {
  public:
-  explicit ResultCache(size_t byte_budget);
+  /// `num_shards` is clamped to at least 1; the count is fixed for the
+  /// cache's lifetime (the engine rebuilds the layer to change it).
+  explicit ResultCache(size_t byte_budget, size_t num_shards = 8);
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
 
@@ -59,6 +61,7 @@ class ResultCache {
   size_t size() const;
   size_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
   size_t byte_budget() const { return byte_budget_; }
+  size_t num_shards() const { return shards_.size(); }
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
@@ -77,8 +80,6 @@ class ResultCache {
                             const CachedResult& value);
 
  private:
-  static constexpr size_t kNumShards = 8;
-
   struct Entry {
     CachedResult value;
     uint64_t epoch = 0;
@@ -101,7 +102,8 @@ class ResultCache {
 
   const size_t byte_budget_;
   const size_t shard_budget_;
-  Shard shards_[kNumShards];
+  /// Sized once at construction; never resized (shards own mutexes).
+  std::vector<Shard> shards_;
   std::atomic<size_t> bytes_{0};
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};

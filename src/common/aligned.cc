@@ -1,0 +1,31 @@
+#include "common/aligned.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace opinedb::common {
+
+void* AlignedAlloc(size_t bytes) {
+  const size_t rounded = AlignedBytes(bytes);
+  if (rounded == 0) return nullptr;
+  void* p = std::aligned_alloc(kColumnAlignment, rounded);
+  if (p == nullptr) throw std::bad_alloc();
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  if (rounded >= kHugePageHintBytes) {
+    // Advisory only: on kernels without THP (or with it disabled) the
+    // call fails silently and the buffer is served by 4K pages.
+    (void)madvise(p, rounded, MADV_HUGEPAGE);
+  }
+#endif
+  std::memset(p, 0, rounded);
+  return p;
+}
+
+void AlignedFree(void* p) noexcept { std::free(p); }
+
+}  // namespace opinedb::common

@@ -1,19 +1,27 @@
 #include "core/degree_cache.h"
 
+#include <algorithm>
 #include <functional>
 #include <mutex>
 #include <stdexcept>
 #include <unordered_set>
 
 #include "common/fault.h"
+#include "core/columnar.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace opinedb::core {
 
+DegreeCache::DegreeCache(const OpineDb* db, size_t num_shards)
+    : db_(db),
+      shards_(num_shards > 0
+                  ? num_shards
+                  : std::max<size_t>(1, db->options().degree_cache_shards)) {}
+
 const DegreeCache::Shard& DegreeCache::ShardFor(
     const std::string& predicate) const {
-  return shards_[std::hash<std::string>{}(predicate) % kNumShards];
+  return shards_[std::hash<std::string>{}(predicate) % shards_.size()];
 }
 
 std::optional<std::vector<double>> DegreeCache::ComputeDegrees(
@@ -41,6 +49,20 @@ std::optional<std::vector<double>> DegreeCache::ComputeDegrees(
   // loop below is exactly the pre-deadline hot path.
   const bool deadline_active = deadline != nullptr && deadline->active();
   std::atomic<size_t> scored{0};
+  // Columnar plane: one binding per list materialization, then the
+  // per-entity loop below becomes a contiguous SoA sweep emitting the
+  // same doubles as the row walk (same fault/metric sites too).
+  std::optional<ConditionScorer> scorer;
+  if (const ColumnarSummaryStore* store = db_->columnar_store();
+      store != nullptr && db_->options().use_markers &&
+      interpretation.method != InterpretMethod::kTextFallback &&
+      !interpretation.atoms.empty()) {
+    scorer.emplace(*store, interpretation, rep, senti,
+                   db_->options().variant,
+                   db_->has_membership_model() ? &db_->membership_model()
+                                               : nullptr);
+    if (!scorer->ok()) scorer.reset();
+  }
   auto score_range = [&](size_t begin, size_t end) {
     size_t e = begin;
     for (; e < end; ++e) {
@@ -52,6 +74,10 @@ std::optional<std::vector<double>> DegreeCache::ComputeDegrees(
       if (interpretation.method == InterpretMethod::kTextFallback ||
           interpretation.atoms.empty()) {
         degrees[e] = db_->TextFallbackDegree(predicate, entity);
+        continue;
+      }
+      if (scorer.has_value()) {
+        degrees[e] = scorer->Score(e);
         continue;
       }
       double acc = 0.0;

@@ -1,7 +1,6 @@
 #ifndef OPINEDB_CORE_DEGREE_CACHE_H_
 #define OPINEDB_CORE_DEGREE_CACHE_H_
 
-#include <array>
 #include <atomic>
 #include <optional>
 #include <shared_mutex>
@@ -42,7 +41,13 @@ class DegreeCache {
     size_t misses = 0;
   };
 
-  explicit DegreeCache(const OpineDb* db) : db_(db) {}
+  /// `num_shards` = 0 (default) adopts the engine's
+  /// EngineOptions::degree_cache_shards; any positive value overrides
+  /// it. The count is fixed for the cache's lifetime.
+  explicit DegreeCache(const OpineDb* db, size_t num_shards = 0);
+
+  /// Lock-striping width this cache was built with.
+  size_t num_shards() const { return shards_.size(); }
 
   /// Per-entity degrees for `predicate`; computed once (in parallel over
   /// entities when the engine has a pool), then served from the cache.
@@ -100,8 +105,6 @@ class DegreeCache {
   }
 
  private:
-  static constexpr size_t kNumShards = 16;
-
   struct Shard {
     mutable std::shared_mutex mu;
     std::unordered_map<std::string, std::vector<double>> map;
@@ -120,7 +123,9 @@ class DegreeCache {
       const std::string& predicate, const QueryDeadline* deadline) const;
 
   const OpineDb* db_;
-  std::array<Shard, kNumShards> shards_;
+  /// Sized once at construction; never resized (references into shard
+  /// maps must stay valid until Clear()).
+  std::vector<Shard> shards_;
   std::atomic<size_t> hits_{0};
   std::atomic<size_t> misses_{0};
   std::atomic<uint64_t> epoch_{0};

@@ -10,6 +10,7 @@
 #include "common/fault.h"
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "core/columnar.h"
 #include "core/degree_cache.h"
 #include "core/exec_ops.h"
 #include "core/marker_induction.h"
@@ -50,11 +51,12 @@ std::unique_ptr<OpineDb> OpineDb::Build(
     db.pool_ = std::make_unique<ThreadPool>(options.num_threads);
   }
   if (options.cache.enable_interpretation) {
-    db.interp_cache_ = std::make_unique<cache::InterpretationCache>();
+    db.interp_cache_ = std::make_unique<cache::InterpretationCache>(
+        options.cache.interp_cache_shards);
   }
   if (options.cache.enable_results) {
-    db.result_cache_ =
-        std::make_unique<cache::ResultCache>(options.cache.result_cache_bytes);
+    db.result_cache_ = std::make_unique<cache::ResultCache>(
+        options.cache.result_cache_bytes, options.cache.result_cache_shards);
   }
 
   // 1. Tokenize reviews; build the review index (one document per
@@ -157,6 +159,16 @@ void OpineDb::RebuildDerivedState() {
   interpreter_ = std::make_unique<Interpreter>(
       &schema_, &tables_, embedder_.get(), &review_index_,
       &review_sentiment_, options_.interpreter);
+  // The columnar mirror shadows tables_.summaries; every caller of this
+  // function holds the exclusive reconfiguration lock (or is Build,
+  // before the engine is shared), so mirror and rows swap atomically
+  // with respect to queries.
+  if (options_.columnar) {
+    columnar_ = std::make_unique<ColumnarSummaryStore>(
+        tables_, corpus_.num_entities(), pool_.get());
+  } else {
+    columnar_.reset();
+  }
 }
 
 Status OpineDb::SetObjectiveTable(storage::Table table) {
@@ -166,8 +178,71 @@ Status OpineDb::SetObjectiveTable(storage::Table table) {
         std::to_string(corpus_.num_entities()) + " expected, got " +
         std::to_string(table.num_rows()) + ")");
   }
+  std::unique_lock<std::shared_mutex> lock(reconfig_mu_);
   objective_table_ = table.name();
-  return catalog_.AddTable(std::move(table));
+  Status status = catalog_.AddTable(std::move(table));
+  if (!status.ok()) return status;
+  // Mirror the objective rows into columns once; predicates sweep the
+  // mirror from then on. Kept even while the columnar plane is toggled
+  // off — the objective_columns() accessor gates on options_.columnar.
+  auto stored = catalog_.GetTable(objective_table_);
+  if (stored.ok()) {
+    objective_columns_ = std::make_unique<ColumnarTable>(**stored);
+  }
+  return Status::OK();
+}
+
+const ColumnarTable* OpineDb::objective_columns(
+    const storage::Table& table) const {
+  if (!options_.columnar || objective_columns_ == nullptr) return nullptr;
+  if (objective_columns_->table_name() != table.name() ||
+      objective_columns_->num_rows() != table.num_rows()) {
+    return nullptr;  // Stale mirror (table mutated behind the catalog).
+  }
+  return objective_columns_.get();
+}
+
+Status OpineDb::InstallSummaries(
+    std::vector<std::vector<MarkerSummary>> summaries) {
+  if (summaries.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument(
+        "InstallSummaries: got " + std::to_string(summaries.size()) +
+        " attributes, engine has " +
+        std::to_string(schema_.num_attributes()));
+  }
+  for (size_t a = 0; a < summaries.size(); ++a) {
+    if (summaries[a].size() != corpus_.num_entities()) {
+      return Status::InvalidArgument(
+          "InstallSummaries: attribute " + std::to_string(a) + " covers " +
+          std::to_string(summaries[a].size()) + " entities, corpus has " +
+          std::to_string(corpus_.num_entities()));
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(reconfig_mu_);
+  tables_.summaries = std::move(summaries);
+  // The extraction relation described the replaced summaries' sources;
+  // same post-state as OpenDatabase (summaries only, re-derivable rest).
+  tables_.extractions.clear();
+  tables_.extraction_attribute.clear();
+  tables_.extraction_marker.clear();
+  tables_.extraction_margin.clear();
+  RebuildDerivedState();
+  InvalidateCachesLocked();
+  return Status::OK();
+}
+
+void OpineDb::SetColumnar(bool enabled) {
+  std::unique_lock<std::shared_mutex> lock(reconfig_mu_);
+  if (options_.columnar == enabled) return;
+  options_.columnar = enabled;
+  if (enabled) {
+    columnar_ = std::make_unique<ColumnarSummaryStore>(
+        tables_, corpus_.num_entities(), pool_.get());
+  } else {
+    columnar_.reset();
+  }
+  // No InvalidateCachesLocked(): both planes emit bit-identical degrees,
+  // so every cached artifact stays valid — execution config, not data.
 }
 
 Status OpineDb::TrainMembership(
@@ -210,8 +285,14 @@ void OpineDb::ConfigureCaches(const cache::CacheConfig& config) {
   std::unique_lock<std::shared_mutex> lock(reconfig_mu_);
   options_.cache = config;
   if (config.enable_interpretation) {
-    if (interp_cache_ == nullptr) {
-      interp_cache_ = std::make_unique<cache::InterpretationCache>();
+    // Keep a live layer (and its warm entries) unless the striping
+    // width changed — that is a constructor parameter, so honoring it
+    // means rebuilding the layer empty.
+    if (interp_cache_ == nullptr ||
+        interp_cache_->num_shards() !=
+            std::max<size_t>(1, config.interp_cache_shards)) {
+      interp_cache_ = std::make_unique<cache::InterpretationCache>(
+          config.interp_cache_shards);
     }
   } else {
     interp_cache_.reset();
@@ -219,8 +300,8 @@ void OpineDb::ConfigureCaches(const cache::CacheConfig& config) {
   if (config.enable_results) {
     // Always rebuilt: the byte budget is a constructor parameter, and a
     // fresh empty cache is cheap next to any real serving mix.
-    result_cache_ =
-        std::make_unique<cache::ResultCache>(config.result_cache_bytes);
+    result_cache_ = std::make_unique<cache::ResultCache>(
+        config.result_cache_bytes, config.result_cache_shards);
   } else {
     result_cache_.reset();
   }
@@ -400,21 +481,9 @@ Status OpineDb::OpenDatabase(const std::string& dir) {
 }
 
 double OpineDb::HeuristicDegree(const std::vector<double>& features) const {
-  // Closed-form fallback when no membership model has been trained:
-  // similarity-weighted mass plus sentiment agreement, squashed, and
-  // discounted by the amount of supporting evidence (one phrase on the
-  // right marker is weaker evidence than ten).
-  const double total = std::expm1(features[0]);
-  // Mass at or above the interpreted marker: on a linear scale, rooms
-  // "better than asked" satisfy the predicate too.
-  const double mass = std::max(features[1], features[2]);
-  const double similarity = features[6];
-  const double agreement = features[8];
-  const double base =
-      Sigmoid(4.0 * (0.6 * mass + 0.3 * similarity + 0.5 * agreement -
-                     0.45));
-  const double support = -std::expm1(-0.7 * total * mass);
-  return base * support;
+  // Single shared implementation with the columnar sweep (see
+  // core/membership.h) so both paths produce the same doubles.
+  return HeuristicMembershipDegree(features.data(), features.size());
 }
 
 double OpineDb::AtomDegreeOfTruth(const AtomInterpretation& atom,

@@ -77,6 +77,15 @@ struct EngineOptions {
   /// Result / interpretation caching (both layers default OFF; see
   /// docs/CACHING.md). Reconfigurable at runtime via ConfigureCaches.
   cache::CacheConfig cache;
+  /// Columnar data plane (docs/SCALING.md): mirror the marker summaries
+  /// and the objective table into structure-of-arrays columns and score
+  /// subjective conditions as dense contiguous sweeps. Results are
+  /// bit-identical to the row path, which stays on as the differential
+  /// oracle when this is false. Toggle at runtime with SetColumnar.
+  bool columnar = true;
+  /// Shard count of an attached DegreeCache built with the default
+  /// constructor argument (lock striping for concurrent serving).
+  size_t degree_cache_shards = 16;
 };
 
 /// Per-query observability façade (threads, work, cache traffic and
@@ -157,6 +166,8 @@ struct QueryResult {
   bool degraded = false;
 };
 
+class ColumnarSummaryStore;
+class ColumnarTable;
 class DegreeCache;
 
 /// OpineDB: the subjective database engine (Fig. 4).
@@ -225,6 +236,24 @@ class OpineDb {
   /// against the old summaries). Serialized against in-flight queries by
   /// the reconfiguration lock.
   void Reaggregate(const AggregationOptions& aggregation);
+
+  /// Replaces every marker summary wholesale (scale-harness path: the
+  /// datagen scale generator synthesizes summaries directly instead of
+  /// aggregating millions of reviews). `summaries[a][e]` must cover
+  /// exactly this engine's attributes × entities and be built against
+  /// this engine's schema attribute types. Clears the (now unrelated)
+  /// extraction relation, rebuilds derived state — including the
+  /// columnar mirror — and bumps the cache epoch: this is a data
+  /// mutation exactly like Reaggregate/OpenDatabase.
+  Status InstallSummaries(
+      std::vector<std::vector<MarkerSummary>> summaries);
+
+  /// Toggles the columnar data plane at runtime (differential tests and
+  /// benches flip it between runs). Builds or drops the summary mirror
+  /// under the exclusive reconfiguration lock. No cache-epoch bump:
+  /// both planes produce bit-identical results, so cached artifacts
+  /// remain valid — this reconfigures execution, not data.
+  void SetColumnar(bool enabled);
 
   /// Resizes the worker pool (0 = hardware concurrency, 1 = serial).
   /// Results are bit-identical at any thread count. Serialized against
@@ -340,6 +369,19 @@ class OpineDb {
   /// DegreeCache for parallel precomputation.
   ThreadPool* pool() const { return pool_.get(); }
 
+  /// The columnar summary mirror, or nullptr when the columnar plane is
+  /// off. Stable for the duration of a query (rebuilt only under the
+  /// exclusive reconfiguration lock).
+  const ColumnarSummaryStore* columnar_store() const {
+    return columnar_.get();
+  }
+
+  /// The columnar mirror of `table` when the columnar plane is on and
+  /// the mirror matches it (same name and row count); nullptr otherwise
+  /// (callers fall back to row-at-a-time Matches).
+  const ColumnarTable* objective_columns(
+      const storage::Table& table) const;
+
   // OpineDb holds internal cross-references (the aggregator, interpreter
   // and phrase embedder point at sibling members), so it is pinned in
   // memory: neither copyable nor movable. Build() returns a unique_ptr.
@@ -375,6 +417,12 @@ class OpineDb {
   std::optional<MembershipModel> membership_;
   storage::Catalog catalog_;
   std::string objective_table_;
+  /// Columnar mirrors of the hot data plane (docs/SCALING.md): rebuilt
+  /// by RebuildDerivedState / SetObjectiveTable under the exclusive
+  /// reconfiguration lock, read by queries under the shared lock.
+  /// columnar_ is null when options_.columnar is false.
+  std::unique_ptr<ColumnarSummaryStore> columnar_;
+  std::unique_ptr<ColumnarTable> objective_columns_;
   /// Fixed worker pool for the parallel execution layer; nullptr when
   /// options_.num_threads resolves to 1 (the serial path).
   std::unique_ptr<ThreadPool> pool_;

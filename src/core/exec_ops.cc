@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/fault.h"
+#include "core/columnar.h"
 #include "core/degree_cache.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -41,16 +42,45 @@ Status ObjectiveFilterOp::Run(ExecContext* ctx) const {
     bound.push_back(*b);
   }
   span.AddAttribute("predicates", static_cast<uint64_t>(bound.size()));
-  ctx->candidates.clear();
-  for (size_t e = 0; e < ctx->num_entities; ++e) {
-    bool pass = true;
+  // Columnar plane: lower every predicate onto the table mirror and run
+  // dense AND sweeps over contiguous columns, then gather survivors —
+  // same membership as the row loop (Eval is bit-identical to Matches),
+  // same ascending candidate order.
+  const ColumnarTable* columns = ctx->db->objective_columns(*ctx->table);
+  std::vector<ColumnarTable::CompiledPredicate> compiled;
+  bool all_compiled = columns != nullptr;
+  if (all_compiled) {
+    compiled.reserve(bound.size());
     for (const auto& predicate : bound) {
-      if (!predicate.Matches(*ctx->table, e)) {
-        pass = false;
+      auto lowered = columns->Compile(predicate);
+      if (!lowered.has_value()) {
+        all_compiled = false;
         break;
       }
+      compiled.push_back(*lowered);
     }
-    if (pass) ctx->candidates.push_back(e);
+  }
+  ctx->candidates.clear();
+  if (all_compiled) {
+    std::vector<uint8_t> match(ctx->num_entities, 1);
+    for (const auto& predicate : compiled) {
+      columns->FilterInto(predicate, &match);
+    }
+    for (size_t e = 0; e < ctx->num_entities; ++e) {
+      if (match[e] != 0) ctx->candidates.push_back(e);
+    }
+    span.AddAttribute("columnar", true);
+  } else {
+    for (size_t e = 0; e < ctx->num_entities; ++e) {
+      bool pass = true;
+      for (const auto& predicate : bound) {
+        if (!predicate.Matches(*ctx->table, e)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) ctx->candidates.push_back(e);
+    }
   }
   ctx->candidates_are_all = false;
   span.AddAttribute("entities", static_cast<uint64_t>(ctx->num_entities));
@@ -87,7 +117,23 @@ Status SubjectiveScoreOp::Run(ExecContext* ctx) const {
       if (!bound.ok()) return bound.status();
       auto& list = ctx->computed[c];
       list.assign(num_entities, 0.0);
-      if (ctx->candidates_are_all) {
+      const ColumnarTable* columns =
+          ctx->db->objective_columns(*ctx->table);
+      std::optional<ColumnarTable::CompiledPredicate> compiled;
+      if (columns != nullptr) compiled = columns->Compile(*bound);
+      if (compiled.has_value()) {
+        // Dense 0/1 materialization over the column mirror (Eval is
+        // bit-identical to Matches).
+        if (ctx->candidates_are_all) {
+          for (size_t e = 0; e < num_entities; ++e) {
+            list[e] = ColumnarTable::Eval(*compiled, e) ? 1.0 : 0.0;
+          }
+        } else {
+          for (const size_t e : ctx->candidates) {
+            list[e] = ColumnarTable::Eval(*compiled, e) ? 1.0 : 0.0;
+          }
+        }
+      } else if (ctx->candidates_are_all) {
         for (size_t e = 0; e < num_entities; ++e) {
           list[e] = bound->Matches(*ctx->table, e) ? 1.0 : 0.0;
         }
@@ -164,12 +210,32 @@ Status SubjectiveScoreOp::Run(ExecContext* ctx) const {
       continue;
     }
     const auto& interpretation = ctx->output->interpretations[c];
+    // Columnar plane: bind the interpretation's atoms to the SoA store
+    // once per condition; Score(e) then replaces the per-entity object
+    // walk below with a contiguous sweep producing the same doubles.
+    // Unbindable shapes (no-marker ablation, text fallback, out-of-range
+    // atoms) keep the row path.
+    std::optional<ConditionScorer> scorer;
+    if (const ColumnarSummaryStore* store = db.columnar_store();
+        store != nullptr && db.options().use_markers &&
+        interpretation.method != InterpretMethod::kTextFallback &&
+        !interpretation.atoms.empty()) {
+      scorer.emplace(*store, interpretation, (*ctx->reps)[c],
+                     (*ctx->sentis)[c], db.options().variant,
+                     db.has_membership_model() ? &db.membership_model()
+                                               : nullptr);
+      if (!scorer->ok()) scorer.reset();
+    }
     auto score_entity = [&](size_t e) {
       const auto entity = static_cast<text::EntityId>(e);
       try {
         if (interpretation.method == InterpretMethod::kTextFallback ||
             interpretation.atoms.empty()) {
           list[e] = db.TextFallbackDegree(condition.subjective, entity);
+          return;
+        }
+        if (scorer.has_value()) {
+          list[e] = scorer->Score(e);
           return;
         }
         double acc = 0.0;

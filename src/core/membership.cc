@@ -124,9 +124,32 @@ MembershipModel MembershipModel::Train(
   return model;
 }
 
+double HeuristicMembershipDegree(const double* features, size_t n) {
+  (void)n;
+  // Matches the engine's historical closed-form fallback bit for bit:
+  // the sigmoid here is intentionally unclamped (unlike ml::Sigmoid) so
+  // existing goldens and the columnar/row differential stay exact.
+  const double total = std::expm1(features[0]);
+  // Mass at or above the interpreted marker: on a linear scale, rooms
+  // "better than asked" satisfy the predicate too.
+  const double mass = std::max(features[1], features[2]);
+  const double similarity = features[6];
+  const double agreement = features[8];
+  const double base =
+      1.0 / (1.0 + std::exp(-(4.0 * (0.6 * mass + 0.3 * similarity +
+                                     0.5 * agreement - 0.45))));
+  const double support = -std::expm1(-0.7 * total * mass);
+  return base * support;
+}
+
 double MembershipModel::DegreeOfTruth(
     const std::vector<double>& features) const {
-  const double p = model_.Predict(features);
+  return DegreeOfTruth(features.data(), features.size());
+}
+
+double MembershipModel::DegreeOfTruth(const double* features,
+                                      size_t n) const {
+  const double p = model_.Predict(features, n);
   // Degrees of truth live in [0, 1] by contract; a corrupt feature
   // vector (NaN sneaking past training-time validation) must not leak a
   // non-finite value into the fuzzy combines and ranking comparators.

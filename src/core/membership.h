@@ -40,6 +40,14 @@ std::vector<double> MembershipFeaturesNoMarkers(
 /// comparators), so training validates its inputs up front.
 Status ValidateFeatureVector(const std::vector<double>& features);
 
+/// Closed-form membership degree used when no model has been trained:
+/// similarity-weighted mass plus sentiment agreement, squashed, and
+/// discounted by the amount of supporting evidence. `features` is a
+/// MembershipFeatures vector of length kMembershipFeatureDim. Shared by
+/// the engine's row path and the columnar sweep so both produce the same
+/// doubles from the same features.
+double HeuristicMembershipDegree(const double* features, size_t n);
+
 /// A learned membership function: logistic regression over
 /// MembershipFeatures whose probability output is the degree of truth.
 class MembershipModel {
@@ -55,6 +63,10 @@ class MembershipModel {
 
   /// Degree of truth in [0, 1] for a feature vector.
   double DegreeOfTruth(const std::vector<double>& features) const;
+
+  /// Allocation-free variant for the columnar scoring sweep;
+  /// bit-identical to the vector overload.
+  double DegreeOfTruth(const double* features, size_t n) const;
 
   /// Test accuracy on held-out tuples (the LR-accuracy of Table 7).
   double Accuracy(const std::vector<LabeledTuple>& tuples) const;

@@ -75,8 +75,13 @@ LogisticRegression LogisticRegression::Train(
 
 double LogisticRegression::Predict(
     const std::vector<double>& features) const {
+  return Predict(features.data(), features.size());
+}
+
+double LogisticRegression::Predict(const double* features, size_t n) const {
   if (weights_.empty()) return 0.5;
-  assert(features.size() == weights_.size());
+  assert(n == weights_.size());
+  (void)n;
   double z = bias_;
   for (size_t j = 0; j < weights_.size(); ++j) {
     z += weights_[j] * (features[j] - mean_[j]) * inv_std_[j];

@@ -38,6 +38,12 @@ class LogisticRegression {
   /// P(y = 1 | features) in [0, 1].
   double Predict(const std::vector<double>& features) const;
 
+  /// Allocation-free variant over a raw feature buffer, bit-identical to
+  /// the vector overload (same accumulation order). The columnar scoring
+  /// sweep calls this once per (entity, atom), so it must not touch the
+  /// heap.
+  double Predict(const double* features, size_t n) const;
+
   /// Hard decision at 0.5.
   int Classify(const std::vector<double>& features) const {
     return Predict(features) >= 0.5 ? 1 : 0;

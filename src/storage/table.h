@@ -85,6 +85,8 @@ class BoundColumnPredicate {
   bool Matches(const Table& table, size_t row) const;
 
   size_t column() const { return column_; }
+  CompareOp op() const { return op_; }
+  const Value& literal() const { return literal_; }
 
  private:
   size_t column_;
