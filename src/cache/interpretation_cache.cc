@@ -113,6 +113,16 @@ void InterpretationCache::Clear() {
   }
 }
 
+std::vector<std::string> InterpretationCache::Keys() const {
+  std::vector<std::string> keys;
+  for (const Shard& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    for (const auto& [key, entry] : shard.map) keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
 size_t InterpretationCache::size() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {

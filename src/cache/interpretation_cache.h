@@ -62,6 +62,11 @@ class InterpretationCache {
   /// Drops every entry (under all shard locks).
   void Clear();
 
+  /// Snapshot of all resident keys (per-shard shared locks, key-sorted
+  /// for determinism). The ingest path uses it to re-derive entries at
+  /// the new epoch instead of dropping the warm set wholesale.
+  std::vector<std::string> Keys() const;
+
   /// Resident entries across all shards.
   size_t size() const;
 

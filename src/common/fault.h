@@ -60,6 +60,22 @@ inline constexpr const char* kStorageSites[] = {
     "storage.bitflip",          // Post-write single-bit media corruption.
 };
 
+/// WAL fault sites (src/storage/wal.cc + the engine checkpoint fold).
+/// Like kStorageSites these are OPINEDB_FAULT_HIT protocol-state sites,
+/// not throwing ones: a fired WAL site makes the append protocol stop
+/// exactly where a power cut would — wal_short_write leaves a torn
+/// record on disk and fails the append, wal_fsync leaves the record in
+/// the page cache but reports the durability failure, and wal_fold
+/// crashes a checkpoint after the new snapshot generation committed but
+/// before the folded WAL segment was retired. tests/wal_test.cc sweeps
+/// this list and asserts every entry is reachable.
+inline constexpr const char* kWalSites[] = {
+    "storage.wal_short_write",  // Torn record: append cut mid-payload.
+    "storage.wal_fsync",        // fsync of the WAL segment fails.
+    "storage.wal_fold",         // Crash between checkpoint commit and
+                                // WAL-segment retirement.
+};
+
 /// Serving-layer fault sites (src/server/httpd.cc). Like kStorageSites
 /// these live outside kSites because their blast radius differs: a
 /// fired server site must degrade exactly one connection or response —

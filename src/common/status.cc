@@ -20,6 +20,8 @@ const char* CodeName(StatusCode code) {
       return "ParseError";
     case StatusCode::kNotSupported:
       return "NotSupported";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
     case StatusCode::kInternal:
       return "Internal";
     case StatusCode::kDataLoss:

@@ -17,6 +17,11 @@ enum class StatusCode {
   kOutOfRange,
   kParseError,
   kNotSupported,
+  /// The operation is valid in general but not in the object's current
+  /// state (e.g. Reaggregate on an engine whose extraction relation was
+  /// replaced by InstallSummaries, or AppendReviews under a retroactive
+  /// aggregation filter). Retrying without changing state will not help.
+  kFailedPrecondition,
   kInternal,
   /// Persistent state is unrecoverable: every on-disk snapshot
   /// generation failed checksum verification. Unlike kParseError (one
@@ -52,6 +57,9 @@ class Status {
   }
   static Status NotSupported(std::string msg) {
     return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

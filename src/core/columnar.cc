@@ -103,6 +103,43 @@ ColumnarSummaryStore::ColumnarSummaryStore(const SubjectiveTables& tables,
   OPINEDB_METRIC_GAUGE_SET("columnar.bytes", static_cast<double>(bytes()));
 }
 
+void ColumnarSummaryStore::UpdateEntities(
+    const SubjectiveTables& tables,
+    const std::vector<text::EntityId>& touched) {
+  obs::TraceSpan span("columnar.delta_update");
+  for (size_t a = 0; a < columns_.size() && a < tables.summaries.size();
+       ++a) {
+    const auto& summaries = tables.summaries[a];
+    AttributeColumns& cols = columns_[a];
+    const size_t k = cols.num_markers;
+    if (k == 0) continue;
+    for (const text::EntityId id : touched) {
+      if (id < 0) continue;
+      const size_t e = static_cast<size_t>(id);
+      if (e >= cols.num_entities || e >= summaries.size()) continue;
+      const MarkerSummary& summary = summaries[e];
+      const size_t base = e * k;
+      // The constructor's fill, verbatim, for one entity — the patched
+      // row is what a full rebuild would have produced.
+      cols.total[e] = summary.total_count();
+      cols.unmatched[e] = summary.unmatched_count();
+      for (size_t m = 0; m < k && m < summary.num_markers(); ++m) {
+        const MarkerCell& cell = summary.cell(m);
+        cols.count[base + m] = cell.count;
+        cols.mean_sentiment[base + m] = cell.mean_sentiment;
+        cols.centroid_norm[base + m] = embedding::Norm(cell.centroid);
+        cols.provenance_count[base + m] =
+            static_cast<uint32_t>(cell.provenance.size());
+        const size_t copy = std::min(cols.dim, cell.centroid.size());
+        std::copy_n(cell.centroid.data(), copy,
+                    cols.centroid.data() + (base + m) * cols.dim);
+      }
+    }
+  }
+  span.AddAttribute("entities", static_cast<uint64_t>(touched.size()));
+  OPINEDB_METRIC_COUNT("columnar.delta_updates", 1);
+}
+
 size_t ColumnarSummaryStore::bytes() const {
   size_t total = 0;
   for (const auto& cols : columns_) total += cols.bytes();

@@ -58,16 +58,28 @@ struct AttributeColumns {
 
 /// Columnar mirror of the engine's marker summaries: one AttributeColumns
 /// per subjective attribute, rebuilt from the row tables whenever they
-/// change (Build / Reaggregate / OpenDatabase / InstallSummaries, always
-/// under the exclusive reconfiguration lock — see docs/SCALING.md for
-/// the sync rules). Read-only after construction, so queries holding the
-/// shared lock may scan it from any number of threads.
+/// change wholesale (Build / Reaggregate / OpenDatabase /
+/// InstallSummaries) and patched in place per touched entity by the
+/// incremental ingest path (UpdateEntities) — always under the exclusive
+/// reconfiguration lock; see docs/SCALING.md for the sync rules. Between
+/// mutations it is read-only, so queries holding the shared lock may
+/// scan it from any number of threads.
 class ColumnarSummaryStore {
  public:
   /// Copies `tables` into columnar layout; entities fan out across
   /// `pool` when provided (each entity writes only its own slots).
   ColumnarSummaryStore(const SubjectiveTables& tables, size_t num_entities,
                        ThreadPool* pool);
+
+  /// In-place delta update for ingest: refills the column slots of
+  /// `touched` entities from the row tables, running exactly the
+  /// per-entity fill the constructor runs — so the patched store is
+  /// bit-identical to a full rebuild over the same tables. Requires the
+  /// exclusive reconfiguration lock (this writes the arrays queries
+  /// read). Ingest never adds entities, so out-of-range ids are
+  /// ignored.
+  void UpdateEntities(const SubjectiveTables& tables,
+                      const std::vector<text::EntityId>& touched);
 
   size_t num_attributes() const { return columns_.size(); }
   size_t num_entities() const { return num_entities_; }

@@ -13,6 +13,61 @@
 
 namespace opinedb::core {
 
+namespace {
+
+/// The columnar binding shared by ComputeDegrees and RefreshAfterIngest:
+/// one ConditionScorer per (interpretation, rep) when the store can
+/// evaluate it, otherwise nullopt (row path). The returned scorer holds
+/// a pointer to `rep`, which must outlive it.
+std::optional<ConditionScorer> BindScorer(
+    const OpineDb& db, const PredicateInterpretation& interpretation,
+    const embedding::Vec& rep, double senti) {
+  std::optional<ConditionScorer> scorer;
+  if (const ColumnarSummaryStore* store = db.columnar_store();
+      store != nullptr && db.options().use_markers &&
+      interpretation.method != InterpretMethod::kTextFallback &&
+      !interpretation.atoms.empty()) {
+    scorer.emplace(*store, interpretation, rep, senti, db.options().variant,
+                   db.has_membership_model() ? &db.membership_model()
+                                             : nullptr);
+    if (!scorer->ok()) scorer.reset();
+  }
+  return scorer;
+}
+
+/// One entity's degree under one bound interpretation — the single
+/// scoring step shared by ComputeDegrees' dense sweep and
+/// RefreshAfterIngest's slot patching, factored out so the two paths
+/// cannot drift apart (the refresh must write exactly the double a
+/// fresh materialization would).
+double ScoreEntityOnce(const OpineDb& db, const std::string& predicate,
+                       const PredicateInterpretation& interpretation,
+                       const std::optional<ConditionScorer>& scorer,
+                       const embedding::Vec& rep, double senti, size_t e) {
+  const auto entity = static_cast<text::EntityId>(e);
+  if (interpretation.method == InterpretMethod::kTextFallback ||
+      interpretation.atoms.empty()) {
+    return db.TextFallbackDegree(predicate, entity);
+  }
+  if (scorer.has_value()) return scorer->Score(e);
+  double acc = 0.0;
+  bool first = true;
+  for (const auto& atom : interpretation.atoms) {
+    const double d = db.AtomDegreeOfTruth(atom, entity, rep, senti);
+    if (first) {
+      acc = d;
+      first = false;
+    } else if (interpretation.conjunctive) {
+      acc = fuzzy::And(db.options().variant, acc, d);
+    } else {
+      acc = fuzzy::Or(db.options().variant, acc, d);
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
 DegreeCache::DegreeCache(const OpineDb* db, size_t num_shards)
     : db_(db),
       shards_(num_shards > 0
@@ -24,7 +79,7 @@ const DegreeCache::Shard& DegreeCache::ShardFor(
   return shards_[std::hash<std::string>{}(predicate) % shards_.size()];
 }
 
-std::optional<std::vector<double>> DegreeCache::ComputeDegrees(
+std::optional<DegreeCache::CachedList> DegreeCache::ComputeDegrees(
     const std::string& predicate, const QueryDeadline* deadline) const {
   OPINEDB_FAULT("cache.compute");
   const size_t n = db_->corpus().num_entities();
@@ -34,7 +89,7 @@ std::optional<std::vector<double>> DegreeCache::ComputeDegrees(
   std::vector<double> degrees(n);
   // One interpretation for the predicate, shared across entities (the
   // same work ExecuteQuery does per query, amortized here forever).
-  const auto interpretation = db_->interpreter().Interpret(predicate, deadline);
+  auto interpretation = db_->interpreter().Interpret(predicate, deadline);
   if (interpretation.degraded) {
     // An interpreter stage failed underneath us. A list computed from a
     // degraded interpretation must never become resident — it would
@@ -52,17 +107,8 @@ std::optional<std::vector<double>> DegreeCache::ComputeDegrees(
   // Columnar plane: one binding per list materialization, then the
   // per-entity loop below becomes a contiguous SoA sweep emitting the
   // same doubles as the row walk (same fault/metric sites too).
-  std::optional<ConditionScorer> scorer;
-  if (const ColumnarSummaryStore* store = db_->columnar_store();
-      store != nullptr && db_->options().use_markers &&
-      interpretation.method != InterpretMethod::kTextFallback &&
-      !interpretation.atoms.empty()) {
-    scorer.emplace(*store, interpretation, rep, senti,
-                   db_->options().variant,
-                   db_->has_membership_model() ? &db_->membership_model()
-                                               : nullptr);
-    if (!scorer->ok()) scorer.reset();
-  }
+  const std::optional<ConditionScorer> scorer =
+      BindScorer(*db_, interpretation, rep, senti);
   auto score_range = [&](size_t begin, size_t end) {
     size_t e = begin;
     for (; e < end; ++e) {
@@ -70,30 +116,8 @@ std::optional<std::vector<double>> DegreeCache::ComputeDegrees(
           deadline->Expired()) {
         break;
       }
-      const auto entity = static_cast<text::EntityId>(e);
-      if (interpretation.method == InterpretMethod::kTextFallback ||
-          interpretation.atoms.empty()) {
-        degrees[e] = db_->TextFallbackDegree(predicate, entity);
-        continue;
-      }
-      if (scorer.has_value()) {
-        degrees[e] = scorer->Score(e);
-        continue;
-      }
-      double acc = 0.0;
-      bool first = true;
-      for (const auto& atom : interpretation.atoms) {
-        const double d = db_->AtomDegreeOfTruth(atom, entity, rep, senti);
-        if (first) {
-          acc = d;
-          first = false;
-        } else if (interpretation.conjunctive) {
-          acc = fuzzy::And(db_->options().variant, acc, d);
-        } else {
-          acc = fuzzy::Or(db_->options().variant, acc, d);
-        }
-      }
-      degrees[e] = acc;
+      degrees[e] = ScoreEntityOnce(*db_, predicate, interpretation, scorer,
+                                   rep, senti, e);
     }
     if (deadline_active) {
       scored.fetch_add(e - begin, std::memory_order_relaxed);
@@ -113,7 +137,7 @@ std::optional<std::vector<double>> DegreeCache::ComputeDegrees(
     span.AddAttribute("aborted", true);
     return std::nullopt;  // Incomplete: must not be cached.
   }
-  return degrees;
+  return CachedList{std::move(degrees), std::move(interpretation)};
 }
 
 const std::vector<double>& DegreeCache::Degrees(
@@ -133,15 +157,15 @@ const std::vector<double>* DegreeCache::TryDegrees(
     if (it != shard.map.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
       OPINEDB_METRIC_COUNT("degree_cache.hits", 1);
-      return &it->second;
+      return &it->second.degrees;
     }
   }
   if (deadline != nullptr && deadline->Expired()) return nullptr;
   // Expensive; no locks held.
-  auto degrees = ComputeDegrees(predicate, deadline);
-  if (!degrees.has_value()) return nullptr;  // Deadline hit mid-compute.
+  auto computed = ComputeDegrees(predicate, deadline);
+  if (!computed.has_value()) return nullptr;  // Deadline hit mid-compute.
   std::unique_lock<std::shared_mutex> lock(shard.mu);
-  auto [it, inserted] = shard.map.emplace(predicate, std::move(*degrees));
+  auto [it, inserted] = shard.map.emplace(predicate, std::move(*computed));
   if (inserted) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     OPINEDB_METRIC_COUNT("degree_cache.misses", 1);
@@ -150,7 +174,7 @@ const std::vector<double>* DegreeCache::TryDegrees(
     hits_.fetch_add(1, std::memory_order_relaxed);
     OPINEDB_METRIC_COUNT("degree_cache.hits", 1);
   }
-  return &it->second;
+  return &it->second.degrees;
 }
 
 size_t DegreeCache::PrecomputeMarkers() {
@@ -213,7 +237,7 @@ const std::vector<double>* DegreeCache::Peek(
   const Shard& shard = ShardFor(predicate);
   std::shared_lock<std::shared_mutex> lock(shard.mu);
   auto it = shard.map.find(predicate);
-  return it == shard.map.end() ? nullptr : &it->second;
+  return it == shard.map.end() ? nullptr : &it->second.degrees;
 }
 
 bool DegreeCache::Contains(const std::string& predicate) const {
@@ -237,6 +261,73 @@ void DegreeCache::Clear() {
     shard.map.clear();
   }
   epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+size_t DegreeCache::RefreshAfterIngest(
+    const std::vector<text::EntityId>& touched) {
+  obs::TraceSpan span("degree_cache.refresh_after_ingest");
+  size_t refreshed = 0, recomputed = 0, dropped = 0;
+  for (auto& shard : shards_) {
+    // Callers hold the engine's exclusive lock, so no reader can be
+    // inside a shard; the lock is still taken to keep the invariant
+    // local (it is uncontended and cheap here).
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    for (auto it = shard.map.begin(); it != shard.map.end();) {
+      const std::string& predicate = it->first;
+      CachedList& entry = it->second;
+      PredicateInterpretation interpretation;
+      bool drop = false;
+      try {
+        interpretation = db_->interpreter().Interpret(predicate);
+        drop = interpretation.degraded;
+      } catch (...) {
+        drop = true;
+      }
+      if (drop) {
+        // Same rule as ComputeDegrees: a degraded interpretation must
+        // not back a resident list.
+        it = shard.map.erase(it);
+        ++dropped;
+        continue;
+      }
+      const embedding::Vec rep = db_->phrase_embedder().Represent(predicate);
+      const double senti = db_->analyzer().ScorePhrase(predicate);
+      const std::optional<ConditionScorer> scorer =
+          BindScorer(*db_, interpretation, rep, senti);
+      if (interpretation == entry.interpretation) {
+        // Additive ingest with an unchanged interpretation leaves every
+        // untouched entity's degree bit-exact — patch only the touched
+        // slots.
+        for (const text::EntityId id : touched) {
+          if (id < 0) continue;
+          const size_t e = static_cast<size_t>(id);
+          if (e >= entry.degrees.size()) continue;
+          entry.degrees[e] = ScoreEntityOnce(*db_, predicate, interpretation,
+                                             scorer, rep, senti, e);
+        }
+      } else {
+        // The ingest grew the variation table or shifted the idf enough
+        // to change this predicate's interpretation: every slot is
+        // suspect, recompute the full list under the new one.
+        for (size_t e = 0; e < entry.degrees.size(); ++e) {
+          entry.degrees[e] = ScoreEntityOnce(*db_, predicate, interpretation,
+                                             scorer, rep, senti, e);
+        }
+        entry.interpretation = std::move(interpretation);
+        ++recomputed;
+      }
+      ++refreshed;
+      ++it;
+    }
+  }
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  span.AddAttribute("refreshed", static_cast<uint64_t>(refreshed));
+  span.AddAttribute("recomputed", static_cast<uint64_t>(recomputed));
+  span.AddAttribute("dropped", static_cast<uint64_t>(dropped));
+  OPINEDB_METRIC_COUNT("degree_cache.ingest_refreshes", refreshed);
+  OPINEDB_METRIC_COUNT("degree_cache.ingest_recomputes", recomputed);
+  OPINEDB_METRIC_COUNT("degree_cache.ingest_drops", dropped);
+  return refreshed;
 }
 
 }  // namespace opinedb::core

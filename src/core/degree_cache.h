@@ -30,9 +30,11 @@ namespace opinedb::core {
 /// lock, and degrees are computed outside all locks (losing an insert
 /// race is harmless — the computation is deterministic, so both values
 /// are bit-identical). References returned by Degrees() stay valid until
-/// Clear(): the shard maps are node-based and entries are never erased.
-/// Clear() requires external synchronization (no concurrent readers and
-/// no outstanding references).
+/// Clear() or RefreshAfterIngest(): the shard maps are node-based and
+/// entries are never erased by the read path. Clear() and
+/// RefreshAfterIngest() require external synchronization (no concurrent
+/// readers and no outstanding references) — the engine provides it with
+/// its exclusive reconfiguration lock.
 class DegreeCache {
  public:
   /// Cumulative cache traffic, for observability.
@@ -87,6 +89,18 @@ class DegreeCache {
   std::vector<fuzzy::RankedEntity> TopKConjunctionFullScan(
       const std::vector<std::string>& predicates, size_t k);
 
+  /// Ingest-path maintenance (instead of Clear()): brings every
+  /// resident list up to date with the engine's post-ingest tables
+  /// while keeping untouched entities' slots — and therefore the warm
+  /// working set — intact. Per entry: the predicate is re-interpreted;
+  /// if the interpretation is unchanged only `touched` entities are
+  /// rescored (ingest is additive, so untouched slots are already
+  /// bit-exact); if it changed (the variation table or idf grew) the
+  /// whole list is recomputed; if it degraded the entry is dropped.
+  /// Bumps the epoch. Requires the same external exclusion as Clear().
+  /// Returns the number of entries refreshed in place.
+  size_t RefreshAfterIngest(const std::vector<text::EntityId>& touched);
+
   bool Contains(const std::string& predicate) const;
   size_t size() const;
   /// Drops every cached list and bumps the epoch. NOT safe concurrently
@@ -105,9 +119,17 @@ class DegreeCache {
   }
 
  private:
+  /// A resident degree list plus the interpretation it was computed
+  /// from — RefreshAfterIngest compares against a fresh interpretation
+  /// to decide between touched-slot patching and full recomputation.
+  struct CachedList {
+    std::vector<double> degrees;
+    PredicateInterpretation interpretation;
+  };
+
   struct Shard {
     mutable std::shared_mutex mu;
-    std::unordered_map<std::string, std::vector<double>> map;
+    std::unordered_map<std::string, CachedList> map;
   };
 
   const Shard& ShardFor(const std::string& predicate) const;
@@ -119,7 +141,7 @@ class DegreeCache {
   /// Computes the dense degree list for one predicate (no locks held).
   /// Returns nullopt when `deadline` expired before every entity was
   /// scored (the incomplete list must not be cached).
-  std::optional<std::vector<double>> ComputeDegrees(
+  std::optional<CachedList> ComputeDegrees(
       const std::string& predicate, const QueryDeadline* deadline) const;
 
   const OpineDb* db_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <mutex>
 #include <sstream>
 
@@ -29,6 +30,100 @@ double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
 constexpr char kSchemaSection[] = "schema";
 constexpr char kSummariesSection[] = "summaries";
 constexpr char kInterpCacheSection[] = "interp_cache";
+
+// ------------------------------------------------ WAL batch payloads.
+// The engine's encoding of one AppendReviews batch into one opaque WAL
+// record: u32 review count, then per review u32 entity | u32 reviewer |
+// u32 date | u64 body length | body bytes. Little-endian, byte-encoded
+// (same no-punning doctrine as storage/wal.cc). Review ids are NOT
+// encoded — replay re-assigns them by append order, which reproduces
+// the live assignment exactly.
+
+void AppendU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+bool ReadU32(const std::string& in, size_t* pos, uint32_t* out) {
+  if (in.size() - *pos < 4) return false;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(in[*pos + i]))
+         << (8 * i);
+  }
+  *pos += 4;
+  *out = v;
+  return true;
+}
+
+bool ReadU64(const std::string& in, size_t* pos, uint64_t* out) {
+  if (in.size() - *pos < 8) return false;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(in[*pos + i]))
+         << (8 * i);
+  }
+  *pos += 8;
+  *out = v;
+  return true;
+}
+
+std::string EncodeReviewBatch(const std::vector<text::Review>& reviews) {
+  std::string out;
+  AppendU32(static_cast<uint32_t>(reviews.size()), &out);
+  for (const auto& review : reviews) {
+    AppendU32(static_cast<uint32_t>(review.entity), &out);
+    AppendU32(static_cast<uint32_t>(review.reviewer), &out);
+    AppendU32(static_cast<uint32_t>(review.date), &out);
+    AppendU64(review.body.size(), &out);
+    out.append(review.body);
+  }
+  return out;
+}
+
+Result<std::vector<text::Review>> DecodeReviewBatch(
+    const std::string& payload) {
+  size_t pos = 0;
+  uint32_t count = 0;
+  if (!ReadU32(payload, &pos, &count)) {
+    return Status::ParseError("WAL batch: truncated count");
+  }
+  // The record passed its CRC, so a decode failure here means an
+  // encoder/decoder skew, not disk corruption — still an error, never
+  // a partial apply.
+  std::vector<text::Review> reviews;
+  reviews.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t entity = 0, reviewer = 0, date = 0;
+    uint64_t body_len = 0;
+    if (!ReadU32(payload, &pos, &entity) ||
+        !ReadU32(payload, &pos, &reviewer) ||
+        !ReadU32(payload, &pos, &date) ||
+        !ReadU64(payload, &pos, &body_len) ||
+        payload.size() - pos < body_len) {
+      return Status::ParseError("WAL batch: truncated review " +
+                                std::to_string(i));
+    }
+    text::Review review;
+    review.entity = static_cast<text::EntityId>(entity);
+    review.reviewer = static_cast<text::ReviewerId>(reviewer);
+    review.date = static_cast<int32_t>(date);
+    review.body = payload.substr(pos, body_len);
+    pos += body_len;
+    reviews.push_back(std::move(review));
+  }
+  if (pos != payload.size()) {
+    return Status::ParseError("WAL batch: trailing bytes");
+  }
+  return reviews;
+}
 
 }  // namespace
 
@@ -139,6 +234,11 @@ std::unique_ptr<OpineDb> OpineDb::Build(
       &db.schema_, &db.classifier_, db.embedder_.get(), &db.analyzer_);
   db.tables_ = db.aggregator_->Build(db.corpus_, std::move(extractions),
                                      options.aggregation, db.pool_.get());
+  // Retain the trained pipeline so AppendReviews can extract from new
+  // reviews identically, and record that the relation just built IS the
+  // source of the summaries (the Reaggregate precondition).
+  db.pipeline_ = pipeline;
+  db.extractions_authoritative_ = true;
 
   db.RebuildDerivedState();
   return owned;
@@ -226,20 +326,44 @@ Status OpineDb::InstallSummaries(
   tables_.extraction_attribute.clear();
   tables_.extraction_marker.clear();
   tables_.extraction_margin.clear();
+  extractions_authoritative_ = false;
   RebuildDerivedState();
   InvalidateCachesLocked();
   return Status::OK();
 }
 
 void OpineDb::SetColumnar(bool enabled) {
-  std::unique_lock<std::shared_mutex> lock(reconfig_mu_);
-  if (options_.columnar == enabled) return;
-  options_.columnar = enabled;
-  if (enabled) {
-    columnar_ = std::make_unique<ColumnarSummaryStore>(
-        tables_, corpus_.num_entities(), pool_.get());
-  } else {
+  if (!enabled) {
+    std::unique_lock<std::shared_mutex> lock(reconfig_mu_);
+    options_.columnar = false;
     columnar_.reset();
+    return;
+  }
+  // Enabling builds a full SoA mirror — seconds at the 1M-entity scale.
+  // Doing that under the exclusive lock would stall every query behind
+  // the build (and, with writers preferred, behind the lock request
+  // itself). Instead: build against a stable shared-lock view, then
+  // swap under the exclusive lock iff no data mutation landed in
+  // between (every mutation bumps the cache epoch under the exclusive
+  // lock, so an equal epoch proves the mirror still describes tables_).
+  for (;;) {
+    std::unique_ptr<ColumnarSummaryStore> store;
+    uint64_t built_at_epoch = 0;
+    {
+      std::shared_lock<std::shared_mutex> lock(reconfig_mu_);
+      if (options_.columnar && columnar_ != nullptr) return;
+      built_at_epoch = cache_epoch_.load(std::memory_order_relaxed);
+      store = std::make_unique<ColumnarSummaryStore>(
+          tables_, corpus_.num_entities(), pool_.get());
+    }
+    std::unique_lock<std::shared_mutex> lock(reconfig_mu_);
+    if (options_.columnar && columnar_ != nullptr) return;
+    if (cache_epoch_.load(std::memory_order_relaxed) != built_at_epoch) {
+      continue;  // Data moved under the build; the mirror is stale.
+    }
+    options_.columnar = true;
+    columnar_ = std::move(store);
+    return;
   }
   // No InvalidateCachesLocked(): both planes emit bit-identical degrees,
   // so every cached artifact stays valid — execution config, not data.
@@ -278,7 +402,18 @@ void OpineDb::InvalidateCachesLocked() {
     OPINEDB_METRIC_GAUGE_SET("engine.cache_epoch",
                              static_cast<double>(degree_cache_->epoch()));
   }
+  // Wholesale mutation: every entity's served data changed.
+  entity_data_epoch_.assign(corpus_.num_entities(), epoch);
   OPINEDB_METRIC_GAUGE_SET("engine.cache.epoch", static_cast<double>(epoch));
+}
+
+uint64_t OpineDb::entity_data_epoch(text::EntityId entity) const {
+  std::shared_lock<std::shared_mutex> lock(reconfig_mu_);
+  if (entity < 0 ||
+      static_cast<size_t>(entity) >= entity_data_epoch_.size()) {
+    return 0;
+  }
+  return entity_data_epoch_[static_cast<size_t>(entity)];
 }
 
 void OpineDb::ConfigureCaches(const cache::CacheConfig& config) {
@@ -307,10 +442,20 @@ void OpineDb::ConfigureCaches(const cache::CacheConfig& config) {
   }
 }
 
-void OpineDb::Reaggregate(const AggregationOptions& aggregation) {
+Status OpineDb::Reaggregate(const AggregationOptions& aggregation) {
   // Exclusive: in-flight queries hold reconfig_mu_ shared for their
   // whole run, so nothing reads tables_/interpreter_ mid-rebuild.
   std::unique_lock<std::shared_mutex> lock(reconfig_mu_);
+  if (!extractions_authoritative_) {
+    // After InstallSummaries/OpenDatabase the extraction relation is
+    // empty (or describes older data): rebuilding summaries from it
+    // would silently replace the installed data with nothing.
+    return Status::FailedPrecondition(
+        "Reaggregate rebuilds summaries from the extraction relation, "
+        "but this engine's relation is not the source of its served "
+        "summaries (InstallSummaries/OpenDatabase replaced them) — "
+        "re-extract via Build instead");
+  }
   options_.aggregation = aggregation;
   auto extractions = std::move(tables_.extractions);
   tables_ = aggregator_->Build(corpus_, std::move(extractions), aggregation,
@@ -320,6 +465,7 @@ void OpineDb::Reaggregate(const AggregationOptions& aggregation) {
   // computed against the old summaries; serving any of them now would
   // silently ignore the re-aggregation.
   InvalidateCachesLocked();
+  return Status::OK();
 }
 
 void OpineDb::SetNumThreads(size_t num_threads) {
@@ -351,6 +497,19 @@ Status OpineDb::SaveDatabase(const std::string& dir) const {
   // cut — Reaggregate cannot swap tables_ between the two serializations
   // and no query reads state mid-save.
   std::unique_lock<std::shared_mutex> lock(reconfig_mu_);
+  if (wal_.has_value()) {
+    // An out-of-band save advances snapshot_generation_ away from the
+    // active segment's base: later appends would journal into a segment
+    // recovery no longer replays. Checkpoint() rotates the segment in
+    // the same critical section as the save.
+    return Status::FailedPrecondition(
+        "SaveDatabase while a WAL is enabled would orphan the active "
+        "segment; use Checkpoint()");
+  }
+  return SaveDatabaseLocked(dir);
+}
+
+Status OpineDb::SaveDatabaseLocked(const std::string& dir) const {
   Timer timer;
   std::ostringstream schema_bytes;
   Status status = SaveSchema(schema_, &schema_bytes);
@@ -446,6 +605,11 @@ Status OpineDb::OpenDatabase(const std::string& dir) {
   tables_.extraction_attribute.clear();
   tables_.extraction_marker.clear();
   tables_.extraction_margin.clear();
+  extractions_authoritative_ = false;
+  // The journal (if any) belonged to the replaced state; EnableWal
+  // again to pair with the opened generation and replay its tail.
+  wal_.reset();
+  wal_dir_.clear();
   RebuildDerivedState();
   // Every cache layer described the replaced summaries; the epoch bump
   // invalidates them wholesale.
@@ -476,6 +640,278 @@ Status OpineDb::OpenDatabase(const std::string& dir) {
   OPINEDB_METRIC_GAUGE_SET("storage.snapshot.generation",
                            static_cast<double>(snapshot->generation));
   OPINEDB_METRIC_LATENCY_MS("storage.snapshot.load_ms",
+                            timer.ElapsedMillis());
+  return Status::OK();
+}
+
+Status OpineDb::AppendReviews(const std::vector<text::Review>& reviews) {
+  // Exclusive for the whole batch: queries observe either none or all
+  // of it, and the derived-state patches below need the same exclusion
+  // as a rebuild.
+  std::unique_lock<std::shared_mutex> lock(reconfig_mu_);
+  return ApplyReviewsLocked(reviews, /*journal=*/true);
+}
+
+Status OpineDb::ApplyReviewsLocked(const std::vector<text::Review>& reviews,
+                                   bool journal) {
+  if (reviews.empty()) return Status::OK();
+  if (!pipeline_.has_value()) {
+    return Status::FailedPrecondition(
+        "AppendReviews requires the extraction pipeline retained by "
+        "Build");
+  }
+  if (options_.aggregation.min_reviewer_reviews.has_value()) {
+    // Retroactive filter: a reviewer's pre-existing reviews can cross
+    // the threshold mid-append, which would require re-weighing
+    // opinions already folded into the summaries — an additive fold
+    // cannot express that. Reaggregate (full rebuild) can.
+    return Status::FailedPrecondition(
+        "AppendReviews cannot maintain min_reviewer_reviews "
+        "incrementally (the filter is retroactive); use Reaggregate");
+  }
+  for (size_t i = 0; i < reviews.size(); ++i) {
+    const text::EntityId entity = reviews[i].entity;
+    if (entity < 0 ||
+        static_cast<size_t>(entity) >= corpus_.num_entities()) {
+      return Status::InvalidArgument(
+          "AppendReviews: review " + std::to_string(i) +
+          " names entity " + std::to_string(entity) + ", corpus has " +
+          std::to_string(corpus_.num_entities()));
+    }
+  }
+
+  obs::TraceSpan span("ingest.append");
+  Timer timer;
+
+  // Journal first: once Append returns OK the batch is fsync-durable,
+  // and only then does any in-memory state change. An error here means
+  // nothing was applied — the caller can retry the whole batch.
+  if (journal && wal_.has_value()) {
+    Timer wal_timer;
+    Status appended = wal_->Append(EncodeReviewBatch(reviews));
+    if (!appended.ok()) return appended;
+    OPINEDB_METRIC_LATENCY_MS("storage.wal.append_ms",
+                              wal_timer.ElapsedMillis());
+  }
+
+  // Fold the delta. AddOpinion replays Build's per-extraction loop body
+  // against the live summaries, so appending in order is bit-identical
+  // to a full rebuild over the extended corpus (the models it consults
+  // — classifier, embedder, analyzer, review-index idf — are frozen).
+  const extract::ExtractedOpinion* old_data = tables_.extractions.data();
+  const size_t old_size = tables_.extractions.size();
+  std::vector<text::EntityId> touched;
+  touched.reserve(reviews.size());
+  size_t num_opinions = 0;
+  for (const auto& review : reviews) {
+    const text::ReviewId id = corpus_.AddReview(
+        review.entity, review.reviewer, review.date, review.body);
+    const text::Review& stored =
+        corpus_.reviews()[static_cast<size_t>(id)];
+    // Same shift as Build step 1 — the scoring paths index this vector
+    // by review id.
+    review_sentiment_.push_back(
+        std::max(0.0, analyzer_.ScoreDocument(stored.body)) + 0.05);
+    for (const auto& opinion : pipeline_->ExtractFromReview(stored)) {
+      aggregator_->AddOpinion(opinion, corpus_, options_.aggregation,
+                              &tables_);
+      ++num_opinions;
+    }
+    touched.push_back(review.entity);
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()),
+                touched.end());
+
+  // Patch the derived state in place (a full RebuildDerivedState here
+  // would defeat the point of the delta path).
+  if (tables_.extractions.data() == old_data) {
+    // The vector did not reallocate: every stored pointer is intact,
+    // only the new rows need list entries.
+    for (size_t i = old_size; i < tables_.extractions.size(); ++i) {
+      const int a = tables_.extraction_attribute[i];
+      if (a < 0) continue;
+      const auto& opinion = tables_.extractions[i];
+      extraction_lists_[a][opinion.entity].push_back(&opinion);
+    }
+  } else {
+    // Reallocation moved the rows; every pointer in every list dangles.
+    extraction_lists_.assign(
+        schema_.num_attributes(),
+        std::vector<std::vector<const extract::ExtractedOpinion*>>(
+            corpus_.num_entities()));
+    for (size_t i = 0; i < tables_.extractions.size(); ++i) {
+      const int a = tables_.extraction_attribute[i];
+      if (a < 0) continue;
+      const auto& opinion = tables_.extractions[i];
+      extraction_lists_[a][opinion.entity].push_back(&opinion);
+    }
+  }
+  interpreter_->AppendNewExtractions();
+  if (columnar_ != nullptr) {
+    columnar_->UpdateEntities(tables_, touched);
+  }
+
+  // Surgical cache maintenance — the whole reason ingest is not a
+  // Reaggregate. One epoch bump expires result-cache entries lazily (a
+  // ranking may depend on every entity, so per-entity invalidation is
+  // unsound there); everything else keeps its warm set.
+  const uint64_t epoch =
+      cache_epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (entity_data_epoch_.size() < corpus_.num_entities()) {
+    entity_data_epoch_.resize(corpus_.num_entities(), 0);
+  }
+  for (const text::EntityId entity : touched) {
+    entity_data_epoch_[static_cast<size_t>(entity)] = epoch;
+  }
+  if (interp_cache_ != nullptr) {
+    // Interpretations can change under ingest (the variation table and
+    // per-attribute idf grow), so entries are re-derived from the
+    // post-ingest interpreter and re-tagged at the new epoch — a
+    // re-derivation that fails or degrades leaves the old entry behind
+    // as an inert stale-epoch miss.
+    for (const auto& key : interp_cache_->Keys()) {
+      try {
+        auto interpretation = interpreter_->Interpret(key);
+        if (interpretation.degraded) continue;
+        cache::InterpretationCache::Entry entry;
+        entry.interpretation = std::move(interpretation);
+        entry.rep = embedder_->Represent(key);
+        entry.sentiment = analyzer_.ScorePhrase(key);
+        entry.epoch = epoch;
+        interp_cache_->Insert(key, std::move(entry));
+      } catch (const std::exception&) {
+        OPINEDB_METRIC_COUNT("engine.fallback.interp_cache", 1);
+      }
+    }
+  }
+  if (degree_cache_ != nullptr) {
+    // In-place refresh: untouched entities' slots (the warm working
+    // set) survive; only touched slots are rescored.
+    degree_cache_->RefreshAfterIngest(touched);
+  }
+
+  span.AddAttribute("reviews", static_cast<uint64_t>(reviews.size()));
+  span.AddAttribute("opinions", static_cast<uint64_t>(num_opinions));
+  span.AddAttribute("entities_touched",
+                    static_cast<uint64_t>(touched.size()));
+  span.AddAttribute("replay", !journal);
+  OPINEDB_METRIC_COUNT("engine.ingest.batches", 1);
+  OPINEDB_METRIC_COUNT("engine.ingest.reviews", reviews.size());
+  OPINEDB_METRIC_COUNT("engine.ingest.opinions", num_opinions);
+  OPINEDB_METRIC_COUNT("engine.ingest.entities_touched", touched.size());
+  OPINEDB_METRIC_LATENCY_MS("engine.ingest.apply_ms",
+                            timer.ElapsedMillis());
+  OPINEDB_METRIC_GAUGE_SET("engine.cache.epoch",
+                           static_cast<double>(epoch));
+  return Status::OK();
+}
+
+bool OpineDb::wal_enabled() const {
+  std::shared_lock<std::shared_mutex> lock(reconfig_mu_);
+  return wal_.has_value() && wal_->is_open();
+}
+
+Status OpineDb::EnableWal(const std::string& dir) {
+  std::unique_lock<std::shared_mutex> lock(reconfig_mu_);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("EnableWal: create_directories(" + dir +
+                            "): " + ec.message());
+  }
+  const uint64_t base =
+      snapshot_generation_.load(std::memory_order_relaxed);
+  const std::string path = dir + "/" + storage::WalFileName(base);
+
+  // Recovery half: replay the tail a crash may have left behind. The
+  // segment paired with the served generation is read, everything past
+  // the first corrupt record is physically truncated away, and each
+  // surviving batch re-enters through the exact live-ingest path
+  // (minus journaling — these records are already durable).
+  size_t replayed = 0;
+  auto tail = storage::ReadWal(path);
+  if (tail.ok()) {
+    if (tail->base_generation != base) {
+      // A header naming another generation cannot be trusted to apply
+      // on top of the served snapshot: restart the segment empty.
+      Status truncated = storage::TruncateWal(path, 0);
+      if (!truncated.ok()) return truncated;
+      tail->records.clear();
+    } else if (tail->truncated) {
+      Status truncated = storage::TruncateWal(path, tail->valid_bytes);
+      if (!truncated.ok()) return truncated;
+    }
+    for (const auto& record : tail->records) {
+      auto batch = DecodeReviewBatch(record);
+      if (!batch.ok()) return batch.status();
+      Status applied = ApplyReviewsLocked(*batch, /*journal=*/false);
+      if (!applied.ok()) return applied;
+      ++replayed;
+    }
+  } else if (tail.status().code() != StatusCode::kNotFound) {
+    return tail.status();
+  }
+
+  auto writer = storage::WalWriter::Open(path, base);
+  if (!writer.ok()) return writer.status();
+  wal_ = std::move(*writer);
+  wal_dir_ = dir;
+  if (replayed > 0) {
+    OPINEDB_METRIC_COUNT("storage.wal.replayed_records", replayed);
+  }
+  OPINEDB_METRIC_GAUGE_SET("storage.wal.base_generation",
+                           static_cast<double>(base));
+  return Status::OK();
+}
+
+Status OpineDb::Checkpoint() {
+  // One exclusive critical section across save + rotation: no append
+  // can slip between the snapshot commit and the segment swap, so the
+  // new segment is empty exactly when the new generation is complete.
+  std::unique_lock<std::shared_mutex> lock(reconfig_mu_);
+  if (!wal_.has_value()) {
+    return Status::FailedPrecondition("Checkpoint requires EnableWal");
+  }
+  Timer timer;
+  Status saved = SaveDatabaseLocked(wal_dir_);
+  if (!saved.ok()) return saved;
+  // The committed generation contains every journaled batch (they were
+  // applied to the live state before acknowledgement), so the old
+  // segment is redundant from here on.
+  if (OPINEDB_FAULT_HIT("storage.wal_fold")) {
+    // Simulated crash between snapshot commit and segment retirement:
+    // the stale segment stays on disk — recovery ignores it (its base
+    // is older than the newest generation) — and journaling stops,
+    // exactly as if the process had died here.
+    wal_.reset();
+    return Status::Internal("injected crash at storage.wal_fold");
+  }
+  wal_->Close();
+  const uint64_t generation =
+      snapshot_generation_.load(std::memory_order_relaxed);
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(wal_dir_, ec)) {
+    uint64_t segment_base = 0;
+    if (!storage::ParseWalFileName(entry.path().filename().string(),
+                                   &segment_base)) {
+      continue;
+    }
+    if (segment_base != generation) {
+      std::error_code remove_ec;
+      std::filesystem::remove(entry.path(), remove_ec);
+    }
+  }
+  auto writer = storage::WalWriter::Open(
+      wal_dir_ + "/" + storage::WalFileName(generation), generation);
+  if (!writer.ok()) {
+    wal_.reset();
+    return writer.status();
+  }
+  wal_ = std::move(*writer);
+  OPINEDB_METRIC_COUNT("storage.wal.checkpoints", 1);
+  OPINEDB_METRIC_LATENCY_MS("storage.wal.checkpoint_ms",
                             timer.ElapsedMillis());
   return Status::OK();
 }

@@ -27,6 +27,7 @@
 #include "obs/trace.h"
 #include "sentiment/analyzer.h"
 #include "storage/table.h"
+#include "storage/wal.h"
 #include "text/corpus.h"
 
 namespace opinedb::cache {
@@ -235,7 +236,67 @@ class OpineDb {
   /// and invalidates any attached degree cache (its lists were computed
   /// against the old summaries). Serialized against in-flight queries by
   /// the reconfiguration lock.
-  void Reaggregate(const AggregationOptions& aggregation);
+  ///
+  /// Requires the extraction relation to be the authoritative source of
+  /// the served summaries (true after Build and kept true by
+  /// AppendReviews). After InstallSummaries or OpenDatabase the relation
+  /// is empty or unrelated, and a rebuild from it would silently wipe
+  /// the installed summaries — that call returns FailedPrecondition and
+  /// leaves the engine untouched.
+  Status Reaggregate(const AggregationOptions& aggregation);
+
+  /// Incremental ingest (Section 4.2.2: "the marker summaries can be
+  /// incrementally computed"): appends `reviews` to the corpus, runs the
+  /// extraction pipeline on just the new reviews, and folds each new
+  /// opinion into the existing marker summaries with
+  /// Aggregator::AddOpinion — bit-identical to rebuilding from the full
+  /// extended extraction relation, because the per-opinion fold is
+  /// exactly Build's loop body and the models it consults (classifier,
+  /// embedder, analyzer, the idf from the frozen review index) are not
+  /// retrained by ingest. Review `id` fields are ignored; ids are
+  /// assigned by the corpus in append order.
+  ///
+  /// Cache maintenance is surgical rather than wholesale: the cache
+  /// epoch is bumped once (result-cache entries lazily expire — a
+  /// ranking may depend on every entity, so per-entity invalidation is
+  /// unsound there), interpretation-cache entries are re-derived and
+  /// re-tagged at the new epoch, and an attached degree cache is patched
+  /// in place for just the touched entities (DegreeCache::
+  /// RefreshAfterIngest). Per-entity data epochs (entity_data_epoch)
+  /// advance only for entities with new reviews.
+  ///
+  /// When a WAL is enabled (EnableWal) the batch is journaled —
+  /// append + fsync — before any state changes; an error from the
+  /// journal means nothing was applied. Fails with FailedPrecondition
+  /// when AggregationOptions::min_reviewer_reviews is set (that filter
+  /// is retroactive: a reviewer's old reviews may cross the threshold
+  /// mid-append, which an additive fold cannot express) and with
+  /// InvalidArgument for out-of-range entity ids. Serialized against
+  /// in-flight queries by the reconfiguration lock.
+  Status AppendReviews(const std::vector<text::Review>& reviews);
+
+  /// Enables write-ahead journaling of AppendReviews batches into `dir`
+  /// (created if needed), pairing with the snapshot store in the same
+  /// directory. First replays any tail left by a crash: the segment
+  /// named after the current snapshot generation is read, records past
+  /// the first corrupt one are truncated away, and each surviving batch
+  /// is re-applied through the exact live-ingest path (minus
+  /// journaling). Recovery is therefore OpenDatabase(dir) — newest
+  /// verified generation — followed by EnableWal(dir) — tail replay.
+  /// While a WAL is active, SaveDatabase is rejected in favour of
+  /// Checkpoint(), which keeps segment and generation in lockstep.
+  Status EnableWal(const std::string& dir);
+
+  /// Folds the WAL into a new snapshot generation: saves the current
+  /// state (which already contains every journaled batch) to the WAL
+  /// directory, retires the folded segments, and starts a fresh empty
+  /// segment named after the new generation. Holds one exclusive lock
+  /// across the whole fold, so no append can slip between the save and
+  /// the rotation. Requires EnableWal. See docs/PERSISTENCE.md.
+  Status Checkpoint();
+
+  /// True when EnableWal succeeded and the journal is accepting appends.
+  bool wal_enabled() const;
 
   /// Replaces every marker summary wholesale (scale-harness path: the
   /// datagen scale generator synthesizes summaries directly instead of
@@ -249,8 +310,11 @@ class OpineDb {
       std::vector<std::vector<MarkerSummary>> summaries);
 
   /// Toggles the columnar data plane at runtime (differential tests and
-  /// benches flip it between runs). Builds or drops the summary mirror
-  /// under the exclusive reconfiguration lock. No cache-epoch bump:
+  /// benches flip it between runs). Enabling builds the summary mirror
+  /// off-lock against a stable shared-lock view of the tables — queries
+  /// keep flowing during the build — then swaps it in under the
+  /// exclusive lock, retrying the build if a data mutation landed in
+  /// between (detected by a cache-epoch change). No cache-epoch bump:
   /// both planes produce bit-identical results, so cached artifacts
   /// remain valid — this reconfigures execution, not data.
   void SetColumnar(bool enabled);
@@ -283,13 +347,23 @@ class OpineDb {
 
   /// Monotone invalidation epoch of the caching layers: bumped exactly
   /// once by every mutation of served data (Reaggregate, OpenDatabase,
-  /// TrainMembership) under the exclusive reconfiguration lock, and by
-  /// nothing else (SetNumThreads / SetTraceLevel / AttachDegreeCache /
-  /// ConfigureCaches reconfigure execution, not data). Cache entries are
-  /// tagged with the epoch they were filled at; a mismatch is a miss.
+  /// InstallSummaries, TrainMembership, AppendReviews) under the
+  /// exclusive reconfiguration lock, and by nothing else (SetNumThreads
+  /// / SetTraceLevel / AttachDegreeCache / ConfigureCaches reconfigure
+  /// execution, not data). Cache entries are tagged with the epoch they
+  /// were filled at; a mismatch is a miss.
   uint64_t cache_epoch() const {
     return cache_epoch_.load(std::memory_order_relaxed);
   }
+
+  /// Data epoch of one entity: the cache_epoch() value of the last
+  /// mutation that changed its served data. Wholesale mutations
+  /// (Reaggregate, OpenDatabase, InstallSummaries, TrainMembership)
+  /// advance every entity; AppendReviews advances only the entities the
+  /// batch touched — the observable contract behind surgical cache
+  /// maintenance, asserted by the ingest suite. Entities never mutated
+  /// since construction report 0.
+  uint64_t entity_data_epoch(text::EntityId entity) const;
 
   /// The cache layers, or nullptr when disabled (for tests / metrics
   /// scrapers; the engine consults them internally).
@@ -304,7 +378,11 @@ class OpineDb {
   /// needed) via storage::SnapshotStore's atomic commit protocol. Holds
   /// the reconfiguration lock exclusively, so the saved pair is a
   /// consistent cut that serializes against Reaggregate and in-flight
-  /// queries. See docs/PERSISTENCE.md.
+  /// queries. While a WAL is enabled this returns FailedPrecondition —
+  /// an out-of-band save would advance the generation away from the
+  /// active segment and orphan later appends; use Checkpoint(), which
+  /// rotates the segment in the same critical section. See
+  /// docs/PERSISTENCE.md.
   Status SaveDatabase(const std::string& dir) const;
 
   /// Replaces this engine's schema and summaries with the newest fully
@@ -316,9 +394,11 @@ class OpineDb {
   /// summaries must cover exactly this engine's corpus entities
   /// (InvalidArgument otherwise). After a successful open the
   /// extraction relation is empty, so a later Reaggregate would rebuild
-  /// summaries from nothing — re-extract from the corpus instead. An
-  /// attached degree cache is cleared (its lists described the old
-  /// summaries).
+  /// summaries from nothing — it returns FailedPrecondition; re-extract
+  /// from the corpus instead. An attached degree cache is cleared (its
+  /// lists described the old summaries). Any active WAL is detached
+  /// (the journal belonged to the replaced state); call EnableWal again
+  /// to replay the tail for the newly opened generation.
   Status OpenDatabase(const std::string& dir);
 
   /// Generation committed by the last SaveDatabase or served by the
@@ -396,10 +476,22 @@ class OpineDb {
 
   void RebuildDerivedState();
   double HeuristicDegree(const std::vector<double>& features) const;
-  /// The single epoch-bump point: advances cache_epoch_ once and clears
-  /// every cache layer (result, interpretation, attached degree cache).
-  /// Requires reconfig_mu_ held exclusively.
+  /// The single wholesale epoch-bump point: advances cache_epoch_ once,
+  /// clears every cache layer (result, interpretation, attached degree
+  /// cache) and advances every entity's data epoch. Requires reconfig_mu_
+  /// held exclusively. AppendReviews deliberately does NOT route through
+  /// here — it bumps the epoch but keeps caches warm (see its doc).
   void InvalidateCachesLocked();
+  /// SaveDatabase body without the lock acquisition; Checkpoint calls it
+  /// inside its own exclusive critical section.
+  Status SaveDatabaseLocked(const std::string& dir) const;
+  /// The single apply path for new review batches, shared verbatim by
+  /// live ingest (journal = the open WAL writer) and EnableWal replay
+  /// (journal = nothing — the records are already durable). Requires
+  /// reconfig_mu_ held exclusively. Validates, optionally journals, then
+  /// extracts / folds / patches derived state and refreshes caches.
+  Status ApplyReviewsLocked(const std::vector<text::Review>& reviews,
+                            bool journal);
 
   text::ReviewCorpus corpus_;
   SubjectiveSchema schema_;
@@ -412,6 +504,10 @@ class OpineDb {
   std::vector<double> review_sentiment_;
   AttributeClassifier classifier_;
   std::unique_ptr<Aggregator> aggregator_;
+  /// The extraction pipeline Build ran, retained so AppendReviews can
+  /// extract from new reviews with the exact same trained tagger
+  /// (value-semantic copy; the tagger is frozen after Build).
+  std::optional<extract::ExtractionPipeline> pipeline_;
   SubjectiveTables tables_;
   std::unique_ptr<Interpreter> interpreter_;
   std::optional<MembershipModel> membership_;
@@ -442,6 +538,18 @@ class OpineDb {
   /// (exclusive lock) is the writer; mutable because SaveDatabase is
   /// logically const.
   mutable std::atomic<uint64_t> snapshot_generation_{0};
+  /// True while tables_.extractions (plus what AppendReviews added) is
+  /// the authoritative derivation of tables_.summaries — the
+  /// precondition Reaggregate and the ingest differential oracle rely
+  /// on. Set by Build; cleared by InstallSummaries and OpenDatabase.
+  bool extractions_authoritative_ = false;
+  /// Per-entity data epochs; see entity_data_epoch(). Guarded by
+  /// reconfig_mu_ (written under exclusive, read under shared).
+  std::vector<uint64_t> entity_data_epoch_;
+  /// Write-ahead journal state (EnableWal/Checkpoint); wal_ is engaged
+  /// exactly while journaling is active. Guarded by reconfig_mu_.
+  std::string wal_dir_;
+  std::optional<storage::WalWriter> wal_;
   /// Reconfiguration lock: ExecuteQuery / PredicateDegreeOfTruth hold it
   /// shared for their whole run; Reaggregate, SetNumThreads,
   /// SetTraceLevel, AttachDegreeCache and TrainMembership hold it

@@ -30,7 +30,6 @@ Interpreter::Interpreter(const SubjectiveSchema* schema,
 void Interpreter::BuildVariationTable() {
   // Each extraction whose phrase landed on a marker is a linguistic
   // variation of that attribute; markers themselves are variations too.
-  std::set<std::pair<int, std::string>> seen;
   for (size_t a = 0; a < schema_->num_attributes(); ++a) {
     const auto& markers = schema_->attributes[a].summary_type.markers;
     for (size_t m = 0; m < markers.size(); ++m) {
@@ -39,31 +38,45 @@ void Interpreter::BuildVariationTable() {
       v.marker = static_cast<int>(m);
       v.rep = embedder_->Represent(markers[m]);
       variations_.push_back(std::move(v));
-      seen.emplace(static_cast<int>(a), markers[m]);
+      seen_variations_.emplace(static_cast<int>(a), markers[m]);
     }
   }
-  for (size_t i = 0; i < tables_->extractions.size(); ++i) {
+  // The extraction-driven half is shared with the ingest path: a fresh
+  // build is just an append starting from extraction 0, so incremental
+  // growth stays bit-identical to reconstruction by definition.
+  AppendNewExtractions();
+}
+
+void Interpreter::AppendNewExtractions() {
+  for (size_t i = indexed_extractions_; i < tables_->extractions.size();
+       ++i) {
     const int a = tables_->extraction_attribute[i];
     const int m = tables_->extraction_marker[i];
     if (a < 0 || m < 0) continue;
     if (tables_->extraction_margin[i] < options_.variation_margin) continue;
     const std::string& phrase = tables_->extractions[i].phrase;
-    if (!seen.emplace(a, phrase).second) continue;
+    if (!seen_variations_.emplace(a, phrase).second) continue;
     Variation v;
     v.attribute = a;
     v.marker = m;
     v.rep = embedder_->Represent(phrase);
     variations_.push_back(std::move(v));
   }
+  indexed_extractions_ = tables_->extractions.size();
+  RebuildReviewStatistics();
+}
 
-  // Per-review extraction lists + attribute idf.
+void Interpreter::RebuildReviewStatistics() {
+  // Per-review extraction lists + attribute idf. Integer-only work over
+  // the full relation — cheap enough to redo from scratch on every
+  // ingest batch, which keeps it trivially identical to a fresh build.
   size_t num_reviews = 0;
   for (const auto& opinion : tables_->extractions) {
     num_reviews = std::max(num_reviews,
                            static_cast<size_t>(opinion.review) + 1);
   }
   num_reviews = std::max(num_reviews, review_index_->num_documents());
-  review_extractions_.resize(num_reviews);
+  review_extractions_.assign(num_reviews, {});
   std::vector<std::set<int>> review_attrs(num_reviews);
   for (size_t i = 0; i < tables_->extractions.size(); ++i) {
     const auto review = tables_->extractions[i].review;

@@ -1,7 +1,10 @@
 #ifndef OPINEDB_CORE_INTERPRETER_H_
 #define OPINEDB_CORE_INTERPRETER_H_
 
+#include <cstddef>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/deadline.h"
@@ -20,6 +23,16 @@ struct AtomInterpretation {
   int marker = -1;
   /// The interpreter's similarity/correlation score for this atom.
   double score = 0.0;
+
+  friend bool operator==(const AtomInterpretation& a,
+                         const AtomInterpretation& b) {
+    return a.attribute == b.attribute && a.marker == b.marker &&
+           a.score == b.score;
+  }
+  friend bool operator!=(const AtomInterpretation& a,
+                         const AtomInterpretation& b) {
+    return !(a == b);
+  }
 };
 
 /// Which stage of the Fig. 5 cascade produced the interpretation.
@@ -44,6 +57,21 @@ struct PredicateInterpretation {
   /// produced on the preferred path. The engine surfaces this as the
   /// `degraded` span/result attribute and engine.fallback.* counters.
   bool degraded = false;
+
+  /// Exact (bit-level) equality — the degree cache uses it after ingest
+  /// to decide whether a cached list's interpretation is still the one
+  /// this predicate maps to (equal → only touched entities need
+  /// rescoring; different → the whole list is stale).
+  friend bool operator==(const PredicateInterpretation& a,
+                         const PredicateInterpretation& b) {
+    return a.method == b.method && a.atoms == b.atoms &&
+           a.conjunctive == b.conjunctive && a.confidence == b.confidence &&
+           a.degraded == b.degraded;
+  }
+  friend bool operator!=(const PredicateInterpretation& a,
+                         const PredicateInterpretation& b) {
+    return !(a == b);
+  }
 };
 
 /// Thresholds of the three-stage cascade (Fig. 5).
@@ -106,6 +134,20 @@ class Interpreter {
 
   const InterpreterOptions& options() const { return options_; }
 
+  /// Incremental maintenance for the ingest path: indexes extractions
+  /// appended to `tables_` since construction (or the previous call) —
+  /// new qualifying phrases join the variation table in append order
+  /// with the same dedup/margin gates the constructor applies, and the
+  /// per-review extraction lists + attribute idf are recomputed over
+  /// the full (cheap, integer-only) relation. The resulting state is
+  /// bit-identical to constructing a fresh Interpreter over the grown
+  /// tables. Callers must hold the engine's exclusive lock.
+  void AppendNewExtractions();
+
+  /// Number of tables_->extractions entries indexed so far (== size()
+  /// right after construction or AppendNewExtractions).
+  size_t indexed_extractions() const { return indexed_extractions_; }
+
  private:
   struct Variation {
     int attribute;
@@ -114,6 +156,9 @@ class Interpreter {
   };
 
   void BuildVariationTable();
+  /// The integer-only half of the table build: per-review extraction
+  /// lists and attribute idf, recomputed from scratch.
+  void RebuildReviewStatistics();
 
   const SubjectiveSchema* schema_;
   const SubjectiveTables* tables_;
@@ -124,6 +169,12 @@ class Interpreter {
   text::Tokenizer tokenizer_;
 
   std::vector<Variation> variations_;
+  /// (attribute, phrase) pairs already in the variation table; persists
+  /// so AppendNewExtractions dedups exactly like a fresh build.
+  std::set<std::pair<int, std::string>> seen_variations_;
+  /// How many tables_->extractions entries have been considered for the
+  /// variation table (the incremental high-water mark).
+  size_t indexed_extractions_ = 0;
   /// Per-review extraction indices (into tables_->extractions).
   std::vector<std::vector<size_t>> review_extractions_;
   /// idf(A): log(N / (1 + #reviews with an extraction of attribute A)).

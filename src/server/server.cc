@@ -1,6 +1,8 @@
 #include "server/server.h"
 
+#include <cstdint>
 #include <utility>
+#include <vector>
 
 #include "common/fault.h"
 #include "common/string_util.h"
@@ -60,11 +62,23 @@ HttpResponse QueryServer::Handle(const HttpRequest& request) {
     }
     return HandleHealth();
   }
+  if (path == "/reviews") {
+    if (request.method != "POST") {
+      return HttpResponse::Error(405, "POST required");
+    }
+    return HandleAppendReviews(request);
+  }
   if (path == "/admin/snapshot/save" || path == "/admin/snapshot/open") {
     if (request.method != "POST") {
       return HttpResponse::Error(405, "POST required");
     }
     return HandleSnapshot(request, path == "/admin/snapshot/save");
+  }
+  if (path == "/admin/checkpoint") {
+    if (request.method != "POST") {
+      return HttpResponse::Error(405, "POST required");
+    }
+    return HandleCheckpoint();
   }
   return HttpResponse::Error(404, "no such route: " + path);
 }
@@ -188,6 +202,104 @@ HttpResponse QueryServer::HandleSnapshot(const HttpRequest& request,
     // formed; the store was not).
     return HttpResponse::Error(500, status.message());
   }
+  std::string out = "{\"generation\": " +
+                    std::to_string(db_->snapshot_generation()) + "}\n";
+  return HttpResponse::Json(200, std::move(out));
+}
+
+HttpResponse QueryServer::HandleAppendReviews(const HttpRequest& request) {
+  Result<JsonValue> body = JsonValue::Parse(request.body);
+  if (!body.ok()) {
+    return HttpResponse::Error(400, body.status().message());
+  }
+  if (!body->is_object()) {
+    return HttpResponse::Error(400, "request body must be a JSON object");
+  }
+  const JsonValue* reviews_json = body->Find("reviews");
+  if (reviews_json == nullptr || !reviews_json->is_array()) {
+    return HttpResponse::Error(400, "missing required array field: reviews");
+  }
+  if (options_.max_ingest_batch > 0 &&
+      reviews_json->items().size() > options_.max_ingest_batch) {
+    OPINEDB_METRIC_COUNT("server.ingest.rejected_oversized", 1);
+    return HttpResponse::Error(
+        400, "batch of " + std::to_string(reviews_json->items().size()) +
+                 " reviews exceeds max_ingest_batch=" +
+                 std::to_string(options_.max_ingest_batch));
+  }
+
+  std::vector<text::Review> batch;
+  batch.reserve(reviews_json->items().size());
+  for (size_t i = 0; i < reviews_json->items().size(); ++i) {
+    const JsonValue& item = reviews_json->items()[i];
+    const std::string at = "reviews[" + std::to_string(i) + "]";
+    if (!item.is_object()) {
+      return HttpResponse::Error(400, at + " must be a JSON object");
+    }
+    text::Review review;
+    review.id = 0;  // Assigned by the engine in append order.
+    struct IntField {
+      const char* name;
+      int32_t* dest;
+    };
+    int32_t entity = 0;
+    int32_t reviewer = 0;
+    int32_t date = 0;
+    for (const IntField& field : {IntField{"entity", &entity},
+                                  IntField{"reviewer", &reviewer},
+                                  IntField{"date", &date}}) {
+      const std::optional<double> number = item.GetNumber(field.name);
+      if (!number.has_value()) {
+        return HttpResponse::Error(
+            400, at + " missing required integer field: " + field.name);
+      }
+      if (!(*number >= INT32_MIN && *number <= INT32_MAX) ||
+          *number != static_cast<double>(static_cast<int64_t>(*number))) {
+        return HttpResponse::Error(
+            400, at + "." + field.name + " must be a 32-bit integer");
+      }
+      *field.dest = static_cast<int32_t>(*number);
+    }
+    review.entity = entity;
+    review.reviewer = reviewer;
+    review.date = date;
+    const std::optional<std::string> review_body = item.GetString("body");
+    if (!review_body.has_value()) {
+      return HttpResponse::Error(400,
+                                 at + " missing required string field: body");
+    }
+    review.body = *review_body;
+    batch.push_back(std::move(review));
+  }
+
+  const Status status = db_->AppendReviews(batch);
+  if (!status.ok()) {
+    // A malformed batch (unknown entity) or an engine configured so
+    // that incremental aggregation cannot be exact is the client's
+    // problem; anything else (WAL write failure) is ours.
+    const bool client_fault =
+        status.code() == StatusCode::kInvalidArgument ||
+        status.code() == StatusCode::kFailedPrecondition;
+    return HttpResponse::Error(client_fault ? 400 : 500, status.message());
+  }
+  OPINEDB_METRIC_COUNT("server.ingest.requests", 1);
+  OPINEDB_METRIC_COUNT("server.ingest.reviews", batch.size());
+  std::string out = "{\"appended\": " + std::to_string(batch.size()) +
+                    ", \"cache_epoch\": " + std::to_string(db_->cache_epoch()) +
+                    "}\n";
+  return HttpResponse::Json(200, std::move(out));
+}
+
+HttpResponse QueryServer::HandleCheckpoint() {
+  const Status status = db_->Checkpoint();
+  if (!status.ok()) {
+    // Checkpoint without an attached WAL is a client/operator mistake;
+    // a failure folding or rotating the log is a server fault.
+    const int code =
+        status.code() == StatusCode::kFailedPrecondition ? 400 : 500;
+    return HttpResponse::Error(code, status.message());
+  }
+  OPINEDB_METRIC_COUNT("server.ingest.checkpoints", 1);
   std::string out = "{\"generation\": " +
                     std::to_string(db_->snapshot_generation()) + "}\n";
   return HttpResponse::Json(200, std::move(out));

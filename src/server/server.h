@@ -22,6 +22,11 @@ struct QueryServerOptions {
   /// body names none. Admin snapshot routes answer 400 when neither
   /// names a directory.
   std::string snapshot_dir;
+  /// Admission cap on one POST /reviews batch. A batch larger than
+  /// this answers 400 before touching the engine, so one oversized
+  /// ingest request cannot monopolize the exclusive reconfiguration
+  /// lock against live queries (0 = no cap).
+  size_t max_ingest_batch = 1024;
 };
 
 /// The OpineDB front door: routes HTTP onto one engine.
@@ -33,8 +38,12 @@ struct QueryServerOptions {
 ///   GET  /metrics                MetricsRegistry::Global().ToJson()
 ///   GET  /healthz                {"status","entities",
 ///                                 "snapshot_generation","cache_epoch"}
+///   POST /reviews                {"reviews": [{"entity", "reviewer",
+///                                 "date", "body"}, ...]}
+///                                → {"appended": N, "cache_epoch": E}
 ///   POST /admin/snapshot/save    {"dir"?} → {"generation": N}
 ///   POST /admin/snapshot/open    {"dir"?} → {"generation": N}
+///   POST /admin/checkpoint       {} → {"generation": N} (WAL fold)
 ///
 /// Queries run on Httpd worker threads; the engine's shared
 /// reconfiguration lock makes concurrent Execute calls safe, and the
@@ -66,6 +75,8 @@ class QueryServer {
   HttpResponse HandleMetrics() const;
   HttpResponse HandleHealth() const;
   HttpResponse HandleSnapshot(const HttpRequest& request, bool save);
+  HttpResponse HandleAppendReviews(const HttpRequest& request);
+  HttpResponse HandleCheckpoint();
 
   core::OpineDb* db_;
   QueryServerOptions options_;

@@ -450,8 +450,23 @@ Result<LoadedSnapshot> SnapshotStore::Recover() const {
 Status SnapshotStore::GarbageCollect(size_t keep) {
   std::vector<uint64_t> generations = ListGenerations();
   if (generations.size() <= keep) return Status::OK();
+  // Never delete the newest generation that actually verifies — it is
+  // what Recover() would serve. Without this, GarbageCollect(0) deleted
+  // every generation including the served one, and a small `keep` could
+  // retain only corrupt newer files while deleting the last good one.
+  uint64_t served = 0;
+  bool have_served = false;
+  for (auto it = generations.rbegin(); it != generations.rend(); ++it) {
+    auto bytes = ReadFileBytes(PathTo(GenerationFileName(*it)));
+    if (bytes.ok() && DecodeContainer(*bytes).ok()) {
+      served = *it;
+      have_served = true;
+      break;
+    }
+  }
   const size_t remove = generations.size() - keep;
   for (size_t i = 0; i < remove; ++i) {
+    if (have_served && generations[i] == served) continue;
     std::error_code ec;
     fs::remove(PathTo(GenerationFileName(generations[i])), ec);
     if (ec) {

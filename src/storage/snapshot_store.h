@@ -87,10 +87,13 @@ class SnapshotStore {
   /// validity check). Empty vector on a missing/empty directory.
   std::vector<uint64_t> ListGenerations() const;
 
-  /// Removes all but the `keep` newest generation files (validity is
-  /// not checked — recovery already skips invalid ones, and keeping
-  /// more than one generation is exactly what makes fallback possible;
-  /// keep >= 2 is recommended). Never touches MANIFEST or tmp files.
+  /// Removes all but the `keep` newest generation files, except that
+  /// the newest generation that passes full container verification is
+  /// always retained regardless of `keep` — it is what Recover() would
+  /// serve, so GarbageCollect(0) tidies droppings without ever causing
+  /// data loss. Keeping more than one generation is what makes fallback
+  /// possible; keep >= 2 is recommended. Never touches MANIFEST, tmp
+  /// files, or WAL segments.
   Status GarbageCollect(size_t keep);
 
   /// "gen-%013llu.snap" — zero-padded so lexicographic order equals

@@ -200,10 +200,21 @@ TEST_F(CacheEquivalenceTest, RandomizedStreamIsBitIdenticalUnderMutations) {
 
   const core::AggregationOptions original = cached().options().aggregation;
   bool toggled = false;
+  // Once a SaveDatabase → OpenDatabase step lands, the extraction
+  // relation no longer derives the served summaries and Reaggregate
+  // must refuse instead of silently wiping them (the FailedPrecondition
+  // regression exercised below).
+  bool authoritative = true;
+  const std::vector<std::string> review_bodies = {
+      "the room was very clean and the staff was friendly",
+      "terrible noisy location but the bed was comfortable",
+      "excellent breakfast and a spotless bathroom",
+      "rude reception and the wifi never worked",
+  };
 
   for (size_t step = 0; step < 160; ++step) {
     const uint32_t roll = rng() % 100;
-    if (roll < 80) {
+    if (roll < 76) {
       // Zipfian-ish skew: min of two uniform draws concentrates mass on
       // low indices, so the head queries repeat often enough to serve
       // from cache while the tail still churns the LRU.
@@ -219,14 +230,48 @@ TEST_F(CacheEquivalenceTest, RandomizedStreamIsBitIdenticalUnderMutations) {
       ASSERT_TRUE(from_bare.ok())
           << "step " << step << ": " << from_bare.status().ToString();
       ExpectBitIdentical(*from_cached, *from_bare, step);
+    } else if (roll < 80) {
+      // Incremental ingest, applied to both engines in lockstep: one
+      // batch built once, appended to each, exactly one epoch bump.
+      // The cached engine's warm layers (re-derived interpretations,
+      // refreshed degree lists, lazily expired results) must keep
+      // every later answer bit-identical to the bare engine.
+      std::vector<text::Review> batch;
+      const size_t batch_size = 1 + rng() % 3;
+      for (size_t i = 0; i < batch_size; ++i) {
+        text::Review review;
+        review.entity = static_cast<text::EntityId>(
+            rng() % cached().corpus().num_entities());
+        review.reviewer = static_cast<text::ReviewerId>(500 + rng() % 7);
+        review.date = 20260200 + static_cast<int32_t>(step);
+        review.body = review_bodies[rng() % review_bodies.size()];
+        batch.push_back(std::move(review));
+      }
+      ASSERT_TRUE(cached().AppendReviews(batch).ok()) << "step " << step;
+      ASSERT_TRUE(bare().AppendReviews(batch).ok()) << "step " << step;
+      ++expected_epoch;
     } else if (roll < 85) {
       core::AggregationOptions changed = original;
       changed.fractional = toggled ? original.fractional
                                    : !original.fractional;
-      toggled = !toggled;
-      cached().Reaggregate(changed);
-      bare().Reaggregate(changed);
-      ++expected_epoch;
+      const Status cached_status = cached().Reaggregate(changed);
+      const Status bare_status = bare().Reaggregate(changed);
+      if (authoritative) {
+        ASSERT_TRUE(cached_status.ok())
+            << "step " << step << ": " << cached_status.ToString();
+        ASSERT_TRUE(bare_status.ok())
+            << "step " << step << ": " << bare_status.ToString();
+        toggled = !toggled;
+        ++expected_epoch;
+      } else {
+        // Silent-wipe regression: rebuilding summaries from the
+        // post-open (empty) extraction relation must be refused with a
+        // typed error and zero epoch movement, not quietly executed.
+        ASSERT_EQ(cached_status.code(), StatusCode::kFailedPrecondition)
+            << "step " << step;
+        ASSERT_EQ(bare_status.code(), StatusCode::kFailedPrecondition)
+            << "step " << step;
+      }
     } else if (roll < 90) {
       const size_t threads = (rng() % 2 == 0) ? 1 : 8;
       cached().SetNumThreads(threads);
@@ -251,6 +296,7 @@ TEST_F(CacheEquivalenceTest, RandomizedStreamIsBitIdenticalUnderMutations) {
       ASSERT_TRUE(bare().SaveDatabase(snap_b.string()).ok());
       ASSERT_TRUE(cached().OpenDatabase(snap_a.string()).ok());
       ASSERT_TRUE(bare().OpenDatabase(snap_b.string()).ok());
+      authoritative = false;
       ++expected_epoch;
     }
     // Epoch discipline: monotone, lockstep, exactly one bump per
@@ -266,10 +312,11 @@ TEST_F(CacheEquivalenceTest, RandomizedStreamIsBitIdenticalUnderMutations) {
   ASSERT_NE(cached().interpretation_cache(), nullptr);
   EXPECT_GT(cached().interpretation_cache()->hits(), 0u);
 
-  // Restore the fixture's aggregation for any later suite.
-  if (toggled) {
-    cached().Reaggregate(original);
-    bare().Reaggregate(original);
+  // Restore the fixture's aggregation for any later suite (possible
+  // only while the relation still derives the summaries).
+  if (toggled && authoritative) {
+    ASSERT_TRUE(cached().Reaggregate(original).ok());
+    ASSERT_TRUE(bare().Reaggregate(original).ok());
   }
   fs::remove_all(snap_a);
   fs::remove_all(snap_b);
@@ -300,14 +347,35 @@ TEST_F(CacheEquivalenceTest, WarmHitsMatchAtEveryThreadCountAndTraceLevel) {
   }
 }
 
-// tsan gate: concurrent readers hammering the caches while mutations
-// bump the epoch. Correctness here is "no data race, every answer is a
-// complete consistent snapshot" — the reconfiguration lock guarantees a
-// query sees either the old or the new summaries, never a mix.
+// tsan gate: concurrent readers hammering the caches while ingest
+// batches land and bump the epoch. Correctness here is "no data race,
+// every answer is a complete consistent snapshot" — the reconfiguration
+// lock guarantees a query sees either the pre- or the post-batch
+// summaries, never a mix. (The mutator is AppendReviews rather than
+// Reaggregate because the randomized-stream test above leaves the
+// shared fixture opened-from-snapshot, where Reaggregate is refused.)
 TEST_F(CacheEquivalenceTest, ConcurrentHammerIsRaceFreeAndConsistent) {
   const auto queries = QueryPool();
-  const core::AggregationOptions original = cached().options().aggregation;
   cached().SetNumThreads(4);
+
+  // Deterministic batches, built once: applied to the cached engine
+  // while the readers hammer it, then to the bare engine quietly —
+  // both end in the same state, so the differential below still binds.
+  auto make_batch = [&](size_t k) {
+    std::vector<text::Review> batch;
+    for (size_t i = 0; i < 3; ++i) {
+      text::Review review;
+      review.entity = static_cast<text::EntityId>(
+          (k * 7 + i * 5) % cached().corpus().num_entities());
+      review.reviewer = static_cast<text::ReviewerId>(900 + k);
+      review.date = static_cast<int32_t>(20260301 + k);
+      review.body =
+          "the room was spotless and the staff went out of their way "
+          "but the street below was noisy at night";
+      batch.push_back(std::move(review));
+    }
+    return batch;
+  };
 
   std::vector<std::thread> workers;
   workers.reserve(4);
@@ -327,13 +395,12 @@ TEST_F(CacheEquivalenceTest, ConcurrentHammerIsRaceFreeAndConsistent) {
     });
   }
   for (size_t k = 0; k < 4; ++k) {
-    core::AggregationOptions changed = original;
-    changed.fractional = (k % 2 == 0) ? !original.fractional
-                                      : original.fractional;
-    cached().Reaggregate(changed);
+    ASSERT_TRUE(cached().AppendReviews(make_batch(k)).ok());
   }
   for (auto& w : workers) w.join();
-  cached().Reaggregate(original);
+  for (size_t k = 0; k < 4; ++k) {
+    ASSERT_TRUE(bare().AppendReviews(make_batch(k)).ok());
+  }
 
   // Post-hammer: the cached engine still agrees with the bare one.
   for (const auto& sql : queries) {

@@ -397,6 +397,34 @@ TEST(InstallSummariesTest, InstallBumpsEpochAndServesNewData) {
   RunColumnarSweep(db, {sql});
 }
 
+// Regression (silent-wipe bugfix): InstallSummaries clears the
+// extraction relation, so a later Reaggregate would rebuild the just-
+// installed summaries from nothing. It must refuse with
+// FailedPrecondition — zero epoch movement, installed data untouched —
+// instead of silently zeroing every histogram as it used to.
+TEST(InstallSummariesTest, ReaggregateAfterInstallIsRefused) {
+  datagen::ScaleSpec spec;
+  spec.num_entities = 200;
+  datagen::ScaledFixture fixture = datagen::BuildScaledFixture(spec);
+  core::OpineDb& db = *fixture.db;
+
+  auto installed = db.tables().summaries;  // Same shape, same types.
+  ASSERT_TRUE(db.InstallSummaries(std::move(installed)).ok());
+  const uint64_t epoch = db.cache_epoch();
+  const double mass_before = db.summary(0, 0).total_count() +
+                             db.summary(0, 0).unmatched_count();
+
+  auto status = db.Reaggregate(db.options().aggregation);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(db.cache_epoch(), epoch)
+      << "a refused mutation must not bump the epoch";
+  EXPECT_EQ(db.summary(0, 0).total_count() +
+                db.summary(0, 0).unmatched_count(),
+            mass_before)
+      << "the installed summaries were modified by a refused Reaggregate";
+}
+
 // ------------------------------------------- Runtime shard knobs.
 
 TEST(CacheShardKnobsTest, EngineHonorsConfiguredShardCounts) {

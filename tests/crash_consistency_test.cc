@@ -460,11 +460,18 @@ TEST_F(EnginePersistenceTest, CorruptNewestGenerationFallsBackToGolden) {
   const auto golden1 = MustExecute(Sql());
   ASSERT_TRUE(db().SaveDatabase(dir()).ok());
 
-  // Change the summaries (stricter matching), producing generation 2
-  // with genuinely different payload bytes.
-  core::AggregationOptions stricter;
-  stricter.match_threshold = 0.45;
-  db().Reaggregate(stricter);
+  // Change the summaries (one extra unmatched phrase on entity 0),
+  // producing generation 2 with genuinely different payload bytes.
+  // Reaggregate cannot be the mutation here: earlier tests in this
+  // fixture opened the engine from a snapshot, which clears the
+  // extraction relation — rebuilding from it is now refused (see
+  // ReaggregateAfterOpenIsRefused below) instead of silently wiping
+  // the summaries as it used to.
+  auto perturbed = db().tables().summaries;
+  ASSERT_FALSE(perturbed.empty());
+  ASSERT_FALSE(perturbed[0].empty());
+  perturbed[0][0].AddUnmatched();
+  ASSERT_TRUE(db().InstallSummaries(std::move(perturbed)).ok());
   ASSERT_TRUE(db().SaveDatabase(dir()).ok());
   ASSERT_EQ(db().snapshot_generation(), 2u);
 
@@ -478,6 +485,25 @@ TEST_F(EnginePersistenceTest, CorruptNewestGenerationFallsBackToGolden) {
   ASSERT_TRUE(db().OpenDatabase(dir()).ok());
   EXPECT_EQ(db().snapshot_generation(), 1u);
   ExpectBitIdentical(golden1, MustExecute(Sql()));
+}
+
+// Regression (silent-wipe bugfix): once OpenDatabase replaced the
+// summaries, the extraction relation no longer derives them, and
+// Reaggregate must refuse with FailedPrecondition — zero epoch
+// movement, served data untouched. Before the fix it rebuilt from the
+// (empty) relation and silently zeroed every summary.
+TEST_F(EnginePersistenceTest, ReaggregateAfterOpenIsRefused) {
+  ASSERT_TRUE(db().SaveDatabase(dir()).ok());
+  ASSERT_TRUE(db().OpenDatabase(dir()).ok());
+  const auto golden = MustExecute(Sql());
+  const uint64_t epoch = db().cache_epoch();
+
+  auto status = db().Reaggregate(core::AggregationOptions());
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(db().cache_epoch(), epoch)
+      << "a refused mutation must not bump the epoch";
+  ExpectBitIdentical(golden, MustExecute(Sql()));
 }
 
 TEST_F(EnginePersistenceTest, OpenEmptyDirectoryIsNotFound) {

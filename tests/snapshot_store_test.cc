@@ -4,6 +4,7 @@
 // The fault-injection crash sweep and the randomized corruption fuzzer
 // live in crash_consistency_test.cc; this file covers the deterministic
 // contracts.
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -346,6 +347,43 @@ TEST_F(SnapshotStoreTest, GarbageCollectKeepsNewest) {
   // keep >= current count is a no-op.
   ASSERT_TRUE(store.GarbageCollect(10).ok());
   EXPECT_EQ(store.ListGenerations().size(), 2u);
+}
+
+TEST_F(SnapshotStoreTest, GarbageCollectZeroRetainsServedGeneration) {
+  SnapshotStore store(dir());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(store.Commit(SampleSections()).ok());
+  }
+  // Regression: GarbageCollect(0) used to delete every generation,
+  // including the one Recover() serves. It must retain the newest
+  // generation that verifies.
+  ASSERT_TRUE(store.GarbageCollect(0).ok());
+  EXPECT_EQ(store.ListGenerations(), (std::vector<uint64_t>{3}));
+  auto recovered = store.Recover();
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->generation, 3u);
+}
+
+TEST_F(SnapshotStoreTest, GarbageCollectNeverDeletesLastGoodGeneration) {
+  SnapshotStore store(dir());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(store.Commit(SampleSections()).ok());
+  }
+  // Corrupt the two newest generations: a small `keep` must not retain
+  // only the corrupt tail while deleting the last generation that
+  // actually decodes.
+  for (uint64_t g : {3u, 4u}) {
+    std::string bytes = ReadFile(GenPath(g));
+    bytes[bytes.size() / 2] ^= 0x01;
+    WriteFile(GenPath(g), bytes);
+  }
+  ASSERT_TRUE(store.GarbageCollect(1).ok());
+  const std::vector<uint64_t> kept = store.ListGenerations();
+  EXPECT_NE(std::find(kept.begin(), kept.end(), 2u), kept.end())
+      << "the newest verifying generation must survive GC";
+  auto recovered = store.Recover();
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->generation, 2u);
 }
 
 TEST_F(SnapshotStoreTest, CommitRejectsBadSectionNames) {
