@@ -1,0 +1,314 @@
+// Replication load driver: measures WAL shipping between a primary and
+// one follower over loopback HTTP, and writes BENCH_repl.json.
+//
+// Three phases:
+//
+//  1. Catch-up: the primary accumulates a WAL backlog while the
+//     follower is detached; the follower then drains it with
+//     back-to-back SyncOnce cycles. Records shipped bytes, records,
+//     wall time and MB/s — the "restore a cold replica" number.
+//  2. Steady state: the background pull loop runs while a writer
+//     appends batches back-to-back; the replication lag gauge is
+//     sampled on a fixed cadence. Records lag p50/p99/max and the
+//     sustained replicated-reviews/sec — the bounded-staleness
+//     envelope an operator can promise.
+//  3. Failover: the primary's front door stops, the follower is
+//     promoted and its own front door starts. Records the wall time
+//     from primary death to the first successful /query answer on the
+//     new primary — the drill in docs/REPLICATION.md.
+//
+// Knobs: OPINEDB_REPL_SECONDS (steady-state window, default 2),
+// OPINEDB_REPL_BACKLOG_BATCHES (catch-up backlog, default 150),
+// OPINEDB_REPL_BATCH (reviews per append, default 8).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "core/engine.h"
+#include "repl/client.h"
+#include "repl/source.h"
+#include "server/http_client.h"
+#include "server/server.h"
+#include "storage/wal.h"
+
+namespace opinedb {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsEnv(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  if (env != nullptr) return std::atof(env);
+  return fallback;
+}
+
+int IntEnv(const char* name, int fallback) {
+  const char* env = std::getenv(name);
+  if (env != nullptr) return std::atoi(env);
+  return fallback;
+}
+
+double ElapsedSeconds(Clock::time_point since) {
+  return std::chrono::duration<double>(Clock::now() - since).count();
+}
+
+double Percentile(std::vector<double>* sorted_inout, double q) {
+  if (sorted_inout->empty()) return 0.0;
+  std::sort(sorted_inout->begin(), sorted_inout->end());
+  const size_t n = sorted_inout->size();
+  const size_t idx = std::min(
+      n - 1, static_cast<size_t>(std::ceil(q * static_cast<double>(n))) -
+                 (q > 0.0 ? 1 : 0));
+  return (*sorted_inout)[idx];
+}
+
+/// Replication replays extraction on the follower, so both sides pay
+/// the full ingest cost per record; a smaller corpus than the serving
+/// bench keeps the two builds fast while the WAL volume stays real.
+eval::BuildOptions ReplBuildOptions() {
+  eval::BuildOptions options;
+  options.generator.num_entities = 40;
+  options.generator.min_reviews_per_entity = 10;
+  options.generator.max_reviews_per_entity = 20;
+  options.generator.seed = 42;
+  options.seed = 42;
+  options.predicate_pool_size = 40;
+  return options;
+}
+
+std::vector<text::Review> MakeBatch(uint64_t seed, int size,
+                                    int32_t num_entities) {
+  static const std::vector<std::string> kBodies = {
+      "the room was very clean and the staff was friendly",
+      "terrible noisy location but the bed was comfortable",
+      "excellent breakfast and a spotless bathroom",
+      "rude reception and the wifi never worked",
+      "the pool area was beautiful and the view stunning",
+  };
+  Rng rng(seed);
+  std::vector<text::Review> batch;
+  for (int i = 0; i < size; ++i) {
+    text::Review review;
+    review.entity = static_cast<int32_t>(rng.Next() % num_entities);
+    review.reviewer = 5000 + static_cast<int32_t>(rng.Next() % 200);
+    review.date = 20260800 + static_cast<int32_t>(seed % 28);
+    review.body = kBodies[rng.Next() % kBodies.size()];
+    batch.push_back(std::move(review));
+  }
+  return batch;
+}
+
+int Main() {
+  const double seconds = SecondsEnv("OPINEDB_REPL_SECONDS", 2.0);
+  const int backlog_batches = IntEnv("OPINEDB_REPL_BACKLOG_BATCHES", 150);
+  const int batch_size = IntEnv("OPINEDB_REPL_BATCH", 8);
+
+  printf("Replication bench: building the primary/follower pair...\n");
+  auto primary = eval::BuildArtifacts(datagen::HotelDomain(),
+                                      ReplBuildOptions());
+  auto follower = eval::BuildArtifacts(datagen::HotelDomain(),
+                                       ReplBuildOptions());
+  const int32_t entities =
+      static_cast<int32_t>(primary.db->corpus().num_entities());
+
+  const auto root =
+      std::filesystem::temp_directory_path() / "opinedb_bench_repl";
+  std::error_code ec;
+  std::filesystem::remove_all(root, ec);
+  std::filesystem::create_directories(root / "primary");
+  std::filesystem::create_directories(root / "follower");
+
+  if (!primary.db->EnableWal((root / "primary").string()).ok()) {
+    fprintf(stderr, "EnableWal failed on the primary\n");
+    return 1;
+  }
+  repl::ReplicationSource source(primary.db.get());
+  server::QueryServerOptions primary_options;
+  primary_options.httpd.num_workers = 2;
+  primary_options.replication_source = &source;
+  server::QueryServer primary_server(primary.db.get(), primary_options);
+  if (!primary_server.Start().ok()) {
+    fprintf(stderr, "primary server failed to start\n");
+    return 1;
+  }
+  repl::ReplicationClientOptions client_options;
+  client_options.primary_port = primary_server.port();
+  client_options.poll_interval_ms = 5.0;
+  repl::ReplicationClient client(follower.db.get(),
+                                 (root / "follower").string(),
+                                 client_options);
+  if (!client.Initialize().ok()) {
+    fprintf(stderr, "follower Initialize failed\n");
+    return 1;
+  }
+
+  // Phase 1: catch-up. The primary accumulates a backlog, then the
+  // detached follower drains it as fast as SyncOnce can pull.
+  uint64_t backlog_reviews = 0;
+  for (int b = 0; b < backlog_batches; ++b) {
+    const auto batch =
+        MakeBatch(static_cast<uint64_t>(b), batch_size, entities);
+    if (!primary.db->AppendReviews(batch).ok()) {
+      fprintf(stderr, "backlog append failed\n");
+      return 1;
+    }
+    backlog_reviews += batch.size();
+  }
+  const uint64_t backlog_bytes =
+      primary.db->wal_acknowledged_bytes() - storage::kWalHeaderSize;
+  const auto catchup_begin = Clock::now();
+  for (;;) {
+    auto caught_up = client.SyncOnce();
+    if (!caught_up.ok()) {
+      fprintf(stderr, "catch-up sync failed: %s\n",
+              caught_up.status().ToString().c_str());
+      return 1;
+    }
+    if (*caught_up) break;
+  }
+  const double catchup_seconds = ElapsedSeconds(catchup_begin);
+  const double catchup_mb_per_sec =
+      static_cast<double>(backlog_bytes) / (1024.0 * 1024.0) /
+      catchup_seconds;
+  printf("  catch-up: %llu reviews / %.2f MiB drained in %.2fs "
+         "(%.2f MiB/s)\n",
+         static_cast<unsigned long long>(backlog_reviews),
+         static_cast<double>(backlog_bytes) / (1024.0 * 1024.0),
+         catchup_seconds, catchup_mb_per_sec);
+
+  // Phase 2: steady state under the background pull loop.
+  if (!client.Start().ok()) {
+    fprintf(stderr, "pull loop failed to start\n");
+    return 1;
+  }
+  std::vector<double> lag_samples;
+  uint64_t steady_reviews = 0;
+  uint64_t batches = static_cast<uint64_t>(backlog_batches);
+  const auto steady_begin = Clock::now();
+  auto next_sample = steady_begin;
+  while (ElapsedSeconds(steady_begin) < seconds) {
+    const auto batch = MakeBatch(batches++, batch_size, entities);
+    if (!primary.db->AppendReviews(batch).ok()) {
+      fprintf(stderr, "steady-state append failed\n");
+      return 1;
+    }
+    steady_reviews += batch.size();
+    if (Clock::now() >= next_sample) {
+      lag_samples.push_back(client.lag_ms());
+      next_sample = Clock::now() + std::chrono::milliseconds(10);
+    }
+  }
+  // Let the follower drain the tail, then take a final settled sample.
+  const auto drain_deadline = Clock::now() + std::chrono::seconds(10);
+  while (!client.caught_up() && Clock::now() < drain_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  lag_samples.push_back(client.lag_ms());
+  const double steady_seconds = ElapsedSeconds(steady_begin);
+  const double replicated_per_sec =
+      static_cast<double>(steady_reviews) / steady_seconds;
+  const double lag_max =
+      *std::max_element(lag_samples.begin(), lag_samples.end());
+  const double lag_p50 = Percentile(&lag_samples, 0.50);
+  const double lag_p99 = Percentile(&lag_samples, 0.99);
+  printf("  steady state: %.1f reviews/sec replicated, lag p50=%.1fms "
+         "p99=%.1fms max=%.1fms (%zu samples)\n",
+         replicated_per_sec, lag_p50, lag_p99, lag_max,
+         lag_samples.size());
+  client.Stop();
+
+  // Phase 3: failover. Primary front door dies; promote the follower
+  // and time the gap until its first served answer.
+  const std::string sql = "select * from " +
+                          primary.db->schema().objective_table + " where \"" +
+                          primary.pool[0].text + "\" limit 5";
+  primary_server.Stop();
+  const auto failover_begin = Clock::now();
+  server::QueryServerOptions follower_options;
+  follower_options.httpd.num_workers = 2;
+  core::OpineDb* follower_db = follower.db.get();
+  follower_options.promote = [follower_db] {
+    return follower_db->Promote();
+  };
+  server::QueryServer follower_server(follower_db, follower_options);
+  if (!follower_server.Start().ok()) {
+    fprintf(stderr, "follower server failed to start\n");
+    return 1;
+  }
+  server::HttpClient http;
+  if (!http.Connect("127.0.0.1", follower_server.port()).ok()) {
+    fprintf(stderr, "connect to promoted follower failed\n");
+    return 1;
+  }
+  auto promoted = http.Post("/admin/promote", "{}");
+  if (!promoted.ok() || promoted->status != 200) {
+    fprintf(stderr, "promote failed\n");
+    return 1;
+  }
+  std::string query_body = "{\"sql\": \"";
+  for (const char c : sql) {
+    if (c == '"' || c == '\\') query_body.push_back('\\');
+    query_body.push_back(c);
+  }
+  query_body += "\"}";
+  auto first_query = http.Post("/query", query_body);
+  if (!first_query.ok() || first_query->status != 200) {
+    fprintf(stderr, "first post-failover query failed\n");
+    return 1;
+  }
+  const double failover_ms = ElapsedSeconds(failover_begin) * 1e3;
+  printf("  failover: promote + first served query in %.1fms\n",
+         failover_ms);
+  follower_server.Stop();
+
+  FILE* out = fopen("BENCH_repl.json", "w");
+  if (out == nullptr) {
+    fprintf(stderr, "cannot write BENCH_repl.json\n");
+    return 1;
+  }
+  fprintf(out, "{\n");
+  fprintf(out, "  \"bench\": \"repl\",\n");
+  fprintf(out, "  \"dataset\": \"hotel_repl\",\n");
+  opinedb::bench::WriteHostFields(out, 2);
+  fprintf(out, "  \"batch_size\": %d,\n", batch_size);
+  fprintf(out, "  \"steady_seconds\": %.2f,\n", seconds);
+  fprintf(out, "  \"catch_up\": {\n");
+  fprintf(out, "    \"backlog_reviews\": %llu,\n",
+          static_cast<unsigned long long>(backlog_reviews));
+  fprintf(out, "    \"backlog_bytes\": %llu,\n",
+          static_cast<unsigned long long>(backlog_bytes));
+  fprintf(out, "    \"seconds\": %.3f,\n", catchup_seconds);
+  fprintf(out, "    \"mb_per_sec\": %.3f\n", catchup_mb_per_sec);
+  fprintf(out, "  },\n");
+  fprintf(out, "  \"steady_state\": {\n");
+  fprintf(out, "    \"replicated_reviews_per_sec\": %.2f,\n",
+          replicated_per_sec);
+  fprintf(out, "    \"lag_p50_ms\": %.3f,\n", lag_p50);
+  fprintf(out, "    \"lag_p99_ms\": %.3f,\n", lag_p99);
+  fprintf(out, "    \"lag_max_ms\": %.3f,\n", lag_max);
+  fprintf(out, "    \"samples\": %zu\n", lag_samples.size());
+  fprintf(out, "  },\n");
+  fprintf(out, "  \"failover\": {\"time_to_first_query_ms\": %.3f}\n",
+          failover_ms);
+  fprintf(out, "}\n");
+  fclose(out);
+
+  std::filesystem::remove_all(root, ec);
+  printf("Wrote BENCH_repl.json (catch-up %.2f MiB/s, steady lag "
+         "p99 %.1fms, failover %.1fms)\n",
+         catchup_mb_per_sec, lag_p99, failover_ms);
+  return 0;
+}
+
+}  // namespace
+}  // namespace opinedb
+
+int main() { return opinedb::Main(); }

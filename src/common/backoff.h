@@ -1,0 +1,70 @@
+#ifndef OPINEDB_COMMON_BACKOFF_H_
+#define OPINEDB_COMMON_BACKOFF_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace opinedb {
+
+/// Tuning of an ExponentialBackoff sequence. The defaults suit a
+/// replication client polling a peer over loopback or a LAN: fast first
+/// retry, capped well below human-noticeable outage handling.
+struct BackoffOptions {
+  /// Delay before the first retry.
+  double initial_delay_ms = 10.0;
+  /// Upper clamp on the un-jittered delay.
+  double max_delay_ms = 2000.0;
+  /// Growth factor per consecutive failure.
+  double multiplier = 2.0;
+  /// Fraction of the delay randomized away: the returned delay is
+  /// uniform in [base * (1 - jitter), base]. Jitter decorrelates a herd
+  /// of followers hammering a recovering primary in lockstep. 0 = none.
+  double jitter = 0.5;
+};
+
+/// Deterministic exponential backoff with jitter.
+///
+/// Delays grow initial * multiplier^failures, clamped to max, then
+/// shrunk by up to `jitter` using the library's seeded Rng — so a test
+/// constructing two instances with the same seed observes bit-identical
+/// delay sequences (the seeded-clock discipline every stochastic
+/// component in this library follows; see common/rng.h). Not
+/// thread-safe: each retry loop owns its instance.
+class ExponentialBackoff {
+ public:
+  explicit ExponentialBackoff(BackoffOptions options = BackoffOptions(),
+                              uint64_t seed = 42)
+      : options_(options), rng_(seed) {}
+
+  /// Delay to sleep before the next retry; each call records one more
+  /// consecutive failure.
+  double NextDelayMs() {
+    double base = options_.initial_delay_ms;
+    for (uint64_t i = 0; i < failures_ && base < options_.max_delay_ms; ++i) {
+      base *= options_.multiplier;
+    }
+    base = std::min(base, options_.max_delay_ms);
+    ++failures_;
+    if (options_.jitter <= 0.0) return base;
+    return base * (1.0 - options_.jitter * rng_.Uniform());
+  }
+
+  /// Call after a success: the next failure restarts at initial_delay.
+  /// The Rng stream is deliberately NOT rewound — determinism is a
+  /// property of the whole call sequence, not of each burst.
+  void Reset() { failures_ = 0; }
+
+  /// Consecutive failures recorded since the last Reset().
+  uint64_t failures() const { return failures_; }
+
+ private:
+  BackoffOptions options_;
+  Rng rng_;
+  uint64_t failures_ = 0;
+};
+
+}  // namespace opinedb
+
+#endif  // OPINEDB_COMMON_BACKOFF_H_

@@ -91,6 +91,25 @@ inline constexpr const char* kServerSites[] = {
     "server.shed",    // Acceptor admission decision (forces a 429).
 };
 
+/// Replication fault sites (src/repl/ + engine promote). The first three
+/// fire inside the ReplicationClient's pull loop and must degrade exactly
+/// one sync cycle: fetch simulates a partitioned primary (the cycle fails
+/// Unavailable and the backoff loop retries), apply simulates a crash
+/// between journaling batches (already-applied records stay applied, the
+/// rest are re-fetched — never a double apply, never a loss), and
+/// checksum corrupts the follower's computed batch fingerprint so the
+/// divergence path (typed DataLoss, nothing applied) is exercised.
+/// repl.promote fires inside OpineDb::Promote before the read-only flag
+/// flips — a failed promote leaves a consistent follower.
+/// tests/repl_test.cc sweeps this list and asserts every entry is
+/// reachable.
+inline constexpr const char* kReplSites[] = {
+    "repl.fetch",     // Client, before each WAL/snapshot HTTP fetch.
+    "repl.apply",     // Client, before applying each shipped record.
+    "repl.checksum",  // Client, corrupts the computed batch fingerprint.
+    "repl.promote",   // Engine Promote, before accepting writes.
+};
+
 /// True when the library was compiled with fault injection
 /// (OPINEDB_ENABLE_FAULT_INJECTION); release builds compile the macro
 /// out entirely and this returns false.

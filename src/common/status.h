@@ -27,6 +27,11 @@ enum class StatusCode {
   /// generation failed checksum verification. Unlike kParseError (one
   /// bad stream) this means the store as a whole has nothing servable.
   kDataLoss,
+  /// A transient failure talking to a peer or the network: connect or
+  /// read timed out, the connection dropped, the peer shed the request.
+  /// Unlike kInternal the operation is retryable — the replication
+  /// client's backoff loop keys on exactly this code.
+  kUnavailable,
 };
 
 /// A Status encapsulates the result of an operation: success, or an error
@@ -66,6 +71,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -125,6 +125,16 @@ Result<std::vector<text::Review>> DecodeReviewBatch(
   return reviews;
 }
 
+/// The uniform rejection every mutating entry point returns while the
+/// engine is in follower mode (SetReadOnly(true)).
+Status ReadOnlyError(const char* op) {
+  return Status::FailedPrecondition(
+      std::string(op) +
+      " rejected: engine is read-only (replication follower); state "
+      "changes arrive only through the replication client — Promote() "
+      "to accept writes");
+}
+
 }  // namespace
 
 OpineDb::~OpineDb() = default;
@@ -319,6 +329,7 @@ Status OpineDb::InstallSummaries(
     }
   }
   std::unique_lock<std::shared_mutex> lock(reconfig_mu_);
+  if (read_only_) return ReadOnlyError("InstallSummaries");
   tables_.summaries = std::move(summaries);
   // The extraction relation described the replaced summaries' sources;
   // same post-state as OpenDatabase (summaries only, re-derivable rest).
@@ -380,6 +391,7 @@ Status OpineDb::TrainMembership(
     }
   }
   std::unique_lock<std::shared_mutex> lock(reconfig_mu_);
+  if (read_only_) return ReadOnlyError("TrainMembership");
   membership_ = MembershipModel::Train(tuples, seed);
   // A new membership model changes every degree of truth the engine
   // emits: cached results, interpretations-with-degrees and degree
@@ -446,6 +458,7 @@ Status OpineDb::Reaggregate(const AggregationOptions& aggregation) {
   // Exclusive: in-flight queries hold reconfig_mu_ shared for their
   // whole run, so nothing reads tables_/interpreter_ mid-rebuild.
   std::unique_lock<std::shared_mutex> lock(reconfig_mu_);
+  if (read_only_) return ReadOnlyError("Reaggregate");
   if (!extractions_authoritative_) {
     // After InstallSummaries/OpenDatabase the extraction relation is
     // empty (or describes older data): rebuilding summaries from it
@@ -497,6 +510,7 @@ Status OpineDb::SaveDatabase(const std::string& dir) const {
   // cut — Reaggregate cannot swap tables_ between the two serializations
   // and no query reads state mid-save.
   std::unique_lock<std::shared_mutex> lock(reconfig_mu_);
+  if (read_only_) return ReadOnlyError("SaveDatabase");
   if (wal_.has_value()) {
     // An out-of-band save advances snapshot_generation_ away from the
     // active segment's base: later appends would journal into a segment
@@ -649,6 +663,7 @@ Status OpineDb::AppendReviews(const std::vector<text::Review>& reviews) {
   // of it, and the derived-state patches below need the same exclusion
   // as a rebuild.
   std::unique_lock<std::shared_mutex> lock(reconfig_mu_);
+  if (read_only_) return ReadOnlyError("AppendReviews");
   return ApplyReviewsLocked(reviews, /*journal=*/true);
 }
 
@@ -812,6 +827,82 @@ bool OpineDb::wal_enabled() const {
   return wal_.has_value() && wal_->is_open();
 }
 
+bool OpineDb::wal_broken() const {
+  std::shared_lock<std::shared_mutex> lock(reconfig_mu_);
+  return wal_.has_value() && !wal_->is_open();
+}
+
+uint64_t OpineDb::wal_acknowledged_bytes() const {
+  std::shared_lock<std::shared_mutex> lock(reconfig_mu_);
+  return wal_.has_value() ? wal_->size() : 0;
+}
+
+std::string OpineDb::wal_dir() const {
+  std::shared_lock<std::shared_mutex> lock(reconfig_mu_);
+  return wal_dir_;
+}
+
+void OpineDb::SetReadOnly(bool read_only) {
+  std::unique_lock<std::shared_mutex> lock(reconfig_mu_);
+  read_only_ = read_only;
+  OPINEDB_METRIC_GAUGE_SET("repl.read_only", read_only ? 1.0 : 0.0);
+}
+
+bool OpineDb::read_only() const {
+  std::shared_lock<std::shared_mutex> lock(reconfig_mu_);
+  return read_only_;
+}
+
+Status OpineDb::Promote() {
+  std::unique_lock<std::shared_mutex> lock(reconfig_mu_);
+  if (!read_only_) {
+    return Status::FailedPrecondition(
+        "Promote: engine already accepts writes (not a follower)");
+  }
+  if (!wal_.has_value() || !wal_->is_open()) {
+    // A primary that cannot journal would accept writes it may lose;
+    // refuse and leave the follower consistent.
+    return Status::FailedPrecondition(
+        "Promote requires a healthy WAL (EnableWal, not broken)");
+  }
+  if (OPINEDB_FAULT_HIT("repl.promote")) {
+    return Status::Internal("injected fault at repl.promote");
+  }
+  // Nothing to replay: ApplyReplicatedRecord applies each record in the
+  // same critical section that journals it, and EnableWal replayed the
+  // durable tail at startup — the in-memory state already equals the
+  // verified WAL. Flipping the flag is the whole promotion.
+  read_only_ = false;
+  OPINEDB_METRIC_COUNT("repl.promotions", 1);
+  OPINEDB_METRIC_GAUGE_SET("repl.read_only", 0.0);
+  return Status::OK();
+}
+
+Result<size_t> OpineDb::ApplyReplicatedRecord(const std::string& payload) {
+  std::unique_lock<std::shared_mutex> lock(reconfig_mu_);
+  if (!read_only_) {
+    return Status::FailedPrecondition(
+        "ApplyReplicatedRecord: engine is not in follower mode "
+        "(SetReadOnly first — a primary applying shipped records would "
+        "fork the log)");
+  }
+  if (!wal_.has_value() || !wal_->is_open()) {
+    return Status::FailedPrecondition(
+        "ApplyReplicatedRecord requires a healthy follower WAL "
+        "(EnableWal first; a broken WAL cannot acknowledge offsets)");
+  }
+  auto batch = DecodeReviewBatch(payload);
+  if (!batch.ok()) return batch.status();
+  // journal=true: the follower re-journals the decoded batch.
+  // EncodeReviewBatch(DecodeReviewBatch(p)) == p, so the bytes appended
+  // here equal the shipped payload and the follower's segment stays
+  // byte-identical to the primary's at every acknowledged offset.
+  Status applied = ApplyReviewsLocked(*batch, /*journal=*/true);
+  if (!applied.ok()) return applied;
+  OPINEDB_METRIC_COUNT("repl.records_applied", 1);
+  return batch->size();
+}
+
 Status OpineDb::EnableWal(const std::string& dir) {
   std::unique_lock<std::shared_mutex> lock(reconfig_mu_);
   std::error_code ec;
@@ -870,9 +961,33 @@ Status OpineDb::Checkpoint() {
   // can slip between the snapshot commit and the segment swap, so the
   // new segment is empty exactly when the new generation is complete.
   std::unique_lock<std::shared_mutex> lock(reconfig_mu_);
+  if (read_only_) {
+    // A follower rotating its segment out of step with the primary
+    // would break generation lockstep; the replication client calls
+    // ReplicaCheckpoint when the primary signals segment-complete.
+    return ReadOnlyError("Checkpoint");
+  }
   if (!wal_.has_value()) {
     return Status::FailedPrecondition("Checkpoint requires EnableWal");
   }
+  return CheckpointLocked();
+}
+
+Status OpineDb::ReplicaCheckpoint() {
+  std::unique_lock<std::shared_mutex> lock(reconfig_mu_);
+  if (!read_only_) {
+    return Status::FailedPrecondition(
+        "ReplicaCheckpoint is the follower-side rotation; primaries "
+        "use Checkpoint()");
+  }
+  if (!wal_.has_value()) {
+    return Status::FailedPrecondition(
+        "ReplicaCheckpoint requires EnableWal");
+  }
+  return CheckpointLocked();
+}
+
+Status OpineDb::CheckpointLocked() {
   Timer timer;
   Status saved = SaveDatabaseLocked(wal_dir_);
   if (!saved.ok()) return saved;
@@ -898,7 +1013,11 @@ Status OpineDb::Checkpoint() {
                                    &segment_base)) {
       continue;
     }
-    if (segment_base != generation) {
+    if (segment_base != generation && !pins_.IsPinned(segment_base)) {
+      // A pinned segment is one a lagging follower is actively pulling;
+      // retiring it mid-pull would force a needless snapshot catch-up.
+      // The pin expires with the follower's session and the next
+      // checkpoint retires the segment then.
       std::error_code remove_ec;
       std::filesystem::remove(entry.path(), remove_ec);
     }

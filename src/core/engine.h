@@ -26,6 +26,7 @@
 #include "index/inverted_index.h"
 #include "obs/trace.h"
 #include "sentiment/analyzer.h"
+#include "storage/pins.h"
 #include "storage/table.h"
 #include "storage/wal.h"
 #include "text/corpus.h"
@@ -298,6 +299,70 @@ class OpineDb {
   /// True when EnableWal succeeded and the journal is accepting appends.
   bool wal_enabled() const;
 
+  /// True when a WAL was enabled but an append failure broke it: the
+  /// durable suffix is unknown, every later write is rejected, and
+  /// /healthz reports "wal": "broken". Per-engine truth behind the
+  /// process-wide storage.wal.broken gauge (which is ambiguous with two
+  /// engines per process).
+  bool wal_broken() const;
+
+  /// Durable, acknowledged length of the active WAL segment (header
+  /// included); 0 when no WAL is enabled. The replication source clamps
+  /// what it ships to this bound so a record whose fsync failed — bytes
+  /// possibly visible in the page cache but never acknowledged — is
+  /// never replicated.
+  uint64_t wal_acknowledged_bytes() const;
+
+  /// Directory passed to EnableWal ("" when no WAL is enabled).
+  std::string wal_dir() const;
+
+  // ------------------------------------------------- replication role.
+
+  /// Flips follower (read-only) mode. While read-only, every mutating
+  /// entry point — AppendReviews, Reaggregate, TrainMembership,
+  /// InstallSummaries, SaveDatabase, Checkpoint — returns
+  /// FailedPrecondition; state changes arrive only through
+  /// ApplyReplicatedRecord / ReplicaCheckpoint (the replication client)
+  /// and queries serve as usual. See docs/REPLICATION.md.
+  void SetReadOnly(bool read_only);
+  bool read_only() const;
+
+  /// Failover: turns a read-only follower into a write-accepting
+  /// primary. Requires a healthy WAL (the new primary must be able to
+  /// journal). No replay is needed here by construction — a follower
+  /// applies every record in the same critical section that journals
+  /// it, so at promote time the in-memory state already contains the
+  /// entire verified WAL (EnableWal replayed the durable tail at
+  /// startup). Fault site repl.promote fires before the flag flips: a
+  /// failed promote leaves a consistent follower.
+  Status Promote();
+
+  /// Follower apply path: decodes one shipped WAL record (an
+  /// EncodeReviewBatch payload), journals it to the follower's own WAL
+  /// and folds it through the exact live-ingest path, in one exclusive
+  /// critical section. Because batch encoding is deterministic
+  /// (Encode(Decode(p)) == p), the follower's segment ends up
+  /// byte-identical to the primary's at every acknowledged offset.
+  /// Allowed only in read-only mode with a healthy WAL. Returns the
+  /// number of reviews applied. An error means nothing was applied
+  /// (decode failures) or the WAL broke (journal failures) — never a
+  /// half-applied record.
+  Result<size_t> ApplyReplicatedRecord(const std::string& payload);
+
+  /// Follower-side checkpoint, run when the primary signals its segment
+  /// is complete (it checkpointed). Both sides compute the next
+  /// generation as max-existing + 1 from directories with identical
+  /// histories, so generations stay in lockstep. Requires read-only
+  /// mode — operators must not rotate a follower's segment out of step;
+  /// the primary-side equivalent is Checkpoint().
+  Status ReplicaCheckpoint();
+
+  /// Pin registry consulted by Checkpoint (pinned WAL segments are not
+  /// retired) and meant for SnapshotStore::GarbageCollect. The
+  /// replication source pins the base generation of every segment a
+  /// follower is actively pulling.
+  storage::GenerationPins* generation_pins() { return &pins_; }
+
   /// Replaces every marker summary wholesale (scale-harness path: the
   /// datagen scale generator synthesizes summaries directly instead of
   /// aggregating millions of reviews). `summaries[a][e]` must cover
@@ -485,6 +550,10 @@ class OpineDb {
   /// SaveDatabase body without the lock acquisition; Checkpoint calls it
   /// inside its own exclusive critical section.
   Status SaveDatabaseLocked(const std::string& dir) const;
+  /// Checkpoint body without the lock acquisition or role check, shared
+  /// by Checkpoint (primary) and ReplicaCheckpoint (follower). Requires
+  /// reconfig_mu_ held exclusively and wal_ engaged.
+  Status CheckpointLocked();
   /// The single apply path for new review batches, shared verbatim by
   /// live ingest (journal = the open WAL writer) and EnableWal replay
   /// (journal = nothing — the records are already durable). Requires
@@ -550,6 +619,13 @@ class OpineDb {
   /// exactly while journaling is active. Guarded by reconfig_mu_.
   std::string wal_dir_;
   std::optional<storage::WalWriter> wal_;
+  /// Follower (read-only) mode; see SetReadOnly. Guarded by
+  /// reconfig_mu_.
+  bool read_only_ = false;
+  /// Snapshot generations pinned against retirement; see
+  /// generation_pins(). Internally synchronized (request threads pin
+  /// without the reconfiguration lock).
+  storage::GenerationPins pins_;
   /// Reconfiguration lock: ExecuteQuery / PredicateDegreeOfTruth hold it
   /// shared for their whole run; Reaggregate, SetNumThreads,
   /// SetTraceLevel, AttachDegreeCache and TrainMembership hold it

@@ -1,8 +1,10 @@
 #include "server/http_client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -40,15 +42,16 @@ std::string_view HttpClient::Response::Header(std::string_view name) const {
 HttpClient::~HttpClient() { Close(); }
 
 Status HttpClient::Connect(const std::string& host, uint16_t port,
-                           int timeout_ms) {
+                           int connect_timeout_ms, int read_timeout_ms) {
   Close();
+  if (read_timeout_ms <= 0) read_timeout_ms = connect_timeout_ms;
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
     return Status::Internal(std::string("socket: ") + std::strerror(errno));
   }
   timeval timeout{};
-  timeout.tv_sec = timeout_ms / 1000;
-  timeout.tv_usec = (timeout_ms % 1000) * 1000;
+  timeout.tv_sec = read_timeout_ms / 1000;
+  timeout.tv_usec = (read_timeout_ms % 1000) * 1000;
   ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
   ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
   int one = 1;
@@ -60,12 +63,44 @@ Status HttpClient::Connect(const std::string& host, uint16_t port,
     Close();
     return Status::InvalidArgument("bad host: " + host);
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  // Non-blocking connect so the handshake honours its own budget
+  // (SO_SNDTIMEO does not reliably bound connect() on all kernels): put
+  // the socket in O_NONBLOCK, poll for writability, read the final
+  // verdict from SO_ERROR, then restore blocking mode for the
+  // timeout-governed request I/O.
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno == EINPROGRESS) {
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLOUT;
+    const int ready = ::poll(&pfd, 1, connect_timeout_ms);
+    if (ready == 0) {
+      Close();
+      return Status::Unavailable("connect timed out after " +
+                                 std::to_string(connect_timeout_ms) +
+                                 " ms: " + host + ":" +
+                                 std::to_string(port));
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (ready < 0 ||
+        ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+        so_error != 0) {
+      const Status status = Status::Unavailable(
+          std::string("connect: ") +
+          std::strerror(so_error != 0 ? so_error : errno));
+      Close();
+      return status;
+    }
+  } else if (rc != 0) {
     const Status status =
-        Status::Internal(std::string("connect: ") + std::strerror(errno));
+        Status::Unavailable(std::string("connect: ") + std::strerror(errno));
     Close();
     return status;
   }
+  ::fcntl(fd_, F_SETFL, flags);
   buffer_.clear();
   return Status::OK();
 }
@@ -85,6 +120,10 @@ Status HttpClient::SendRaw(std::string_view bytes) {
     const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
                              MSG_NOSIGNAL);
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      Close();
+      return Status::Unavailable("send timed out (peer stalled)");
+    }
     if (n <= 0) {
       const Status status =
           Status::Internal(std::string("send: ") + std::strerror(errno));
@@ -125,6 +164,13 @@ Result<HttpClient::Response> HttpClient::ReadResponse() {
     }
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // SO_RCVTIMEO expired against a stalled peer: typed so callers'
+      // retry loops (the replication client) key on it.
+      Close();
+      return Status::Unavailable(
+          "read timed out waiting for response headers");
+    }
     if (n <= 0) {
       Close();
       return Status::Internal("connection closed before response headers");
@@ -186,6 +232,10 @@ Result<HttpClient::Response> HttpClient::ReadResponse() {
   while (buffer_.size() - header_end < content_length) {
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      Close();
+      return Status::Unavailable("read timed out mid-body (peer stalled)");
+    }
     if (n <= 0) {
       Close();
       return Status::Internal("connection closed mid-body");

@@ -45,8 +45,14 @@ class HttpClient {
     return *this;
   }
 
+  /// Connects with separate budgets for the TCP handshake and each
+  /// subsequent socket read/write (the replication client uses a tight
+  /// connect budget and a looser read budget; read_timeout_ms = 0
+  /// inherits connect_timeout_ms). A connection that times out — during
+  /// the handshake or against a stalled peer mid-response — surfaces as
+  /// the typed, retryable Status::Unavailable, never a generic error.
   Status Connect(const std::string& host, uint16_t port,
-                 int timeout_ms = 10000);
+                 int connect_timeout_ms = 10000, int read_timeout_ms = 0);
   void Close();
   bool connected() const { return fd_ >= 0; }
 

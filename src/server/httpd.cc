@@ -103,7 +103,9 @@ const char* StatusReason(int status) {
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 409: return "Conflict";
+    case 412: return "Precondition Failed";
     case 413: return "Payload Too Large";
+    case 416: return "Range Not Satisfiable";
     case 429: return "Too Many Requests";
     case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
@@ -422,14 +424,43 @@ void Httpd::Stop() {
   if (!running_.load(std::memory_order_acquire)) return;
   stopping_.store(true, std::memory_order_release);
   if (acceptor_.joinable()) acceptor_.join();
-  // Wake workers parked in recv() on idle keep-alive connections; the
-  // shutdown makes their pending read return 0 immediately, so Stop()
-  // never rides out read_timeout_ms.
+  // New arrivals are refused from this instant: the acceptor is gone,
+  // so closing the listening socket turns connection attempts during
+  // the drain into refusals instead of parking them in the backlog.
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Wake workers parked in recv() on idle keep-alive connections:
+  // SHUT_RD makes their pending read return 0 immediately, so Stop()
+  // never rides out read_timeout_ms — but the write side stays open,
+  // so a response in flight (a slow /query that started before the
+  // stop) still reaches the client. stopping_ flips keep_alive off,
+  // closing each drained connection after its current response.
   {
     std::lock_guard<std::mutex> lock(active_mu_);
-    for (const int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+    for (const int fd : active_fds_) ::shutdown(fd, SHUT_RD);
   }
   queue_cv_.notify_all();
+  // Drain grace: bounded wait for in-flight connections to finish.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(std::max(0, options_.drain_grace_ms));
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(active_mu_);
+      if (active_fds_.empty()) break;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      // Budget exhausted: sever the stragglers both ways (their
+      // response is abandoned mid-write — the bounded-teardown
+      // contract beats delivery here).
+      std::lock_guard<std::mutex> lock(active_mu_);
+      for (const int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
@@ -438,10 +469,6 @@ void Httpd::Stop() {
     std::lock_guard<std::mutex> lock(queue_mu_);
     for (const int fd : queue_) ::close(fd);
     queue_.clear();
-  }
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
   }
   running_.store(false, std::memory_order_release);
 }

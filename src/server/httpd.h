@@ -140,6 +140,12 @@ struct HttpdOptions {
   /// Requests served per connection before the server forces a close
   /// (bounds how long one client can monopolize a worker).
   size_t max_requests_per_connection = 1024;
+  /// Stop() drain budget: in-flight requests get this long to finish
+  /// and flush their response (new connections are refused immediately,
+  /// idle keep-alive connections are woken and closed). Connections
+  /// still busy at the deadline are severed mid-response. 0 = sever
+  /// everything immediately (the pre-drain behaviour).
+  int drain_grace_ms = 5000;
 };
 
 /// A dependency-free threaded HTTP/1.1 server: one acceptor thread, a
@@ -160,8 +166,12 @@ class Httpd {
 
   /// Binds, listens and starts the acceptor + workers.
   Status Start();
-  /// Stops accepting, drains the queue (queued connections are closed
-  /// unserved) and joins every thread. Idempotent.
+  /// Graceful stop: closes the listening socket first (new connection
+  /// attempts are refused at once), wakes idle keep-alive connections,
+  /// then gives in-flight requests up to drain_grace_ms to finish and
+  /// flush — a slow /query started before Stop() completes normally.
+  /// Connections still busy at the deadline are severed. Queued-but-
+  /// unserved connections are closed. Joins every thread. Idempotent.
   void Stop();
 
   bool running() const { return running_.load(std::memory_order_acquire); }

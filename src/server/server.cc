@@ -8,6 +8,8 @@
 #include "common/string_util.h"
 #include "core/result_json.h"
 #include "obs/metrics.h"
+#include "repl/protocol.h"
+#include "repl/source.h"
 #include "server/json.h"
 
 namespace opinedb::server {
@@ -80,6 +82,30 @@ HttpResponse QueryServer::Handle(const HttpRequest& request) {
     }
     return HandleCheckpoint();
   }
+  if (path == "/admin/promote") {
+    if (request.method != "POST") {
+      return HttpResponse::Error(405, "POST required");
+    }
+    return HandlePromote();
+  }
+  if (path == repl::kWalRoute) {
+    if (request.method != "GET") {
+      return HttpResponse::Error(405, "GET required");
+    }
+    if (options_.replication_source == nullptr) {
+      return HttpResponse::Error(404, "replication is not enabled");
+    }
+    return options_.replication_source->HandleWalFetch(request);
+  }
+  if (path.rfind(repl::kSnapshotRoutePrefix, 0) == 0) {
+    if (request.method != "GET") {
+      return HttpResponse::Error(405, "GET required");
+    }
+    if (options_.replication_source == nullptr) {
+      return HttpResponse::Error(404, "replication is not enabled");
+    }
+    return options_.replication_source->HandleSnapshotFetch(request);
+  }
   return HttpResponse::Error(404, "no such route: " + path);
 }
 
@@ -119,10 +145,37 @@ HttpResponse QueryServer::HandleQuery(const HttpRequest& request) {
     control.deadline = QueryDeadline::AfterMillis(*budget);
   }
 
+  // Bounded-staleness contract: a request naming `max_staleness_ms` on
+  // a node with a lag probe (a follower) is checked against the probe.
+  // Over budget, the default is to still answer — marked degraded — so
+  // a partitioned follower stays useful for best-effort reads; under
+  // `"strict": true` the request answers 412 instead.
+  bool stale = false;
+  double observed_lag_ms = 0.0;
+  if (const std::optional<double> max_staleness =
+          body->GetNumber("max_staleness_ms")) {
+    if (!(*max_staleness >= 0.0)) {  // Also rejects NaN.
+      return HttpResponse::Error(400, "max_staleness_ms must be >= 0");
+    }
+    if (options_.replication_lag_ms) {
+      observed_lag_ms = options_.replication_lag_ms();
+      stale = observed_lag_ms > *max_staleness;
+    }
+  }
+  if (stale) {
+    OPINEDB_METRIC_COUNT("server.staleness.exceeded", 1);
+    if (RequestFlag(request, *body, "strict")) {
+      return HttpResponse::Error(
+          412, "replica is " + std::to_string(observed_lag_ms) +
+                   " ms behind, over the requested max_staleness_ms");
+    }
+  }
+
   Result<core::QueryResult> result = db_->Execute(*sql, control);
   if (!result.ok()) {
     return HttpResponse::Error(400, result.status().message());
   }
+  if (stale) result->degraded = true;
   if (result->partial) {
     OPINEDB_METRIC_COUNT("server.deadline_expired", 1);
   }
@@ -169,11 +222,27 @@ HttpResponse QueryServer::HandleMetrics() const {
 }
 
 HttpResponse QueryServer::HandleHealth() const {
-  std::string out = "{\"status\": \"ok\"";
+  // A broken WAL means acknowledged-durability is no longer being
+  // promised; surface it as a degraded health status so orchestration
+  // can stop routing writes here without waiting for one to fail.
+  const bool wal_broken = db_->wal_broken();
+  std::string out = "{\"status\": ";
+  out += wal_broken ? "\"degraded\"" : "\"ok\"";
   out += ", \"entities\": " + std::to_string(db_->corpus().num_entities());
   out += ", \"snapshot_generation\": " +
          std::to_string(db_->snapshot_generation());
   out += ", \"cache_epoch\": " + std::to_string(db_->cache_epoch());
+  out += ", \"role\": ";
+  out += db_->read_only() ? "\"follower\"" : "\"primary\"";
+  // Check broken first: a broken writer is closed, so wal_enabled()
+  // is false for it too — "off" must mean "never attached".
+  out += ", \"wal\": ";
+  out += wal_broken ? "\"broken\""
+                    : (db_->wal_enabled() ? "\"on\"" : "\"off\"");
+  if (options_.replication_lag_ms) {
+    out += ", \"replication_lag_ms\": " +
+           std::to_string(options_.replication_lag_ms());
+  }
   out += "}\n";
   return HttpResponse::Json(200, std::move(out));
 }
@@ -301,6 +370,24 @@ HttpResponse QueryServer::HandleCheckpoint() {
   }
   OPINEDB_METRIC_COUNT("server.ingest.checkpoints", 1);
   std::string out = "{\"generation\": " +
+                    std::to_string(db_->snapshot_generation()) + "}\n";
+  return HttpResponse::Json(200, std::move(out));
+}
+
+HttpResponse QueryServer::HandlePromote() {
+  if (!options_.promote) {
+    return HttpResponse::Error(
+        404, "this node has no promote hook (not a follower)");
+  }
+  const Status status = options_.promote();
+  if (!status.ok()) {
+    // Promoting a node that is not a follower (or whose WAL is broken)
+    // is an operator mistake; anything else is a server fault.
+    const int code =
+        status.code() == StatusCode::kFailedPrecondition ? 409 : 500;
+    return HttpResponse::Error(code, status.message());
+  }
+  std::string out = "{\"role\": \"primary\", \"generation\": " +
                     std::to_string(db_->snapshot_generation()) + "}\n";
   return HttpResponse::Json(200, std::move(out));
 }

@@ -1,11 +1,16 @@
 #ifndef OPINEDB_SERVER_SERVER_H_
 #define OPINEDB_SERVER_SERVER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 
 #include "core/engine.h"
 #include "server/httpd.h"
+
+namespace opinedb::repl {
+class ReplicationSource;
+}  // namespace opinedb::repl
 
 namespace opinedb::server {
 
@@ -27,6 +32,22 @@ struct QueryServerOptions {
   /// ingest request cannot monopolize the exclusive reconfiguration
   /// lock against live queries (0 = no cap).
   size_t max_ingest_batch = 1024;
+  /// When set, the server exposes the primary-side replication routes
+  /// (GET /repl/wal, GET /repl/snapshot/<gen>) off this source. The
+  /// source must outlive the server. Null = routes answer 404.
+  repl::ReplicationSource* replication_source = nullptr;
+  /// Staleness probe for bounded-staleness reads on a follower:
+  /// milliseconds since the replica was last caught up (typically
+  /// ReplicationClient::lag_ms). When set, a /query carrying
+  /// `max_staleness_ms` is checked against it — over budget the query
+  /// still runs but the result is marked `degraded: true`, or answers
+  /// 412 when the request also sets `"strict": true`. Null = the field
+  /// is accepted and ignored (a primary is never stale).
+  std::function<double()> replication_lag_ms;
+  /// Failover hook for POST /admin/promote (typically
+  /// OpineDb::Promote on the follower's engine, after stopping the
+  /// pull loop). Null = the route answers 404.
+  std::function<Status()> promote;
 };
 
 /// The OpineDB front door: routes HTTP onto one engine.
@@ -44,6 +65,16 @@ struct QueryServerOptions {
 ///   POST /admin/snapshot/save    {"dir"?} → {"generation": N}
 ///   POST /admin/snapshot/open    {"dir"?} → {"generation": N}
 ///   POST /admin/checkpoint       {} → {"generation": N} (WAL fold)
+///   POST /admin/promote          {} → {"role": "primary",
+///                                 "generation": N} (follower only)
+///   GET  /repl/wal               WAL frame shipping (repl/protocol.h)
+///   GET  /repl/snapshot/<gen>    snapshot container for catch-up
+///
+/// On a follower, /query accepts `max_staleness_ms` (and `strict`):
+/// when the replication lag probe exceeds the budget, the result is
+/// marked `degraded: true` — or the request answers 412 under strict.
+/// /healthz additionally reports `role`, `wal`, and
+/// `replication_lag_ms` when the corresponding hooks are configured.
 ///
 /// Queries run on Httpd worker threads; the engine's shared
 /// reconfiguration lock makes concurrent Execute calls safe, and the
@@ -77,6 +108,7 @@ class QueryServer {
   HttpResponse HandleSnapshot(const HttpRequest& request, bool save);
   HttpResponse HandleAppendReviews(const HttpRequest& request);
   HttpResponse HandleCheckpoint();
+  HttpResponse HandlePromote();
 
   core::OpineDb* db_;
   QueryServerOptions options_;

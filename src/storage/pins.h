@@ -1,0 +1,61 @@
+#ifndef OPINEDB_STORAGE_PINS_H_
+#define OPINEDB_STORAGE_PINS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace opinedb::storage {
+
+/// Refcounted registry of snapshot generations that must not be
+/// retired. The replication source pins the base generation of every
+/// segment a follower is actively pulling; Checkpoint skips deleting
+/// pinned WAL segments and SnapshotStore::GarbageCollect retains
+/// pinned snapshot files, so a lagging follower can always finish the
+/// segment it started and fall back to the snapshot it was promised.
+///
+/// Pins are advisory and in-process only (they do not survive a
+/// restart) — a restarted primary may have GC'd a generation a
+/// follower still wants, which the wire protocol handles with the
+/// 409 + snapshot-catch-up path, so an expired pin costs one catch-up,
+/// never correctness.
+///
+/// Thread safety: all methods lock an internal mutex; callers hold no
+/// lock. Pin/Unpin are cheap (a map touch), safe from request threads.
+class GenerationPins {
+ public:
+  void Pin(uint64_t generation) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++refs_[generation];
+  }
+
+  void Unpin(uint64_t generation) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = refs_.find(generation);
+    if (it == refs_.end()) return;
+    if (--it->second == 0) refs_.erase(it);
+  }
+
+  bool IsPinned(uint64_t generation) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return refs_.count(generation) > 0;
+  }
+
+  /// All pinned generations, ascending.
+  std::vector<uint64_t> Pinned() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<uint64_t> out;
+    out.reserve(refs_.size());
+    for (const auto& [gen, refs] : refs_) out.push_back(gen);
+    return out;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<uint64_t, uint64_t> refs_;
+};
+
+}  // namespace opinedb::storage
+
+#endif  // OPINEDB_STORAGE_PINS_H_

@@ -16,6 +16,7 @@
 #include "common/fault.h"
 #include "obs/metrics.h"
 #include "storage/checksum.h"
+#include "storage/wal.h"
 
 namespace opinedb::storage {
 
@@ -448,6 +449,11 @@ Result<LoadedSnapshot> SnapshotStore::Recover() const {
 }
 
 Status SnapshotStore::GarbageCollect(size_t keep) {
+  return GarbageCollect(keep, nullptr);
+}
+
+Status SnapshotStore::GarbageCollect(size_t keep,
+                                     const GenerationPins* pins) {
   std::vector<uint64_t> generations = ListGenerations();
   if (generations.size() <= keep) return Status::OK();
   // Never delete the newest generation that actually verifies — it is
@@ -464,9 +470,28 @@ Status SnapshotStore::GarbageCollect(size_t keep) {
       break;
     }
   }
+  // A WAL segment named wal-N.log means "gen-N plus these records" is a
+  // recoverable state (crash recovery and a catching-up follower both
+  // rebuild from it); deleting gen-N would orphan the segment.
+  std::vector<uint64_t> wal_bases;
+  {
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+      uint64_t base = 0;
+      if (ParseWalFileName(entry.path().filename().string(), &base)) {
+        wal_bases.push_back(base);
+      }
+    }
+  }
+  const auto retained = [&](uint64_t generation) {
+    if (have_served && generation == served) return true;
+    if (pins != nullptr && pins->IsPinned(generation)) return true;
+    return std::find(wal_bases.begin(), wal_bases.end(), generation) !=
+           wal_bases.end();
+  };
   const size_t remove = generations.size() - keep;
   for (size_t i = 0; i < remove; ++i) {
-    if (have_served && generations[i] == served) continue;
+    if (retained(generations[i])) continue;
     std::error_code ec;
     fs::remove(PathTo(GenerationFileName(generations[i])), ec);
     if (ec) {
@@ -476,6 +501,41 @@ Status SnapshotStore::GarbageCollect(size_t keep) {
     }
   }
   SyncDir(dir_);
+  return Status::OK();
+}
+
+Status SnapshotStore::AdoptSnapshot(uint64_t generation,
+                                    const std::string& bytes) {
+  // Verify BEFORE writing: a partitioned or buggy primary must not be
+  // able to plant an unverifiable file that recovery then has to skip.
+  auto sections = DecodeContainer(bytes);
+  if (!sections.ok()) {
+    return Status::DataLoss("adopted snapshot for generation " +
+                            std::to_string(generation) +
+                            " failed verification: " +
+                            sections.status().ToString());
+  }
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    return Status::Internal("cannot create snapshot directory " + dir_ +
+                            ": " + ec.message());
+  }
+  const std::string name = GenerationFileName(generation);
+  auto existing = ReadFileBytes(PathTo(name));
+  const bool already_good =
+      existing.ok() && DecodeContainer(*existing).ok();
+  if (!already_good) {
+    Status data = WriteFileAtomic(name, bytes, false);
+    if (!data.ok()) return data;
+  }
+  std::vector<SnapshotSection> manifest(1);
+  manifest[0].name = kManifestSection;
+  manifest[0].payload = std::to_string(generation);
+  Status pointer =
+      WriteFileAtomic(kManifestName, EncodeContainer(manifest), true);
+  if (!pointer.ok()) return pointer;
+  OPINEDB_METRIC_COUNT("storage.snapshot.adoptions", 1);
   return Status::OK();
 }
 

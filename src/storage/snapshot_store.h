@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "storage/pins.h"
 
 namespace opinedb::storage {
 
@@ -95,6 +96,25 @@ class SnapshotStore {
   /// possible; keep >= 2 is recommended. Never touches MANIFEST, tmp
   /// files, or WAL segments.
   Status GarbageCollect(size_t keep);
+
+  /// Pin-aware garbage collection (the replication-era overload): same
+  /// contract as GarbageCollect(keep), with two extra retention rules —
+  /// a generation is never deleted while (a) `pins` marks it pinned (a
+  /// follower was promised that snapshot for catch-up) or (b) a WAL
+  /// segment in this directory names it as base (wal-N.log means gen-N
+  /// plus that segment is a recoverable state; deleting gen-N would
+  /// orphan the segment). `pins` may be nullptr (rule (b) still holds).
+  Status GarbageCollect(size_t keep, const GenerationPins* pins);
+
+  /// Installs bytes fetched from a replication primary as generation
+  /// `generation` — the follower side of snapshot catch-up. The bytes
+  /// must verify as a framed container (DecodeContainer) or the call
+  /// refuses with the decode error and writes nothing. If gen-N already
+  /// exists and verifies, the call is an idempotent no-op; if it exists
+  /// but is corrupt, the verified copy replaces it. On success the
+  /// MANIFEST is updated to point at `generation` through the same
+  /// atomic tmp+rename protocol Commit uses.
+  Status AdoptSnapshot(uint64_t generation, const std::string& bytes);
 
   /// "gen-%013llu.snap" — zero-padded so lexicographic order equals
   /// numeric order in directory listings.

@@ -22,8 +22,8 @@ namespace opinedb::storage {
 namespace {
 
 constexpr char kWalMagic[8] = {'O', 'P', 'D', 'B', 'W', 'A', 'L', '1'};
-constexpr size_t kHeaderSize = 8 + 8 + 4;  // magic | base gen | masked CRC.
-constexpr size_t kRecordHeader = 4 + 4;    // length | masked payload CRC.
+constexpr size_t kHeaderSize = kWalHeaderSize;
+constexpr size_t kRecordHeader = kWalRecordHeaderSize;
 /// Plausibility cap on untrusted record lengths, checked before
 /// allocation on top of the remaining-bytes bound.
 constexpr uint32_t kMaxRecordLen = 1u << 30;
@@ -162,9 +162,16 @@ Result<WalContents> ReadWal(const std::string& path) {
     return contents;
   }
   contents.base_generation = base;
-  contents.valid_bytes = kHeaderSize;
+  const size_t consumed = DecodeWalRecords(
+      std::string_view(bytes).substr(kHeaderSize), &contents.records);
+  contents.valid_bytes = kHeaderSize + consumed;
+  contents.truncated = contents.valid_bytes < bytes.size();
+  return contents;
+}
 
-  size_t pos = kHeaderSize;
+size_t DecodeWalRecords(std::string_view bytes,
+                        std::vector<std::string>* records) {
+  size_t pos = 0;
   while (pos < bytes.size()) {
     size_t cursor = pos;
     uint32_t len = 0, stored_crc = 0;
@@ -177,12 +184,16 @@ Result<WalContents> ReadWal(const std::string& path) {
     if (UnmaskCrc(stored_crc) != Crc32c(payload.data(), payload.size())) {
       break;  // Bit flip or torn payload.
     }
-    contents.records.emplace_back(payload);
+    records->emplace_back(payload);
     pos = cursor + len;
-    contents.valid_bytes = pos;
   }
-  contents.truncated = contents.valid_bytes < bytes.size();
-  return contents;
+  return pos;
+}
+
+void AppendWalRecordFrame(std::string_view payload, std::string* out) {
+  AppendU32(static_cast<uint32_t>(payload.size()), out);
+  AppendU32(MaskCrc(Crc32c(payload.data(), payload.size())), out);
+  out->append(payload);
 }
 
 Status TruncateWal(const std::string& path, uint64_t valid_bytes) {
@@ -224,6 +235,12 @@ void WalWriter::Close() {
     ::close(fd_);
     fd_ = -1;
   }
+}
+
+void WalWriter::MarkBroken() {
+  Close();
+  OPINEDB_METRIC_COUNT("storage.wal.append_failures", 1);
+  OPINEDB_METRIC_GAUGE_SET("storage.wal.broken", 1);
 }
 
 Result<WalWriter> WalWriter::Open(const std::string& path,
@@ -268,6 +285,7 @@ Result<WalWriter> WalWriter::Open(const std::string& path,
     }
     writer.size_ = static_cast<uint64_t>(st.st_size);
   }
+  OPINEDB_METRIC_GAUGE_SET("storage.wal.broken", 0);
   return writer;
 }
 
@@ -281,23 +299,19 @@ Status WalWriter::Append(std::string_view payload) {
   }
   std::string frame;
   frame.reserve(kRecordHeader + payload.size());
-  AppendU32(static_cast<uint32_t>(payload.size()), &frame);
-  AppendU32(MaskCrc(Crc32c(payload.data(), payload.size())), &frame);
-  frame.append(payload);
+  AppendWalRecordFrame(payload, &frame);
 
   // Torn-record site: persist half the frame, then stop — the state a
   // power cut mid-append leaves. The writer is broken from here on.
   if (OPINEDB_FAULT_HIT("storage.wal_short_write")) {
     WriteAll(fd_, frame.data(), frame.size() / 2);
     ::fsync(fd_);
-    Close();
-    OPINEDB_METRIC_COUNT("storage.wal.append_failures", 1);
+    MarkBroken();
     return Status::Internal("injected fault at storage.wal_short_write");
   }
   if (!WriteAll(fd_, frame.data(), frame.size())) {
     const std::string err = std::strerror(errno);
-    Close();
-    OPINEDB_METRIC_COUNT("storage.wal.append_failures", 1);
+    MarkBroken();
     return Status::Internal("wal write failed: " + path_ + ": " + err);
   }
   // fsync-failure site: the bytes reached the page cache but durability
@@ -306,15 +320,13 @@ Status WalWriter::Append(std::string_view payload) {
   // then break the writer (the PostgreSQL fsync-gate lesson).
   if (OPINEDB_FAULT_HIT("storage.wal_fsync")) {
     ::ftruncate(fd_, static_cast<off_t>(size_));
-    Close();
-    OPINEDB_METRIC_COUNT("storage.wal.append_failures", 1);
+    MarkBroken();
     return Status::Internal("injected fault at storage.wal_fsync");
   }
   if (::fsync(fd_) != 0) {
     const std::string err = std::strerror(errno);
     ::ftruncate(fd_, static_cast<off_t>(size_));
-    Close();
-    OPINEDB_METRIC_COUNT("storage.wal.append_failures", 1);
+    MarkBroken();
     return Status::Internal("wal fsync failed: " + path_ + ": " + err);
   }
   size_ += frame.size();

@@ -37,6 +37,13 @@ namespace opinedb::storage {
 /// Thread safety: none. The engine serializes all WAL access under its
 /// exclusive reconfiguration lock.
 
+/// Size of the segment header: magic (8) | u64 base generation | u32
+/// masked CRC. Replication offsets count bytes past this header, so the
+/// constant is part of the wire protocol (src/repl/protocol.h).
+inline constexpr size_t kWalHeaderSize = 8 + 8 + 4;
+/// Size of one record's frame header: u32 length | u32 masked CRC.
+inline constexpr size_t kWalRecordHeaderSize = 4 + 4;
+
 /// The decoded valid prefix of a WAL segment.
 struct WalContents {
   /// Base generation from the header (0 when the header itself failed
@@ -63,6 +70,22 @@ bool ParseWalFileName(const std::string& name, uint64_t* base_generation);
 /// crash-recovery contract). Returns NotFound only when the file cannot
 /// be opened, Internal on a read error.
 Result<WalContents> ReadWal(const std::string& path);
+
+/// Decodes the verified prefix of a bare record region (frames only, no
+/// segment header): appends every record payload whose length bound and
+/// CRC verify, stopping at the first violation. Returns the number of
+/// bytes consumed (always a whole number of frames). ReadWal uses this
+/// on the bytes past the header; the replication client uses it to
+/// re-verify shipped frames before applying them.
+size_t DecodeWalRecords(std::string_view bytes,
+                        std::vector<std::string>* records);
+
+/// Appends the frame encoding of one record — u32 length | u32 masked
+/// CRC32C(payload) | payload — to `*out`. Framing is deterministic, so
+/// re-encoding a decoded payload reproduces the on-disk bytes exactly
+/// (the replication source re-frames records it serves, and a follower
+/// journaling a shipped batch writes a byte-identical segment prefix).
+void AppendWalRecordFrame(std::string_view payload, std::string* out);
 
 /// Physically truncates the segment to `valid_bytes` (recovery's
 /// response to a torn tail). A no-op when the file is already exactly
@@ -100,6 +123,11 @@ class WalWriter {
   void Close();
 
  private:
+  /// Failure path shared by every Append breakage point: closes the
+  /// descriptor (the permanent-breakage contract), counts the failure,
+  /// and raises the storage.wal.broken gauge that /healthz surfaces.
+  void MarkBroken();
+
   int fd_ = -1;
   uint64_t size_ = 0;
   std::string path_;

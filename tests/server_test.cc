@@ -10,6 +10,7 @@
 // (the TSan gate for the worker pool), and the /healthz + /metrics
 // surfaces keep their pinned schemas.
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <map>
@@ -544,6 +545,108 @@ TEST_F(ServerTest, InterpretationsCanBeSuppressed) {
   ASSERT_EQ(suppressed->status, 200);
   EXPECT_EQ(suppressed->body.find("\"interpretations\""),
             std::string::npos);
+}
+
+// ------------------------------------------------- Client timeouts.
+
+// A stalled peer — accepted the request, never answers — must surface
+// as the typed, retryable Status::Unavailable within the configured
+// read budget, not hang the caller (the replication client's pull loop
+// depends on this to notice a wedged primary).
+TEST(HttpClientTimeoutTest, StalledServerSurfacesAsUnavailable) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  server::HttpdOptions options;
+  options.num_workers = 1;
+  server::Httpd httpd(options, [&](const server::HttpRequest&) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait_for(lock, std::chrono::seconds(10), [&] { return release; });
+    return server::HttpResponse::Json(200, "{\"ok\": true}\n");
+  });
+  ASSERT_TRUE(httpd.Start().ok());
+
+  server::HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", httpd.port(),
+                             /*connect_timeout_ms=*/2000,
+                             /*read_timeout_ms=*/200)
+                  .ok());
+  const auto before = std::chrono::steady_clock::now();
+  auto stalled = client.Get("/never-answered");
+  const auto elapsed = std::chrono::steady_clock::now() - before;
+  ASSERT_FALSE(stalled.ok()) << "a stalled peer must not yield a response";
+  EXPECT_EQ(stalled.status().code(), StatusCode::kUnavailable)
+      << stalled.status().ToString();
+  EXPECT_LT(elapsed, std::chrono::seconds(5))
+      << "the read budget must bound the stall";
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  httpd.Stop();
+}
+
+// --------------------------------------------------- Graceful drain.
+
+// Stop() must let a slow in-flight request finish (up to the drain
+// grace) while refusing new connections immediately — a deploy rolls
+// the server without truncating the response some client already paid
+// for.
+TEST(ServerDrainTest, StopDrainsInFlightRequestAndRefusesNewOnes) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> executing{0};
+  server::HttpdOptions options;
+  options.num_workers = 1;
+  options.drain_grace_ms = 5000;
+  server::Httpd httpd(options, [&](const server::HttpRequest&) {
+    executing.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait_for(lock, std::chrono::seconds(10), [&] { return release; });
+    return server::HttpResponse::Json(200, "{\"drained\": true}\n");
+  });
+  ASSERT_TRUE(httpd.Start().ok());
+  const uint16_t port = httpd.port();
+
+  // The slow in-flight request: admitted, handler now blocked.
+  server::HttpClient slow;
+  ASSERT_TRUE(slow.Connect("127.0.0.1", port).ok());
+  ASSERT_TRUE(
+      slow.SendRaw("GET /slow HTTP/1.1\r\nConnection: close\r\n\r\n").ok());
+  while (executing.load() == 0) std::this_thread::yield();
+
+  std::thread stopper([&] { httpd.Stop(); });
+
+  // New arrivals are refused as soon as Stop() closes the listener.
+  bool refused = false;
+  for (int i = 0; i < 500 && !refused; ++i) {
+    server::HttpClient probe;
+    if (!probe.Connect("127.0.0.1", port, /*connect_timeout_ms=*/100).ok()) {
+      refused = true;
+      break;
+    }
+    // A connection that slipped in before the close may still be open;
+    // give Stop() a beat and retry.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(refused) << "Stop() must refuse new connections immediately";
+
+  // Release the handler: the drained response arrives intact.
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  auto response = slow.ReadResponse();
+  ASSERT_TRUE(response.ok())
+      << "drain grace must let the in-flight response flush: "
+      << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->body, "{\"drained\": true}\n");
+  stopper.join();
 }
 
 }  // namespace

@@ -14,7 +14,9 @@
 #include <gtest/gtest.h>
 
 #include "storage/checksum.h"
+#include "storage/pins.h"
 #include "storage/snapshot_store.h"
+#include "storage/wal.h"
 
 namespace opinedb::storage {
 namespace {
@@ -384,6 +386,83 @@ TEST_F(SnapshotStoreTest, GarbageCollectNeverDeletesLastGoodGeneration) {
   auto recovered = store.Recover();
   ASSERT_TRUE(recovered.ok());
   EXPECT_EQ(recovered->generation, 2u);
+}
+
+TEST_F(SnapshotStoreTest, GarbageCollectNeverDeletesPinnedGeneration) {
+  SnapshotStore store(dir());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(store.Commit(SampleSections()).ok());
+  }
+  // Regression: a lagging follower holds a pin on the generation it was
+  // promised for snapshot catch-up; GC must not delete it out from
+  // under the in-flight transfer regardless of `keep`.
+  GenerationPins pins;
+  pins.Pin(2);
+  ASSERT_TRUE(store.GarbageCollect(1, &pins).ok());
+  std::vector<uint64_t> kept = store.ListGenerations();
+  EXPECT_NE(std::find(kept.begin(), kept.end(), 2u), kept.end())
+      << "a pinned generation must survive GC";
+  EXPECT_NE(std::find(kept.begin(), kept.end(), 5u), kept.end());
+  EXPECT_EQ(std::find(kept.begin(), kept.end(), 1u), kept.end())
+      << "unpinned, unreferenced generations are still collected";
+
+  // Once the follower releases the pin, the next sweep collects it.
+  pins.Unpin(2);
+  ASSERT_TRUE(store.GarbageCollect(1, &pins).ok());
+  kept = store.ListGenerations();
+  EXPECT_EQ(std::find(kept.begin(), kept.end(), 2u), kept.end());
+  EXPECT_EQ(kept, (std::vector<uint64_t>{5}));
+}
+
+TEST_F(SnapshotStoreTest, GarbageCollectNeverOrphansAWalSegment) {
+  SnapshotStore store(dir());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(store.Commit(SampleSections()).ok());
+  }
+  // Regression: wal-2.log means "generation 2 plus this tail is a
+  // recoverable state"; deleting gen-2 while the segment lives would
+  // orphan every record in it. The base-generation scan must retain it
+  // even with no pin registry at all.
+  WriteFile(dir_ / WalFileName(2), "placeholder");
+  ASSERT_TRUE(store.GarbageCollect(1, nullptr).ok());
+  std::vector<uint64_t> kept = store.ListGenerations();
+  EXPECT_NE(std::find(kept.begin(), kept.end(), 2u), kept.end())
+      << "a generation referenced by a live WAL segment must survive";
+  EXPECT_EQ(std::find(kept.begin(), kept.end(), 1u), kept.end());
+
+  // Retiring the segment releases the reference.
+  fs::remove(dir_ / WalFileName(2));
+  ASSERT_TRUE(store.GarbageCollect(1, nullptr).ok());
+  kept = store.ListGenerations();
+  EXPECT_EQ(kept, (std::vector<uint64_t>{4}));
+}
+
+TEST_F(SnapshotStoreTest, AdoptSnapshotVerifiesBeforeWritingAndIsIdempotent) {
+  const std::string bytes =
+      SnapshotStore::EncodeContainer(SampleSections());
+  SnapshotStore store(dir());
+
+  // Corrupt bytes never touch the directory.
+  std::string corrupt = bytes;
+  corrupt[corrupt.size() / 2] ^= 0x01;
+  const Status refused = store.AdoptSnapshot(7, corrupt);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_FALSE(fs::exists(GenPath(7)));
+
+  ASSERT_TRUE(store.AdoptSnapshot(7, bytes).ok());
+  auto recovered = store.Recover();
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->generation, 7u);
+  EXPECT_EQ(recovered->manifest_generation, 7u)
+      << "adoption must move the MANIFEST like a commit does";
+  EXPECT_EQ(ReadFile(GenPath(7)), bytes) << "adopted bytes are verbatim";
+
+  // Idempotent: re-adopting the same generation is a no-op, and a
+  // corrupted on-disk copy is replaced by the verified bytes.
+  ASSERT_TRUE(store.AdoptSnapshot(7, bytes).ok());
+  WriteFile(GenPath(7), corrupt);
+  ASSERT_TRUE(store.AdoptSnapshot(7, bytes).ok());
+  EXPECT_EQ(ReadFile(GenPath(7)), bytes);
 }
 
 TEST_F(SnapshotStoreTest, CommitRejectsBadSectionNames) {
